@@ -1,0 +1,30 @@
+"""Figure 2: estimated vs measured power traces (4-core server).
+
+Paper reference values: the estimated and measured traces overlap for
+both the maximum- and minimum-power assignments, with average
+estimation errors of 2.46 % and 2.51 % respectively.
+"""
+
+from conftest import once, quick_limit, report
+
+from repro.experiments.figure2 import run_figure2
+
+
+def test_figure2_power_traces(benchmark, server_context):
+    result = once(
+        benchmark, lambda: run_figure2(server_context, pool=quick_limit(12, 4))
+    )
+    lines = []
+    for panel in (result.maximum, result.minimum):
+        lines.append(panel.render())
+        lines.append(
+            f"{panel.label}: mean measured {panel.mean_measured_watts:.1f} W, "
+            f"avg estimation error {panel.avg_error_pct:.2f} %"
+        )
+        lines.append("")
+    lines.append("Paper: avg errors 2.46 % (max-power) and 2.51 % (min-power)")
+    report("figure2", "\n".join(lines))
+
+    assert result.maximum.mean_measured_watts > result.minimum.mean_measured_watts
+    assert result.maximum.avg_error_pct < 10.0
+    assert result.minimum.avg_error_pct < 10.0

@@ -1,0 +1,36 @@
+"""Ablation: profiling sweep density vs prediction accuracy.
+
+The paper's procedure uses all A stressmark runs per process.  This
+ablation re-profiles mcf with every 2nd and 4th sweep point and
+measures how the downstream co-run SPI error degrades — quantifying
+how much of the O(A) profiling cost is actually needed.
+"""
+
+from conftest import once, report
+
+from repro.analysis.tables import render_table
+from repro.experiments.ablations import run_histogram_resolution
+
+
+def test_histogram_resolution(benchmark, server_context):
+    cases = once(
+        benchmark,
+        lambda: run_histogram_resolution(
+            server_context, name="mcf", partners=("art", "twolf", "gzip")
+        ),
+    )
+    rows = [(c.stride, c.sweep_points, c.mean_spi_error_pct) for c in cases]
+    lines = [
+        render_table(
+            ["Sweep stride", "Points", "Mean SPI error (%)"],
+            rows,
+            title="Profiling sweep-resolution ablation (mcf)",
+        )
+    ]
+    report("histogram_resolution", "\n".join(lines))
+
+    full = next(c for c in cases if c.stride == 1)
+    coarsest = max(cases, key=lambda c: c.stride)
+    assert full.mean_spi_error_pct < 10.0
+    # Coarser sweeps cannot be dramatically better than the full sweep.
+    assert coarsest.mean_spi_error_pct > full.mean_spi_error_pct - 2.0

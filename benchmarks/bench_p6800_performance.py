@@ -1,0 +1,29 @@
+"""§6.2 second machine: 55 combos of 10 benchmarks on the 2-core laptop.
+
+Paper reference value: average SPI estimation error 1.57 %.
+"""
+
+from conftest import QUICK, once, report
+
+from repro.analysis.validation import pairs_with_replacement
+from repro.experiments.table1 import run_pairwise_validation
+import numpy as np
+
+
+def test_p6800_second_machine(benchmark, laptop_context):
+    pairs = pairs_with_replacement(laptop_context.benchmark_names)
+    if QUICK:
+        pairs = pairs[::6]
+
+    result = once(
+        benchmark, lambda: run_pairwise_validation(laptop_context, pairs=pairs)
+    )
+    spi_errors = [c.spi_error_pct for c in result.cases]
+    avg_spi = float(np.mean(spi_errors))
+    lines = [result.render(), ""]
+    lines.append(f"Pairs evaluated: {len(pairs)} (paper: 55)")
+    lines.append("Paper: avg SPI error 1.57 % on the 2-core 12-way machine")
+    lines.append(f"Ours : avg SPI error {avg_spi:.2f} %")
+    report("p6800_second_machine", "\n".join(lines))
+
+    assert avg_spi < 6.0

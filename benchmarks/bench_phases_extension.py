@@ -1,0 +1,39 @@
+"""Extension: multi-phase processes (paper §3.1 / Tam et al. step).
+
+The paper prescribes profiling non-repeating phases separately and
+used the longest phases of art and mcf.  This bench quantifies why:
+on a two-phase workload, whole-run (mixture) profiling vs
+longest-phase profiling, judged against the dominant regime's truth.
+"""
+
+from conftest import once, report
+
+from repro.analysis.tables import render_table
+from repro.experiments.phases_extension import run_phases_extension
+
+
+def test_phases_extension(benchmark, server_context):
+    result = once(benchmark, lambda: run_phases_extension(server_context))
+    rows = [
+        ("whole-run (mixture) profile", result.naive_spi_error_pct),
+        ("longest-phase profile", result.phase_aware_spi_error_pct),
+    ]
+    lines = [
+        render_table(
+            ["Profiling strategy", "SPI error vs dominant phase (%)"],
+            rows,
+            title="Multi-phase extension (partner: " + result.partner + ")",
+        ),
+        "",
+        f"Phase detection on the solo HPC series: {result.detected_phases} "
+        f"segments, longest covers {result.longest_phase_share * 100:.0f} % "
+        "of the windows",
+        "Paper: art/mcf were modeled by their longest phase (Section 3.1/6.1).",
+    ]
+    report("phases_extension", "\n".join(lines))
+
+    assert result.detected_phases >= 2  # the phases are observable
+    assert result.phase_aware_wins
+    assert result.phase_aware_spi_error_pct < 5.0
+
+

@@ -1,0 +1,35 @@
+"""Ablation: model error when the LRU assumption is violated.
+
+The paper's model assumes LRU replacement (Section 3.1).  This bench
+runs the ground-truth machine with FIFO / random / tree-PLRU caches
+while the model still assumes LRU, quantifying the assumption's cost.
+"""
+
+from conftest import QUICK, once, report
+
+from repro.analysis.tables import render_table
+from repro.experiments.ablations import run_replacement_policy
+
+
+def test_replacement_policy_ablation(benchmark, server_context):
+    pairs = [("mcf", "art"), ("gzip", "mcf")] if QUICK else None
+    cases = once(
+        benchmark, lambda: run_replacement_policy(server_context, pairs=pairs)
+    )
+    rows = [(c.policy, c.mean_spi_error_pct, c.mean_mpa_error_pts) for c in cases]
+    lines = [
+        render_table(
+            ["Ground-truth policy", "SPI err (%)", "MPA err (pts)"],
+            rows,
+            title="Replacement-policy ablation (model assumes LRU)",
+        )
+    ]
+    report("replacement_policy", "\n".join(lines))
+
+    by_policy = {c.policy: c for c in cases}
+    # LRU (the assumption holding) must be the best or near-best.
+    lru_err = by_policy["lru"].mean_spi_error_pct
+    assert lru_err < 8.0
+    assert lru_err <= by_policy["random"].mean_spi_error_pct + 1.0
+    # Tree-PLRU approximates LRU: error should stay moderate.
+    assert by_policy["tree-plru"].mean_spi_error_pct < lru_err + 15.0

@@ -1,0 +1,44 @@
+"""Ablation: Newton-Raphson (the paper's solver) vs nested bisection.
+
+Checks that the two equilibrium solvers agree on the predicted cache
+partition, and compares their runtime.
+"""
+
+from conftest import QUICK, once, report
+
+from repro.analysis.tables import render_table
+from repro.experiments.ablations import run_solver_ablation
+
+
+def test_solver_ablation(benchmark, server_context):
+    pairs = None
+    if QUICK:
+        names = list(server_context.benchmark_names)[:4]
+        pairs = [(a, b) for i, a in enumerate(names) for b in names[i:]]
+
+    result = once(benchmark, lambda: run_solver_ablation(server_context, pairs=pairs))
+    rows = [
+        (
+            f"{c.pair[0]}+{c.pair[1]}",
+            "yes" if c.newton_converged else "NO",
+            c.max_size_disagreement,
+            c.newton_seconds * 1e3,
+            c.bisection_seconds * 1e3,
+        )
+        for c in result.cases
+    ]
+    lines = [
+        render_table(
+            ["Pair", "Newton ok", "Max |dS| (ways)", "Newton (ms)", "Bisection (ms)"],
+            rows,
+            title="Equilibrium solver ablation",
+        ),
+        "",
+        f"Newton convergence rate: {result.convergence_rate * 100:.0f} %",
+        f"Mean size disagreement:  {result.mean_disagreement:.4f} ways",
+        f"Bisection/Newton time:   {result.newton_speedup:.1f}x",
+    ]
+    report("solver_ablation", "\n".join(lines))
+
+    assert result.convergence_rate > 0.7
+    assert result.mean_disagreement < 0.3

@@ -1,0 +1,35 @@
+"""Table 1: performance-model validation (4-core server).
+
+Paper reference values: average MPA error 1.76 points, average SPI
+error 3.38 %, 21.9 % of cases above 5 % SPI error, over 36 pairwise
+combinations of 8 SPEC benchmarks.
+"""
+
+from conftest import QUICK, once, report
+
+from repro.analysis.validation import pairs_with_replacement
+from repro.experiments.table1 import run_pairwise_validation
+
+
+def test_table1_performance_model(benchmark, server_context):
+    pairs = pairs_with_replacement(server_context.benchmark_names)
+    if QUICK:
+        pairs = pairs[::4]
+
+    result = once(benchmark, lambda: run_pairwise_validation(server_context, pairs=pairs))
+    average = result.average
+    lines = [result.render()]
+    lines.append("")
+    lines.append(
+        f"Paper: avg MPA err 1.76 pts, avg SPI err 3.38 %, 21.9 % cases > 5 %"
+    )
+    lines.append(
+        f"Ours : avg MPA err {average.mpa_error_pct:.2f} pts, "
+        f"avg SPI err {average.spi_error_pct:.2f} %, "
+        f"{average.spi_over_5pct:.1f} % cases > 5 %"
+    )
+    report("table1", "\n".join(lines))
+
+    # Shape assertions: same ballpark as the paper, not exact numbers.
+    assert average.spi_error_pct < 8.0
+    assert average.mpa_error_pct < 6.0

@@ -1,0 +1,31 @@
+"""Table 2: power-model validation on the 2-core workstation.
+
+Paper reference values:
+  1 proc./core (36 asgn.): samples 5.32/14.12 %, avg power 3.63/13.83 %
+  2 proc./core (24 asgn.): samples 6.65/8.84 %,  avg power 2.47/4.05 %
+"""
+
+from conftest import once, quick_limit, report
+
+from repro.experiments.table2 import render_table2, run_table2
+
+
+def test_table2_power_model_2core(benchmark, workstation_context):
+    scenarios = once(
+        benchmark,
+        lambda: run_table2(
+            workstation_context,
+            limit_1pc=quick_limit(36, 8),
+            limit_2pc=quick_limit(24, 4),
+        ),
+    )
+    lines = [render_table2(scenarios), ""]
+    lines.append("Paper: 5.32/14.12 & 3.63/13.83 (1pc); 6.65/8.84 & 2.47/4.05 (2pc)")
+    report("table2", "\n".join(lines))
+
+    for scenario in scenarios:
+        # Same shape as the paper: single-digit average errors, and the
+        # run-average error smaller than the per-sample error.
+        assert scenario.sample_error.mean < 12.0
+        assert scenario.avg_error.mean < 8.0
+        assert scenario.avg_error.mean <= scenario.sample_error.mean + 0.5

@@ -1,0 +1,32 @@
+"""Table 3: power-model validation on the 4-core server.
+
+Paper reference values:
+  1 proc./core (24): samples 4.09/8.52 %, avg power 3.26/7.71 %
+  2 proc./core (3):  samples 5.51/6.25 %, avg power 4.47/5.95 %
+  4 proc. w/ unused cores (10): samples 3.39/4.73 %, avg 2.54/4.14 %
+"""
+
+from conftest import once, quick_limit, report
+
+from repro.experiments.table3 import render_table3, run_table3
+
+
+def test_table3_power_model_4core(benchmark, server_context):
+    scenarios = once(
+        benchmark,
+        lambda: run_table3(
+            server_context,
+            limit_1pc=quick_limit(24, 6),
+            limit_2pc=quick_limit(3, 2),
+            limit_unused=quick_limit(10, 3),
+        ),
+    )
+    lines = [render_table3(scenarios), ""]
+    lines.append(
+        "Paper: 4.09/8.52 & 3.26/7.71; 5.51/6.25 & 4.47/5.95; 3.39/4.73 & 2.54/4.14"
+    )
+    report("table3", "\n".join(lines))
+
+    for scenario in scenarios:
+        assert scenario.sample_error.mean < 12.0
+        assert scenario.avg_error.mean < 9.0

@@ -1,0 +1,68 @@
+"""Shared setup for the benchmark harness.
+
+Every bench regenerates one paper table/figure at full scale and
+prints it in the paper's layout.  Results are also written to
+``benchmarks/results/`` so the harness output survives pytest's
+capture.
+
+Set ``REPRO_QUICK=1`` to trim assignment counts for a fast smoke run
+of the whole harness.
+"""
+
+from __future__ import annotations
+
+import os
+import pathlib
+
+import pytest
+
+from repro.experiments.context import get_context
+from repro.workloads.spec import PAPER_EIGHT, PAPER_TEN
+
+RESULTS_DIR = pathlib.Path(__file__).parent / "results"
+
+#: Quick mode trims scenario counts (structure identical, less wall time).
+QUICK = bool(int(os.environ.get("REPRO_QUICK", "0")))
+
+
+def quick_limit(full: int, quick: int) -> int:
+    return quick if QUICK else full
+
+
+def report(name: str, text: str) -> None:
+    """Print a result table and persist it under benchmarks/results/."""
+    print()
+    print(text)
+    RESULTS_DIR.mkdir(exist_ok=True)
+    (RESULTS_DIR / f"{name}.txt").write_text(text + "\n")
+
+
+@pytest.fixture(scope="session")
+def server_context():
+    """The 4-core server context shared by Tables 1, 3, 4 and Figure 2.
+
+    Profiles are built once *with* power so the performance benches and
+    the combined-model bench share one profiling pass.
+    """
+    context = get_context(machine="4-core-server", sets=128, seed=42)
+    context.profiles(with_power=True)
+    return context
+
+
+@pytest.fixture(scope="session")
+def workstation_context():
+    """The 2-core E2220 context for Table 2 (power model only)."""
+    return get_context(machine="2-core-workstation", sets=128, seed=42)
+
+
+@pytest.fixture(scope="session")
+def laptop_context():
+    """The 2-core 12-way machine for the second performance result."""
+    return get_context(
+        machine="2-core-laptop", sets=128, seed=42, benchmark_names=PAPER_TEN
+    )
+
+
+def once(benchmark, fn):
+    """Run an experiment exactly once under pytest-benchmark timing."""
+    return benchmark.pedantic(fn, rounds=1, iterations=1)

@@ -1,0 +1,76 @@
+#!/usr/bin/env python
+"""Quickstart: predict cache contention before running the workloads.
+
+This walks the paper's core loop end to end on a simulated 4-core
+server:
+
+1. profile two processes in isolation with the stressmark (Section 3.4),
+2. predict their co-run behaviour with the equilibrium model (Section 3),
+3. run them together and compare prediction to the emergent truth.
+
+Run:
+    python examples/quickstart.py
+"""
+
+from repro.config import PROFILE_SCALE, SimulationScale
+from repro.core.performance_model import PerformanceModel
+from repro.machine.simulator import MachineSimulation
+from repro.machine.topology import four_core_server
+from repro.profiling.profiler import profile_process
+from repro.workloads.spec import BENCHMARKS
+
+
+def main() -> None:
+    # A scaled Q6600-like machine: two dies, 16-way shared L2 per die.
+    machine = four_core_server(sets=128)
+    ways = machine.domains[0].geometry.ways
+    print(f"Machine: {machine.name}, {machine.num_cores} cores, "
+          f"{ways}-way shared L2 per die\n")
+
+    # ------------------------------------------------------------------
+    # 1. Profile each process once, alone, via stressmark co-runs.
+    #    O(A) runs per process cover all 2^k future combinations.
+    # ------------------------------------------------------------------
+    model = PerformanceModel(ways=ways)
+    for name in ("mcf", "twolf"):
+        print(f"Profiling {name} (stressmark sweep, {ways - 1} runs)...")
+        profile = profile_process(
+            BENCHMARKS[name], machine, scale=PROFILE_SCALE, seed=1
+        )
+        feature = profile.feature
+        print(f"  API = {feature.api:.4f} L2 accesses/instruction")
+        print(f"  Eq. 3 fit: SPI = {feature.alpha:.3e} * MPA + {feature.beta:.3e}"
+              f"  (R^2 = {profile.spi_fit_r2:.4f})")
+        model.register(feature)
+
+    # ------------------------------------------------------------------
+    # 2. Predict the co-run steady state (no co-run has happened yet).
+    # ------------------------------------------------------------------
+    prediction = model.predict(["mcf", "twolf"])
+    print("\nPredicted steady state when sharing one 16-way L2:")
+    for process in prediction.processes:
+        print(f"  {process.name:6s} effective size {process.effective_size:5.2f} ways, "
+              f"MPA {process.mpa:.3f}, SPI {process.spi:.3e}")
+
+    # ------------------------------------------------------------------
+    # 3. Ground truth: actually run the pair on cache-sharing cores.
+    # ------------------------------------------------------------------
+    scale = SimulationScale(warmup_accesses=20_000, measure_accesses=60_000)
+    sim = MachineSimulation(
+        machine,
+        {0: [BENCHMARKS["mcf"]], 1: [BENCHMARKS["twolf"]]},
+        scale=scale,
+        seed=7,
+    )
+    result = sim.run_accesses()
+    print("\nMeasured vs predicted:")
+    for measured, predicted in zip(result.processes, prediction.processes):
+        spi_err = abs(predicted.spi - measured.spi) / measured.spi * 100
+        print(f"  {measured.name:6s} occupancy {measured.occupancy_ways:5.2f} vs "
+              f"{predicted.effective_size:5.2f} ways | "
+              f"MPA {measured.mpa:.3f} vs {predicted.mpa:.3f} | "
+              f"SPI error {spi_err:.2f} %")
+
+
+if __name__ == "__main__":
+    main()

@@ -1,0 +1,45 @@
+"""repro — reproduction of Chen et al., *Performance and Power Modeling
+in a Multi-Programmed Multi-Core Environment* (DAC 2010).
+
+The package is organised as:
+
+- :mod:`repro.core` — the paper's contribution: reuse-distance-based
+  performance prediction, MVLR power modeling, and the combined model
+  for power-aware assignment.
+- :mod:`repro.cache` — set-associative cache simulator substrate.
+- :mod:`repro.workloads` — synthetic SPEC-CPU2000-like benchmarks,
+  the stressmark, and the power-training micro-benchmark.
+- :mod:`repro.machine` — closed-loop multicore machine simulator with
+  hardware-performance-counter emulation.
+- :mod:`repro.power` — hidden reference power functions and the
+  simulated measurement chain (current clamp + DAQ).
+- :mod:`repro.profiling` — automated stressmark-based profiling.
+- :mod:`repro.analysis` — error metrics and table rendering.
+- :mod:`repro.experiments` — one driver per paper table/figure.
+
+See ``examples/quickstart.py`` for an end-to-end walkthrough.
+"""
+
+from repro.config import CacheGeometry, SimulationScale
+from repro.errors import (
+    ConfigurationError,
+    ConvergenceError,
+    ModelNotFittedError,
+    ProfilingError,
+    ReproError,
+    SimulationError,
+)
+
+__version__ = "1.0.0"
+
+__all__ = [
+    "CacheGeometry",
+    "SimulationScale",
+    "ReproError",
+    "ConfigurationError",
+    "ConvergenceError",
+    "ProfilingError",
+    "ModelNotFittedError",
+    "SimulationError",
+    "__version__",
+]

@@ -1,0 +1,28 @@
+"""Error metrics, table rendering and scenario enumeration."""
+
+from repro.analysis.errors import (
+    ErrorSummary,
+    absolute_error_pct,
+    relative_error_pct,
+    summarize,
+)
+from repro.analysis.tables import render_series, render_table
+from repro.analysis.validation import (
+    pairs_with_replacement,
+    random_assignment,
+    random_assignments,
+    spread_assignments,
+)
+
+__all__ = [
+    "ErrorSummary",
+    "relative_error_pct",
+    "absolute_error_pct",
+    "summarize",
+    "render_table",
+    "render_series",
+    "pairs_with_replacement",
+    "random_assignment",
+    "random_assignments",
+    "spread_assignments",
+]

@@ -1,0 +1,68 @@
+"""Error metrics used by the paper's validation tables.
+
+The paper reports, per scenario: average and maximum *relative* error
+(for SPI and power), average *absolute* error (for MPA, which is
+already a ratio), and the fraction of test cases whose error exceeds
+5 %.  All figures are in percent.
+"""
+
+from __future__ import annotations
+
+from dataclasses import dataclass
+from typing import Sequence
+
+import numpy as np
+
+from repro.errors import ConfigurationError
+
+
+def relative_error_pct(estimate: float, truth: float) -> float:
+    """|estimate - truth| / |truth| in percent."""
+    if truth == 0:
+        raise ConfigurationError("relative error undefined for zero truth")
+    return abs(estimate - truth) / abs(truth) * 100.0
+
+
+def absolute_error_pct(estimate: float, truth: float) -> float:
+    """|estimate - truth| in percentage points (for ratio quantities)."""
+    return abs(estimate - truth) * 100.0
+
+
+@dataclass(frozen=True)
+class ErrorSummary:
+    """Aggregate statistics over a set of per-case errors (percent)."""
+
+    count: int
+    mean: float
+    maximum: float
+    over_5pct: float  # fraction of cases above 5 %, in percent
+
+    @classmethod
+    def from_errors(cls, errors: Sequence[float]) -> "ErrorSummary":
+        arr = np.asarray(errors, dtype=float)
+        if arr.size == 0:
+            raise ConfigurationError("cannot summarise zero errors")
+        if np.any(arr < 0):
+            raise ConfigurationError("errors must be non-negative")
+        return cls(
+            count=int(arr.size),
+            mean=float(arr.mean()),
+            maximum=float(arr.max()),
+            over_5pct=float((arr > 5.0).mean() * 100.0),
+        )
+
+    def merged_with(self, other: "ErrorSummary") -> "ErrorSummary":
+        """Pooled summary of two disjoint error sets."""
+        total = self.count + other.count
+        return ErrorSummary(
+            count=total,
+            mean=(self.mean * self.count + other.mean * other.count) / total,
+            maximum=max(self.maximum, other.maximum),
+            over_5pct=(self.over_5pct * self.count + other.over_5pct * other.count)
+            / total,
+        )
+
+
+def summarize(errors: Sequence[float]) -> ErrorSummary:
+    """Convenience wrapper for :meth:`ErrorSummary.from_errors`."""
+    return ErrorSummary.from_errors(errors)

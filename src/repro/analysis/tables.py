@@ -1,0 +1,81 @@
+"""Paper-style ASCII table rendering for the benchmark harness."""
+
+from __future__ import annotations
+
+from typing import List, Optional, Sequence
+
+from repro.errors import ConfigurationError
+
+
+def render_table(
+    headers: Sequence[str],
+    rows: Sequence[Sequence[object]],
+    title: Optional[str] = None,
+    float_format: str = "{:.2f}",
+) -> str:
+    """Render a fixed-width table.
+
+    Floats are formatted with ``float_format``; everything else with
+    ``str``.  Columns are right-aligned except the first.
+    """
+    if not headers:
+        raise ConfigurationError("need at least one column")
+    formatted: List[List[str]] = []
+    for row in rows:
+        if len(row) != len(headers):
+            raise ConfigurationError(
+                f"row has {len(row)} cells, expected {len(headers)}"
+            )
+        formatted.append(
+            [
+                float_format.format(cell) if isinstance(cell, float) else str(cell)
+                for cell in row
+            ]
+        )
+    widths = [
+        max(len(str(headers[i])), *(len(r[i]) for r in formatted)) if formatted
+        else len(str(headers[i]))
+        for i in range(len(headers))
+    ]
+
+    def fmt_row(cells: Sequence[str]) -> str:
+        parts = []
+        for i, cell in enumerate(cells):
+            if i == 0:
+                parts.append(cell.ljust(widths[i]))
+            else:
+                parts.append(cell.rjust(widths[i]))
+        return "  ".join(parts)
+
+    lines = []
+    if title:
+        lines.append(title)
+    lines.append(fmt_row([str(h) for h in headers]))
+    lines.append("-" * (sum(widths) + 2 * (len(widths) - 1)))
+    lines.extend(fmt_row(r) for r in formatted)
+    return "\n".join(lines)
+
+
+def render_series(
+    times: Sequence[float],
+    series: Sequence[Sequence[float]],
+    labels: Sequence[str],
+    title: Optional[str] = None,
+    max_rows: int = 30,
+) -> str:
+    """Render aligned time series (e.g. Figure 2's traces) as text.
+
+    Long series are decimated to at most ``max_rows`` rows.
+    """
+    if len(series) != len(labels):
+        raise ConfigurationError("one label per series required")
+    n = len(times)
+    for s in series:
+        if len(s) != n:
+            raise ConfigurationError("all series must match the time axis")
+    step = max(1, n // max_rows)
+    headers = ["t(s)"] + list(labels)
+    rows = []
+    for i in range(0, n, step):
+        rows.append([f"{times[i]:.4f}"] + [float(s[i]) for s in series])
+    return render_table(headers, rows, title=title)

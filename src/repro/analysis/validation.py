@@ -1,0 +1,114 @@
+"""Enumeration of validation scenarios (pairings and assignments).
+
+The paper validates on all unordered benchmark pairs (36 pairs of 8
+programs including self-pairs, 55 of 10) and on randomly drawn
+assignments for each power-table scenario.  These helpers generate
+those scenario lists deterministically.
+"""
+
+from __future__ import annotations
+
+import itertools
+import random
+from typing import Dict, List, Sequence, Tuple
+
+from repro.errors import ConfigurationError
+
+Assignment = Dict[int, Tuple[str, ...]]
+
+
+def pairs_with_replacement(names: Sequence[str]) -> List[Tuple[str, str]]:
+    """All unordered pairs including self-pairs: C(n,2) + n of them.
+
+    For 8 benchmarks this yields the paper's 36 pairwise combinations;
+    for 10, the 55 used on the second machine.
+    """
+    if not names:
+        raise ConfigurationError("need at least one name")
+    return list(itertools.combinations_with_replacement(names, 2))
+
+
+def random_assignment(
+    names: Sequence[str],
+    cores: Sequence[int],
+    processes_per_core: int,
+    rng: random.Random,
+) -> Assignment:
+    """One random assignment with a fixed shape.
+
+    Processes are drawn with replacement from ``names`` (the paper
+    picks SPEC programs randomly per assignment, repeats allowed).
+    """
+    if processes_per_core < 1:
+        raise ConfigurationError("processes_per_core must be >= 1")
+    if not cores:
+        raise ConfigurationError("need at least one core")
+    return {
+        core: tuple(rng.choice(list(names)) for _ in range(processes_per_core))
+        for core in cores
+    }
+
+
+def random_assignments(
+    names: Sequence[str],
+    cores: Sequence[int],
+    processes_per_core: int,
+    count: int,
+    seed: int,
+) -> List[Assignment]:
+    """``count`` distinct random assignments of a fixed shape."""
+    if count < 1:
+        raise ConfigurationError("count must be >= 1")
+    rng = random.Random(seed)
+    seen = set()
+    assignments: List[Assignment] = []
+    attempts = 0
+    while len(assignments) < count:
+        attempts += 1
+        if attempts > 1000 * count:
+            raise ConfigurationError(
+                "could not draw enough distinct assignments; "
+                "scenario space too small"
+            )
+        assignment = random_assignment(names, cores, processes_per_core, rng)
+        key = tuple(sorted((c, tuple(sorted(p))) for c, p in assignment.items()))
+        if key in seen:
+            continue
+        seen.add(key)
+        assignments.append(assignment)
+    return assignments
+
+
+def spread_assignments(
+    names: Sequence[str],
+    total_processes: int,
+    cores_used: Sequence[int],
+    count: int,
+    seed: int,
+) -> List[Assignment]:
+    """Assignments of ``total_processes`` onto a subset of cores.
+
+    Used for the paper's "4 processes with unused cores" scenarios:
+    processes are dealt round-robin onto ``cores_used``.
+    """
+    if total_processes < len(cores_used):
+        raise ConfigurationError("need at least one process per used core")
+    rng = random.Random(seed)
+    seen = set()
+    assignments: List[Assignment] = []
+    attempts = 0
+    while len(assignments) < count:
+        attempts += 1
+        if attempts > 1000 * count:
+            raise ConfigurationError("scenario space too small for distinct draws")
+        chosen = [rng.choice(list(names)) for _ in range(total_processes)]
+        assignment: Dict[int, List[str]] = {core: [] for core in cores_used}
+        for index, name in enumerate(chosen):
+            assignment[cores_used[index % len(cores_used)]].append(name)
+        frozen = {core: tuple(procs) for core, procs in assignment.items()}
+        key = tuple(sorted((c, tuple(sorted(p))) for c, p in frozen.items()))
+        if key in seen:
+            continue
+        seen.add(key)
+        assignments.append(frozen)
+    return assignments

@@ -1,0 +1,50 @@
+"""Cache simulator substrate.
+
+Public surface:
+
+- :class:`~repro.cache.set_associative.SetAssociativeCache` — the
+  shared-cache simulator the contention experiments run on.
+- :mod:`~repro.cache.replacement` — LRU / FIFO / random / tree-PLRU.
+- :class:`~repro.cache.shared.ContentionMonitor` — per-process
+  occupancy and miss-rate measurement.
+- :class:`~repro.cache.reuse.SetReuseProfiler` — exact per-set
+  reuse-distance measurement.
+- :class:`~repro.cache.hierarchy.CacheHierarchy` — L1 + shared L2.
+- :mod:`~repro.cache.prefetch` — prefetcher models for the ablation.
+"""
+
+from repro.cache.hierarchy import CacheHierarchy, HierarchyAccess
+from repro.cache.prefetch import NextLinePrefetcher, Prefetcher, StridePrefetcher
+from repro.cache.replacement import (
+    FifoPolicy,
+    LruPolicy,
+    RandomPolicy,
+    ReplacementPolicy,
+    TreePlruPolicy,
+    make_policy,
+)
+from repro.cache.reuse import GlobalStackProfiler, SetReuseProfiler
+from repro.cache.set_associative import SetAssociativeCache
+from repro.cache.shared import ContentionMonitor, OwnerSummary
+from repro.cache.stats import CacheStats, OwnerStats
+
+__all__ = [
+    "SetAssociativeCache",
+    "CacheHierarchy",
+    "HierarchyAccess",
+    "ContentionMonitor",
+    "OwnerSummary",
+    "CacheStats",
+    "OwnerStats",
+    "SetReuseProfiler",
+    "GlobalStackProfiler",
+    "ReplacementPolicy",
+    "LruPolicy",
+    "FifoPolicy",
+    "RandomPolicy",
+    "TreePlruPolicy",
+    "make_policy",
+    "Prefetcher",
+    "NextLinePrefetcher",
+    "StridePrefetcher",
+]

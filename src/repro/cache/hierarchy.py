@@ -1,0 +1,88 @@
+"""Two-level cache hierarchy: private L1s in front of a shared L2.
+
+The paper's model reasons about the shared last-level (L2) cache only;
+L1 references appear solely as an HPC event rate in the power model.
+The machine simulator therefore drives the L2 directly.  This module
+still provides a faithful hierarchy for completeness: it is used by
+the hierarchy example and by tests that check L1 filtering behaviour
+(inclusive fill, L1 hit shielding the L2).
+"""
+
+from __future__ import annotations
+
+from dataclasses import dataclass
+from typing import Dict, List
+
+from repro.cache.replacement import LruPolicy
+from repro.cache.set_associative import SetAssociativeCache
+from repro.config import CacheGeometry
+from repro.errors import ConfigurationError
+
+
+@dataclass(frozen=True)
+class HierarchyAccess:
+    """Outcome of one hierarchy access."""
+
+    l1_hit: bool
+    l2_hit: bool
+
+    @property
+    def level(self) -> str:
+        """Where the access was served: ``l1``, ``l2`` or ``memory``."""
+        if self.l1_hit:
+            return "l1"
+        if self.l2_hit:
+            return "l2"
+        return "memory"
+
+
+class CacheHierarchy:
+    """Per-core private L1 caches sharing one L2.
+
+    Args:
+        l1_geometry: Geometry of each private L1.
+        l2_geometry: Geometry of the shared L2.
+        cores: Number of cores (one L1 each).
+
+    The hierarchy is non-inclusive non-exclusive: L1 misses always fill
+    both levels; L2 evictions do not back-invalidate the L1 (as in the
+    paper's Core 2 era machines, where L2 was much larger than L1 and
+    the distinction is negligible for miss statistics).
+    """
+
+    def __init__(self, l1_geometry: CacheGeometry, l2_geometry: CacheGeometry, cores: int):
+        if cores < 1:
+            raise ConfigurationError("cores must be positive")
+        if l1_geometry.capacity_bytes >= l2_geometry.capacity_bytes:
+            raise ConfigurationError("L1 must be smaller than L2")
+        self.cores = cores
+        self.l1: List[SetAssociativeCache] = [
+            SetAssociativeCache(l1_geometry, LruPolicy()) for _ in range(cores)
+        ]
+        self.l2 = SetAssociativeCache(l2_geometry, LruPolicy())
+
+    def access(self, core: int, line: int, owner: int = 0) -> HierarchyAccess:
+        """Access ``line`` from ``core``; fill on misses."""
+        if not 0 <= core < self.cores:
+            raise ConfigurationError(f"core {core} out of range 0..{self.cores - 1}")
+        l1_hit = self.l1[core].access(line, owner)
+        if l1_hit:
+            return HierarchyAccess(l1_hit=True, l2_hit=False)
+        l2_hit = self.l2.access(line, owner)
+        return HierarchyAccess(l1_hit=False, l2_hit=l2_hit)
+
+    def miss_rates(self, owner: int) -> Dict[str, float]:
+        """Per-level miss rates for one owner across all cores."""
+        l1_accesses = sum(c.stats.owner(owner).accesses for c in self.l1)
+        l1_misses = sum(c.stats.owner(owner).misses for c in self.l1)
+        l2_stats = self.l2.stats.owner(owner)
+        return {
+            "l1": (l1_misses / l1_accesses) if l1_accesses else 0.0,
+            "l2": l2_stats.miss_rate,
+        }
+
+    def flush(self) -> None:
+        """Flush every cache in the hierarchy."""
+        for cache in self.l1:
+            cache.flush()
+        self.l2.flush()

@@ -1,0 +1,184 @@
+"""Replacement policies for set-associative caches.
+
+Each policy manages per-set bookkeeping separate from the tag array so
+that :class:`repro.cache.set_associative.SetAssociativeCache` can mix
+and match policies.  The paper assumes LRU; the other policies exist so
+that the benchmark harness can measure how badly the model degrades
+when the LRU assumption is violated (``bench_replacement_policy``).
+
+A policy's *state* for one set is an opaque object created by
+:meth:`ReplacementPolicy.make_state`.  Way indices run ``0..ways-1``.
+"""
+
+from __future__ import annotations
+
+import random
+from abc import ABC, abstractmethod
+from typing import Any, List
+
+
+class ReplacementPolicy(ABC):
+    """Interface for per-set replacement bookkeeping."""
+
+    name: str = "abstract"
+
+    @abstractmethod
+    def make_state(self, ways: int) -> Any:
+        """Create the bookkeeping state for one cache set."""
+
+    @abstractmethod
+    def on_hit(self, state: Any, way: int) -> None:
+        """Record a hit on ``way``."""
+
+    @abstractmethod
+    def on_fill(self, state: Any, way: int) -> None:
+        """Record that ``way`` was filled by a new line."""
+
+    @abstractmethod
+    def victim(self, state: Any) -> int:
+        """Choose the way to evict from a full set."""
+
+
+class LruPolicy(ReplacementPolicy):
+    """Exact least-recently-used replacement.
+
+    State is a list of way indices ordered most- to least-recently
+    used.  ``victim`` returns the last element.
+    """
+
+    name = "lru"
+
+    def make_state(self, ways: int) -> List[int]:
+        return list(range(ways))
+
+    def on_hit(self, state: List[int], way: int) -> None:
+        state.remove(way)
+        state.insert(0, way)
+
+    def on_fill(self, state: List[int], way: int) -> None:
+        state.remove(way)
+        state.insert(0, way)
+
+    def victim(self, state: List[int]) -> int:
+        return state[-1]
+
+
+class FifoPolicy(ReplacementPolicy):
+    """First-in-first-out replacement (hits do not refresh recency)."""
+
+    name = "fifo"
+
+    def make_state(self, ways: int) -> List[int]:
+        return list(range(ways))
+
+    def on_hit(self, state: List[int], way: int) -> None:
+        pass  # FIFO ignores hits by definition.
+
+    def on_fill(self, state: List[int], way: int) -> None:
+        state.remove(way)
+        state.insert(0, way)
+
+    def victim(self, state: List[int]) -> int:
+        return state[-1]
+
+
+class RandomPolicy(ReplacementPolicy):
+    """Uniformly random victim selection (deterministic via seed)."""
+
+    name = "random"
+
+    def __init__(self, seed: int = 0):
+        self._rng = random.Random(seed)
+
+    def make_state(self, ways: int) -> int:
+        return ways
+
+    def on_hit(self, state: int, way: int) -> None:
+        pass
+
+    def on_fill(self, state: int, way: int) -> None:
+        pass
+
+    def victim(self, state: int) -> int:
+        return self._rng.randrange(state)
+
+
+class TreePlruPolicy(ReplacementPolicy):
+    """Tree-based pseudo-LRU, the common hardware approximation of LRU.
+
+    State is a list of internal-node bits for a complete binary tree
+    over the ways (ways must be a power of two).  A bit of 0 means the
+    pseudo-LRU line is in the left subtree.
+    """
+
+    name = "tree-plru"
+
+    def make_state(self, ways: int) -> List[int]:
+        if ways & (ways - 1):
+            raise ValueError("tree-PLRU requires a power-of-two way count")
+        # Element 0 stores the way count; elements 1..ways-1 are tree bits.
+        return [ways] + [0] * (ways - 1)
+
+    def _touch(self, state: List[int], way: int) -> None:
+        ways = state[0]
+        node = 1
+        span = ways
+        offset = 0
+        while span > 1:
+            span //= 2
+            if way < offset + span:
+                state[node] = 1  # pseudo-LRU now on the right
+                node = 2 * node
+            else:
+                state[node] = 0  # pseudo-LRU now on the left
+                node = 2 * node + 1
+                offset += span
+
+    def on_hit(self, state: List[int], way: int) -> None:
+        self._touch(state, way)
+
+    def on_fill(self, state: List[int], way: int) -> None:
+        self._touch(state, way)
+
+    def victim(self, state: List[int]) -> int:
+        ways = state[0]
+        node = 1
+        span = ways
+        offset = 0
+        while span > 1:
+            span //= 2
+            if state[node] == 0:
+                node = 2 * node
+            else:
+                node = 2 * node + 1
+                offset += span
+        return offset
+
+
+_POLICIES = {
+    "lru": LruPolicy,
+    "fifo": FifoPolicy,
+    "random": RandomPolicy,
+    "tree-plru": TreePlruPolicy,
+}
+
+
+def make_policy(name: str, seed: int = 0) -> ReplacementPolicy:
+    """Build a replacement policy by name.
+
+    Args:
+        name: One of ``lru``, ``fifo``, ``random``, ``tree-plru``.
+        seed: Seed for stochastic policies (``random``).
+
+    Raises:
+        ValueError: If ``name`` is unknown.
+    """
+    try:
+        cls = _POLICIES[name]
+    except KeyError:
+        raise ValueError(
+            f"unknown replacement policy {name!r}; choose from {sorted(_POLICIES)}"
+        ) from None
+    if cls is RandomPolicy:
+        return cls(seed)
+    return cls()

@@ -1,0 +1,100 @@
+"""Counters describing cache behaviour, per owner and in aggregate.
+
+An *owner* is an integer identifying the process that issued an access;
+the shared-cache experiments of the paper need per-process hit/miss and
+occupancy statistics to measure each process's effective cache size.
+"""
+
+from __future__ import annotations
+
+from dataclasses import dataclass, field
+from typing import Dict
+
+
+@dataclass
+class OwnerStats:
+    """Access statistics for one owner (process) of a cache."""
+
+    accesses: int = 0
+    hits: int = 0
+    misses: int = 0
+    fills: int = 0
+    #: Lines of this owner evicted by anyone (including itself).
+    evictions_suffered: int = 0
+    #: Evictions this owner's fills inflicted on *other* owners.
+    evictions_inflicted: int = 0
+
+    @property
+    def miss_rate(self) -> float:
+        """Misses per access (MPA); 0.0 before any access."""
+        if self.accesses == 0:
+            return 0.0
+        return self.misses / self.accesses
+
+    @property
+    def hit_rate(self) -> float:
+        """Hits per access; 0.0 before any access."""
+        if self.accesses == 0:
+            return 0.0
+        return self.hits / self.accesses
+
+    def snapshot(self) -> "OwnerStats":
+        """Return an independent copy of the current counters."""
+        return OwnerStats(
+            accesses=self.accesses,
+            hits=self.hits,
+            misses=self.misses,
+            fills=self.fills,
+            evictions_suffered=self.evictions_suffered,
+            evictions_inflicted=self.evictions_inflicted,
+        )
+
+    def delta_since(self, earlier: "OwnerStats") -> "OwnerStats":
+        """Counters accumulated since an earlier :meth:`snapshot`."""
+        return OwnerStats(
+            accesses=self.accesses - earlier.accesses,
+            hits=self.hits - earlier.hits,
+            misses=self.misses - earlier.misses,
+            fills=self.fills - earlier.fills,
+            evictions_suffered=self.evictions_suffered - earlier.evictions_suffered,
+            evictions_inflicted=self.evictions_inflicted - earlier.evictions_inflicted,
+        )
+
+
+@dataclass
+class CacheStats:
+    """Aggregate and per-owner statistics of one cache instance."""
+
+    by_owner: Dict[int, OwnerStats] = field(default_factory=dict)
+
+    def owner(self, owner: int) -> OwnerStats:
+        """Fetch (creating if needed) the stats record for ``owner``."""
+        record = self.by_owner.get(owner)
+        if record is None:
+            record = OwnerStats()
+            self.by_owner[owner] = record
+        return record
+
+    @property
+    def accesses(self) -> int:
+        return sum(s.accesses for s in self.by_owner.values())
+
+    @property
+    def hits(self) -> int:
+        return sum(s.hits for s in self.by_owner.values())
+
+    @property
+    def misses(self) -> int:
+        return sum(s.misses for s in self.by_owner.values())
+
+    @property
+    def miss_rate(self) -> float:
+        total = self.accesses
+        if total == 0:
+            return 0.0
+        return self.misses / total
+
+    def reset(self) -> None:
+        """Zero every counter while keeping owner records alive."""
+        for owner in self.by_owner:
+            self.by_owner[owner] = OwnerStats()

@@ -1,0 +1,347 @@
+"""Command-line interface: ``python -m repro <command>``.
+
+Wraps the library's main workflows so the paper's methodology can be
+driven without writing Python:
+
+- ``machines`` / ``benchmarks`` — list what is available.
+- ``profile`` — stressmark-profile a suite, save the vectors to JSON.
+- ``predict`` — price a co-run combination from saved profiles.
+- ``train-power`` — train the Eq. 9 model, save it to JSON.
+- ``run`` — simulate an assignment and report measured ground truth.
+- ``assign`` — pick the best process-to-core mapping from profiles.
+- ``experiment`` — regenerate one paper table/figure.
+"""
+
+from __future__ import annotations
+
+import argparse
+import json
+import sys
+from typing import Dict, Optional, Sequence, Tuple
+
+from repro.analysis.tables import render_table
+from repro.config import BENCH_SCALE, PROFILE_SCALE, SimulationScale, TEST_SCALE
+from repro.errors import ReproError
+from repro.machine.topology import STANDARD_MACHINES
+from repro.workloads.spec import BENCHMARKS
+
+
+def _scales(args: argparse.Namespace) -> Tuple[SimulationScale, SimulationScale]:
+    """(profile_scale, run_scale) honouring the global --quick flag."""
+    if getattr(args, "quick", False):
+        return TEST_SCALE, TEST_SCALE
+    return PROFILE_SCALE, BENCH_SCALE
+
+
+def _parse_assignment(specs: Sequence[str]) -> Dict[int, Tuple[str, ...]]:
+    """Parse ``core=name[,name...]`` fragments into an assignment."""
+    assignment: Dict[int, Tuple[str, ...]] = {}
+    for spec in specs:
+        core_text, _, names_text = spec.partition("=")
+        if not names_text:
+            raise ValueError(f"bad assignment fragment {spec!r}; use core=name[,name]")
+        core = int(core_text)
+        names = tuple(n.strip() for n in names_text.split(",") if n.strip())
+        for name in names:
+            if name not in BENCHMARKS:
+                raise ValueError(f"unknown benchmark {name!r}")
+        assignment[core] = names
+    return assignment
+
+
+# ----------------------------------------------------------------------
+# Commands
+# ----------------------------------------------------------------------
+def cmd_machines(args: argparse.Namespace) -> int:
+    rows = []
+    for name, factory in sorted(STANDARD_MACHINES.items()):
+        topo = factory(sets=args.sets)
+        domains = ", ".join(
+            f"cores {list(d.core_ids)} share {d.geometry.ways}w x {d.geometry.sets}s"
+            for d in topo.domains
+        )
+        rows.append((name, topo.num_cores, f"{topo.frequency_hz / 1e6:.0f} MHz", domains))
+    print(render_table(["Machine", "Cores", "Clock (scaled)", "Cache domains"], rows))
+    return 0
+
+
+def cmd_benchmarks(args: argparse.Namespace) -> int:
+    rows = []
+    for name in sorted(BENCHMARKS):
+        benchmark = BENCHMARKS[name]
+        rows.append(
+            (
+                name,
+                benchmark.api,
+                benchmark.mix.fppi,
+                benchmark.footprint_ways,
+                dict(benchmark.rd_profile).get(float("inf"), 0.0),
+            )
+        )
+    print(
+        render_table(
+            ["Benchmark", "API (L2/instr)", "FPPI", "Footprint (ways)", "Streaming"],
+            rows,
+            float_format="{:.3f}",
+        )
+    )
+    return 0
+
+
+def cmd_profile(args: argparse.Namespace) -> int:
+    from repro.io import save_profile_suite
+    from repro.machine.simulator import PowerEnvironment
+    from repro.profiling.profiler import profile_suite
+
+    topology = STANDARD_MACHINES[args.machine](sets=args.sets)
+    names = args.names or sorted(BENCHMARKS)
+    power_env = (
+        PowerEnvironment.for_topology(topology, seed=args.seed) if args.power else None
+    )
+    print(f"Profiling {len(names)} benchmarks on {topology.name} "
+          f"({'with' if args.power else 'without'} P_alone)...", file=sys.stderr)
+    profile_scale, _ = _scales(args)
+    profiles = profile_suite(
+        [BENCHMARKS[n] for n in names],
+        topology,
+        scale=profile_scale,
+        seed=args.seed,
+        power_env=power_env,
+    )
+    save_profile_suite(
+        {p.feature.name: p.feature for p in profiles},
+        {p.profile.name: p.profile for p in profiles},
+        args.out,
+    )
+    print(f"Wrote {len(profiles)} profiles to {args.out}")
+    return 0
+
+
+def cmd_predict(args: argparse.Namespace) -> int:
+    from repro.core.performance_model import PerformanceModel
+    from repro.io import load_profile_suite
+
+    features, _ = load_profile_suite(args.suite)
+    model = PerformanceModel(ways=args.ways)
+    model.register_all(list(features.values()))
+    prediction = model.predict(args.names)
+    rows = [
+        (p.name, p.effective_size, p.mpa, p.spi, p.ips)
+        for p in prediction.processes
+    ]
+    print(
+        render_table(
+            ["Process", "Eff. size (ways)", "MPA", "SPI (s)", "IPS"],
+            rows,
+            title=f"Co-run prediction on a {args.ways}-way shared cache "
+            f"(solver: {prediction.solver})",
+            float_format="{:.4g}",
+        )
+    )
+    return 0
+
+
+def cmd_train_power(args: argparse.Namespace) -> int:
+    from repro.experiments.context import get_context
+    from repro.io import save_power_model
+
+    profile_scale, run_scale = _scales(args)
+    context = get_context(
+        machine=args.machine,
+        sets=args.sets,
+        seed=args.seed,
+        profile_scale=profile_scale,
+        run_scale=run_scale,
+    )
+    print(f"Training Eq. 9 power model for {args.machine}...", file=sys.stderr)
+    model = context.power_model()
+    save_power_model(model, args.out)
+    print(f"R^2 = {model.r_squared:.4f}, P_idle/core = {model.p_idle:.2f} W")
+    print(f"Wrote model to {args.out}")
+    return 0
+
+
+def cmd_run(args: argparse.Namespace) -> int:
+    from repro.machine.simulator import MachineSimulation, PowerEnvironment
+
+    topology = STANDARD_MACHINES[args.machine](sets=args.sets)
+    assignment = _parse_assignment(args.assign)
+    workloads = {
+        core: [BENCHMARKS[name] for name in names]
+        for core, names in assignment.items()
+    }
+    power_env = (
+        PowerEnvironment.for_topology(topology, seed=args.seed) if args.power else None
+    )
+    _, run_scale = _scales(args)
+    sim = MachineSimulation(
+        topology, workloads, scale=run_scale, seed=args.seed, power_env=power_env
+    )
+    result = sim.run_duration() if args.power else sim.run_accesses()
+    rows = [
+        (p.name, p.core, p.occupancy_ways, p.mpa, p.spi, p.l2_refs)
+        for p in result.processes
+    ]
+    print(
+        render_table(
+            ["Process", "Core", "Occupancy (ways)", "MPA", "SPI (s)", "L2 refs"],
+            rows,
+            title=f"Measured steady state on {topology.name}",
+            float_format="{:.4g}",
+        )
+    )
+    if result.power is not None:
+        print(f"\nMeasured processor power: {result.power.mean_measured:.2f} W "
+              f"over {len(result.power)} windows")
+    return 0
+
+
+def cmd_assign(args: argparse.Namespace) -> int:
+    from repro.core.assignment import exhaustive_assignment, greedy_assignment
+    from repro.core.combined import CombinedModel
+    from repro.core.performance_model import PerformanceModel
+    from repro.io import load_power_model, load_profile_suite
+
+    topology = STANDARD_MACHINES[args.machine](sets=args.sets)
+    features, profiles = load_profile_suite(args.suite)
+    power_model = load_power_model(args.power_model)
+    ways = topology.domains[0].geometry.ways
+    perf = PerformanceModel(ways=ways)
+    perf.register_all(list(features.values()))
+    combined = CombinedModel(
+        topology=topology,
+        performance_models=[perf],
+        power_model=power_model,
+        profiles=profiles,
+    )
+    searcher = greedy_assignment if args.greedy else exhaustive_assignment
+    decision = searcher(combined, args.names, objective=args.objective)
+    layout = {core: list(names) for core, names in decision.assignment.items()}
+    print(json.dumps(
+        {
+            "assignment": {str(c): n for c, n in layout.items()},
+            "predicted_watts": decision.predicted_watts,
+            "predicted_ips": decision.predicted_ips,
+            "objective": decision.objective,
+            "candidates_evaluated": decision.candidates_evaluated,
+        },
+        indent=2,
+    ))
+    return 0
+
+
+def cmd_experiment(args: argparse.Namespace) -> int:
+    from repro.experiments.context import get_context
+
+    profile_scale, run_scale = _scales(args)
+    context = get_context(
+        machine="4-core-server",
+        sets=args.sets,
+        seed=args.seed,
+        profile_scale=profile_scale,
+        run_scale=run_scale,
+    )
+    if args.which == "table1":
+        from repro.experiments.table1 import run_pairwise_validation
+
+        result = run_pairwise_validation(context)
+        print(result.render())
+    elif args.which == "table4":
+        from repro.experiments.table4 import render_table4, run_table4
+
+        print(render_table4(run_table4(context)))
+    elif args.which == "prefetch":
+        from repro.experiments.prefetch_ablation import run_prefetch_ablation
+
+        print(run_prefetch_ablation(context).render())
+    elif args.which == "model-choice":
+        from repro.experiments.power_training import run_model_choice
+
+        choice = run_model_choice(context)
+        print(f"MVLR {choice.mvlr_accuracy_pct:.1f} % vs "
+              f"NN {choice.nn_accuracy_pct:.1f} %")
+    else:  # pragma: no cover - argparse restricts choices
+        raise ValueError(args.which)
+    return 0
+
+
+# ----------------------------------------------------------------------
+# Parser
+# ----------------------------------------------------------------------
+def build_parser() -> argparse.ArgumentParser:
+    parser = argparse.ArgumentParser(
+        prog="repro",
+        description="DAC 2010 multicore performance/power modeling reproduction",
+    )
+    parser.add_argument("--sets", type=int, default=128, help="cache set scaling")
+    parser.add_argument(
+        "--quick", action="store_true",
+        help="use tiny simulation budgets (fast, less accurate)",
+    )
+    parser.add_argument("--seed", type=int, default=42, help="master RNG seed")
+    commands = parser.add_subparsers(dest="command", required=True)
+
+    commands.add_parser("machines", help="list machine topologies").set_defaults(
+        func=cmd_machines
+    )
+    commands.add_parser("benchmarks", help="list synthetic benchmarks").set_defaults(
+        func=cmd_benchmarks
+    )
+
+    profile = commands.add_parser("profile", help="stressmark-profile a suite")
+    profile.add_argument("--machine", choices=sorted(STANDARD_MACHINES), required=True)
+    profile.add_argument("--out", required=True, help="output JSON path")
+    profile.add_argument("--power", action="store_true", help="also measure P_alone")
+    profile.add_argument("names", nargs="*", help="benchmarks (default: all)")
+    profile.set_defaults(func=cmd_profile)
+
+    predict = commands.add_parser("predict", help="predict a co-run from profiles")
+    predict.add_argument("--suite", required=True, help="profile-suite JSON")
+    predict.add_argument("--ways", type=int, required=True)
+    predict.add_argument("names", nargs="+")
+    predict.set_defaults(func=cmd_predict)
+
+    train = commands.add_parser("train-power", help="train and save the Eq. 9 model")
+    train.add_argument("--machine", choices=sorted(STANDARD_MACHINES), required=True)
+    train.add_argument("--out", required=True)
+    train.set_defaults(func=cmd_train_power)
+
+    run = commands.add_parser("run", help="simulate an assignment")
+    run.add_argument("--machine", choices=sorted(STANDARD_MACHINES), required=True)
+    run.add_argument("--power", action="store_true")
+    run.add_argument("assign", nargs="+", help="core=name[,name] fragments")
+    run.set_defaults(func=cmd_run)
+
+    assign = commands.add_parser("assign", help="pick the best mapping from profiles")
+    assign.add_argument("--machine", choices=sorted(STANDARD_MACHINES), required=True)
+    assign.add_argument("--suite", required=True)
+    assign.add_argument("--power-model", required=True)
+    assign.add_argument(
+        "--objective",
+        choices=("power", "throughput", "energy_per_instruction"),
+        default="power",
+    )
+    assign.add_argument("--greedy", action="store_true")
+    assign.add_argument("names", nargs="+")
+    assign.set_defaults(func=cmd_assign)
+
+    experiment = commands.add_parser("experiment", help="regenerate a paper artefact")
+    experiment.add_argument(
+        "which", choices=("table1", "table4", "prefetch", "model-choice")
+    )
+    experiment.set_defaults(func=cmd_experiment)
+    return parser
+
+
+def main(argv: Optional[Sequence[str]] = None) -> int:
+    parser = build_parser()
+    args = parser.parse_args(argv)
+    try:
+        return args.func(args)
+    except (ReproError, ValueError, OSError) as error:
+        print(f"error: {error}", file=sys.stderr)
+        return 2
+
+
+if __name__ == "__main__":  # pragma: no cover
+    sys.exit(main())

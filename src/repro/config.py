@@ -1,0 +1,160 @@
+"""Validated configuration dataclasses shared across the package.
+
+The central object is :class:`CacheGeometry`, which describes a
+set-associative cache the way the paper does: an ``A``-way cache whose
+per-set way count is the unit of *effective cache size*.  Machine
+topologies (which cores share which cache) live in
+:mod:`repro.machine.topology`; this module only holds geometry and
+simulation-scale knobs that several subpackages need.
+"""
+
+from __future__ import annotations
+
+from dataclasses import dataclass
+
+from repro.errors import ConfigurationError
+
+
+def _require_positive(name: str, value: float) -> None:
+    if value <= 0:
+        raise ConfigurationError(f"{name} must be positive, got {value!r}")
+
+
+def _require_power_of_two(name: str, value: int) -> None:
+    if value < 1 or value & (value - 1):
+        raise ConfigurationError(f"{name} must be a power of two, got {value!r}")
+
+
+@dataclass(frozen=True)
+class CacheGeometry:
+    """Geometry of a set-associative cache.
+
+    Attributes:
+        sets: Number of cache sets.  Must be a power of two so set
+            indexing can use simple modular arithmetic on line numbers.
+        ways: Associativity ``A``; the paper's effective cache sizes
+            ``S_i`` are measured in ways of one set.
+        line_bytes: Cache line size in bytes.
+    """
+
+    sets: int
+    ways: int
+    line_bytes: int = 64
+
+    def __post_init__(self) -> None:
+        _require_power_of_two("sets", self.sets)
+        if self.ways < 1:
+            raise ConfigurationError(f"ways must be >= 1, got {self.ways!r}")
+        _require_power_of_two("line_bytes", self.line_bytes)
+
+    @property
+    def lines(self) -> int:
+        """Total number of cache lines."""
+        return self.sets * self.ways
+
+    @property
+    def capacity_bytes(self) -> int:
+        """Total cache capacity in bytes."""
+        return self.lines * self.line_bytes
+
+    def set_index(self, line: int) -> int:
+        """Map a line number to its set index."""
+        return line & (self.sets - 1)
+
+    def tag(self, line: int) -> int:
+        """Map a line number to its tag within a set."""
+        return line >> (self.sets.bit_length() - 1)
+
+    def scaled(self, set_factor: float) -> "CacheGeometry":
+        """Return a copy with the set count scaled by ``set_factor``.
+
+        Associativity is preserved because the paper's model reasons in
+        ways, not sets.  The scaled set count is rounded down to the
+        nearest power of two (minimum 1).
+        """
+        _require_positive("set_factor", set_factor)
+        target = max(1, int(self.sets * set_factor))
+        scaled_sets = 1 << (target.bit_length() - 1)
+        return CacheGeometry(sets=scaled_sets, ways=self.ways, line_bytes=self.line_bytes)
+
+
+@dataclass(frozen=True)
+class SimulationScale:
+    """Knobs that trade simulation fidelity for runtime.
+
+    The machines in :mod:`repro.machine.topology` are modeled at 1/12
+    of their real clock rate; the paper's OS/measurement time constants
+    (20 ms timeslice, 30 ms PAPI sampling period) are scaled by the
+    same factor here so the *ratios* between program speed, scheduling
+    and sampling match the paper.
+
+    Attributes:
+        warmup_accesses: Per-process shared-cache accesses discarded
+            before statistics are collected (access-budget mode).
+        measure_accesses: Per-process accesses over which steady-state
+            statistics are measured (access-budget mode).
+        warmup_s: Simulated warm-up time (duration mode, used by power
+            experiments that need HPC/power sampling).
+        measure_s: Simulated measurement time (duration mode).
+        hpc_period_s: HPC sampling period in simulated seconds
+            (paper: 30 ms, scaled).
+        timeslice_s: Scheduler timeslice in simulated seconds
+            (paper: 20 ms, scaled).
+    """
+
+    warmup_accesses: int = 40_000
+    measure_accesses: int = 120_000
+    warmup_s: float = 0.020
+    measure_s: float = 0.060
+    hpc_period_s: float = 0.030 / 12.0
+    timeslice_s: float = 0.020 / 12.0
+
+    def __post_init__(self) -> None:
+        _require_positive("warmup_accesses", self.warmup_accesses)
+        _require_positive("measure_accesses", self.measure_accesses)
+        _require_positive("warmup_s", self.warmup_s)
+        _require_positive("measure_s", self.measure_s)
+        _require_positive("hpc_period_s", self.hpc_period_s)
+        _require_positive("timeslice_s", self.timeslice_s)
+
+
+#: Scale used by unit tests: small enough that a full co-run finishes in
+#: well under a second.
+TEST_SCALE = SimulationScale(
+    warmup_accesses=4_000,
+    measure_accesses=12_000,
+    warmup_s=0.004,
+    measure_s=0.012,
+    hpc_period_s=0.001,
+    timeslice_s=0.0008,
+)
+
+#: Scale used by the benchmark harness.
+BENCH_SCALE = SimulationScale()
+
+#: Scale used for the O(A)-runs-per-process profiling sweeps.  Each
+#: sweep point only needs a stable MPA/SPI estimate, so shorter runs
+#: keep total profiling cost reasonable.
+PROFILE_SCALE = SimulationScale(
+    warmup_accesses=5_000,
+    measure_accesses=15_000,
+    warmup_s=0.010,
+    measure_s=0.030,
+)
+
+
+@dataclass(frozen=True)
+class RandomSeeds:
+    """Deterministic seeds for the stochastic pieces of an experiment."""
+
+    trace: int = 12345
+    power_noise: int = 54321
+    assignment: int = 99
+
+    def child(self, offset: int) -> "RandomSeeds":
+        """Derive an independent seed set for a sub-experiment."""
+        return RandomSeeds(
+            trace=self.trace + 1009 * offset,
+            power_noise=self.power_noise + 2003 * offset,
+            assignment=self.assignment + 3001 * offset,
+        )

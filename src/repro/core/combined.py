@@ -1,0 +1,268 @@
+"""The combined performance + power model (paper Section 5, Figure 1).
+
+Estimates processor power for a *tentative* process-to-core assignment
+before it runs, using only per-process profiling data.  The key
+decomposition splits Eq. 9 by what cache contention can touch:
+
+    P_process = P_idle + P1 + P2
+    P1 = (c1·L1RPI + c4·BRPI + c5·FPPI) / SPI
+    P2 = (c2·L2RPI + c3·L2RPI·L2MPR) / SPI
+
+The per-instruction rates are fixed process properties recorded during
+profiling; contention only moves SPI and L2MPR, and those two are
+exactly what the performance model predicts.  Power for an assignment
+then follows Figure 1: per cache domain, average the per-combination
+powers over every cross-core process combination (Eq. 10), add idle
+cores at ``P_idle``, and sum the domains (Eq. 11, where the other
+domains are ``P_rest``).
+"""
+
+from __future__ import annotations
+
+from dataclasses import dataclass
+from typing import Dict, List, Mapping, Sequence, Tuple
+
+from repro.core.feature import ProfileVector
+from repro.core.performance_model import PerformanceModel
+from repro.core.power_model import CorePowerModel
+from repro.core.timesharing import core_set_power, process_combinations
+from repro.errors import ConfigurationError
+from repro.events import Event
+from repro.machine.topology import MachineTopology
+
+Assignment = Mapping[int, Sequence[str]]
+
+
+@dataclass(frozen=True)
+class PowerSplit:
+    """The P_idle / P1 / P2 decomposition of one process's power."""
+
+    p_idle: float
+    p1: float
+    p2: float
+
+    @property
+    def total(self) -> float:
+        return self.p_idle + self.p1 + self.p2
+
+
+@dataclass(frozen=True)
+class AssignmentPowerEstimate:
+    """Predicted processor power for one tentative assignment."""
+
+    watts: float
+    per_domain_watts: Tuple[float, ...]
+    combinations_evaluated: int
+
+
+def classify_scenario(
+    topology: MachineTopology, assignment: Assignment, core: int
+) -> int:
+    """Figure 1's four-way case split for assigning to ``core``.
+
+    1: core and its partner set both idle; 2: core busy, partners
+    idle; 3: core idle, partners busy; 4: both busy.
+    """
+    core_busy = bool(assignment.get(core))
+    partners_busy = any(assignment.get(p) for p in topology.partners_of(core))
+    if not core_busy and not partners_busy:
+        return 1
+    if core_busy and not partners_busy:
+        return 2
+    if not core_busy and partners_busy:
+        return 3
+    return 4
+
+
+class CombinedModel:
+    """Profiles-only processor-power estimator for assignments.
+
+    Args:
+        topology: The target machine.
+        performance_models: One fitted
+            :class:`~repro.core.performance_model.PerformanceModel`
+            per cache domain (index-aligned with
+            ``topology.domains``).  A single model may be passed if
+            all domains share a geometry.
+        power_model: Fitted Eq. 9 core power model.
+        profiles: Per-process profiling vectors PF_i.
+    """
+
+    def __init__(
+        self,
+        topology: MachineTopology,
+        performance_models: Sequence[PerformanceModel],
+        power_model: CorePowerModel,
+        profiles: Mapping[str, ProfileVector],
+    ):
+        if len(performance_models) == 1:
+            performance_models = list(performance_models) * len(topology.domains)
+        if len(performance_models) != len(topology.domains):
+            raise ConfigurationError(
+                "need one performance model per cache domain (or a single "
+                "shared one)"
+            )
+        for model, domain in zip(performance_models, topology.domains):
+            if model.ways != domain.geometry.ways:
+                raise ConfigurationError(
+                    f"performance model ways ({model.ways}) do not match "
+                    f"domain associativity ({domain.geometry.ways})"
+                )
+        self.topology = topology
+        self.performance_models = list(performance_models)
+        self.power_model = power_model
+        self.profiles = dict(profiles)
+        # Equilibrium solutions keyed by (domain, sorted co-run multiset).
+        self._corun_cache: Dict[
+            Tuple[int, Tuple[str, ...]], Dict[str, Tuple[float, float]]
+        ] = {}
+
+    # ------------------------------------------------------------------
+    # Process power from predicted SPI / L2MPR
+    # ------------------------------------------------------------------
+    def _profile(self, name: str) -> ProfileVector:
+        try:
+            return self.profiles[name]
+        except KeyError:
+            raise KeyError(
+                f"no profile vector for {name!r}; known: {sorted(self.profiles)}"
+            ) from None
+
+    def process_power(self, name: str, spi: float, l2mpr: float) -> float:
+        """Power of a core running ``name`` at a predicted operating point."""
+        if spi <= 0:
+            raise ConfigurationError("spi must be positive")
+        profile = self._profile(name)
+        ips = 1.0 / spi
+        rates = {
+            Event.L1_REFS: profile.l1rpi * ips,
+            Event.L2_REFS: profile.l2rpi * ips,
+            Event.L2_MISSES: profile.l2rpi * l2mpr * ips,
+            Event.BRANCHES: profile.brpi * ips,
+            Event.FP_OPS: profile.fppi * ips,
+        }
+        return self.power_model.core_power(rates)
+
+    def power_split(self, name: str, spi: float, l2mpr: float) -> PowerSplit:
+        """The Section 5 decomposition P_idle + P1 + P2 (for analysis)."""
+        profile = self._profile(name)
+        coeffs = self.power_model.coefficients
+        ips = 1.0 / spi
+        p1 = (
+            coeffs["L1RPS"] * profile.l1rpi
+            + coeffs["BRPS"] * profile.brpi
+            + coeffs["FPPS"] * profile.fppi
+        ) * ips
+        p2 = (
+            coeffs["L2RPS"] * profile.l2rpi
+            + coeffs["L2MPS"] * profile.l2rpi * l2mpr
+        ) * ips
+        return PowerSplit(p_idle=self.power_model.p_idle, p1=p1, p2=p2)
+
+    # ------------------------------------------------------------------
+    # Co-run prediction with caching
+    # ------------------------------------------------------------------
+    def _predict_corun(
+        self, domain_idx: int, combo: Tuple[str, ...]
+    ) -> Dict[str, Tuple[float, float]]:
+        """Predicted (SPI, L2MPR) per process name for one combination."""
+        key = (domain_idx, tuple(sorted(combo)))
+        cached = self._corun_cache.get(key)
+        if cached is None:
+            prediction = self.performance_models[domain_idx].predict(list(key[1]))
+            cached = {
+                p.name: (p.spi, p.l2mpr) for p in prediction.processes
+            }
+            self._corun_cache[key] = cached
+        return cached
+
+    # ------------------------------------------------------------------
+    # Assignment power (Figure 1 + Eq. 10 + Eq. 11)
+    # ------------------------------------------------------------------
+    def estimate_assignment_power(self, assignment: Assignment) -> AssignmentPowerEstimate:
+        """Predicted processor power for a full tentative assignment.
+
+        ``assignment`` maps core id to the process names time-sharing
+        that core; cores may be omitted or empty (idle).
+        """
+        for core in assignment:
+            if not 0 <= core < self.topology.num_cores:
+                raise ConfigurationError(f"core {core} out of range")
+        per_domain: List[float] = []
+        combos_evaluated = 0
+        for domain_idx, domain in enumerate(self.topology.domains):
+            busy_cores = [c for c in domain.core_ids if assignment.get(c)]
+            idle_cores = len(domain.core_ids) - len(busy_cores)
+            watts = idle_cores * self.power_model.p_idle
+            if len(busy_cores) == 1:
+                # No cross-core cache contention in this domain: each
+                # process runs as profiled; use the recorded P_alone
+                # (Figure 1, scenario 1/2) averaged over timeslices.
+                names = list(assignment[busy_cores[0]])
+                watts += sum(self._profile(n).p_alone for n in names) / len(names)
+            elif busy_cores:
+                per_core_lists = [list(assignment[c]) for c in busy_cores]
+                combos = process_combinations(per_core_lists)
+                combos_evaluated += len(combos)
+
+                def combination_power(combo: Tuple[str, ...]) -> float:
+                    operating = self._predict_corun(domain_idx, combo)
+                    return sum(
+                        self.process_power(name, *operating[name]) for name in combo
+                    )
+
+                watts += core_set_power(per_core_lists, combination_power)
+            per_domain.append(watts)
+        return AssignmentPowerEstimate(
+            watts=float(sum(per_domain)),
+            per_domain_watts=tuple(per_domain),
+            combinations_evaluated=combos_evaluated,
+        )
+
+    def estimate_after_assigning(
+        self, assignment: Assignment, name: str, core: int
+    ) -> Tuple[AssignmentPowerEstimate, int]:
+        """Figure 1's incremental query: power if ``name`` joins ``core``.
+
+        Returns the new-assignment estimate together with the Figure 1
+        scenario number that applied.
+        """
+        scenario = classify_scenario(self.topology, assignment, core)
+        new_assignment = {c: list(names) for c, names in assignment.items()}
+        new_assignment.setdefault(core, []).append(name)
+        return self.estimate_assignment_power(new_assignment), scenario
+
+    # ------------------------------------------------------------------
+    # Throughput (for energy-aware objectives)
+    # ------------------------------------------------------------------
+    def estimate_assignment_throughput(self, assignment: Assignment) -> float:
+        """Predicted total instructions per second of an assignment.
+
+        Within a domain, each cross-core combination is weighted
+        equally (the Eq. 10 assumption); a process time-sharing a core
+        with ``k - 1`` others runs ``1/k`` of the time.
+        """
+        total_ips = 0.0
+        for domain_idx, domain in enumerate(self.topology.domains):
+            busy_cores = [c for c in domain.core_ids if assignment.get(c)]
+            if not busy_cores:
+                continue
+            per_core_lists = [list(assignment[c]) for c in busy_cores]
+            combos = process_combinations(per_core_lists)
+            share = {
+                core: 1.0 / len(names)
+                for core, names in zip(busy_cores, per_core_lists)
+            }
+            if len(busy_cores) == 1:
+                model = self.performance_models[domain_idx]
+                core = busy_cores[0]
+                for name in per_core_lists[0]:
+                    solo = model.predict_solo(name)
+                    total_ips += share[core] * solo.ips
+                continue
+            combo_ips = 0.0
+            for combo in combos:
+                operating = self._predict_corun(domain_idx, combo)
+                combo_ips += sum(1.0 / operating[name][0] for name in combo)
+            total_ips += combo_ips / len(combos)
+        return total_ips

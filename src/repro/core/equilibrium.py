@@ -1,0 +1,341 @@
+"""Steady-state cache-partition solvers (paper Section 3.3).
+
+At equilibrium each process's accesses-per-second must be consistent
+with its occupancy: over any recent window of length ``T`` a process
+made ``G⁻¹(S_i)`` accesses (the number needed to build its occupancy),
+and its throughput is set by its miss rate via Eq. 3:
+
+    APS_i = G_i⁻¹(S_i) / T = API_i / (α_i · MPA_i(S_i) + β_i)   (Eq. 6)
+
+Eliminating ``T`` gives the paper's Eq. 7 ratio conditions, closed by
+the capacity constraint ``Σ S_i = A`` (Eq. 1).  Two solvers are
+provided:
+
+- :class:`NewtonSolver` — damped Newton–Raphson on the Eq. 7 residual
+  system, the method the paper names.
+- :class:`BisectionSolver` — a robust nested fixed-point/bisection
+  scheme on the window length ``T``: for a trial ``T`` each process's
+  occupancy is the greatest fixed point of ``S = G(T · APS(S))``
+  (monotone, so the iteration from above converges), and the total
+  occupancy is monotone in ``T``.
+
+Both return identical answers on well-behaved inputs (the solver
+ablation benchmark quantifies this); the default strategy tries
+Newton and falls back to bisection.
+"""
+
+from __future__ import annotations
+
+from dataclasses import dataclass
+from typing import Callable, List, Optional, Sequence, Tuple
+
+import numpy as np
+
+from repro.core.occupancy import OccupancyModel
+from repro.errors import ConfigurationError, ConvergenceError
+
+
+@dataclass(frozen=True)
+class EquilibriumProcess:
+    """Per-process inputs to the equilibrium system.
+
+    Attributes:
+        occupancy: Growth model built from the process's histogram.
+        mpa: Miss-per-access curve (callable of occupancy in ways).
+        api: L2 accesses per instruction.
+        alpha: Eq. 3 slope (seconds per instruction per unit MPA).
+        beta: Eq. 3 intercept (seconds per instruction).
+    """
+
+    occupancy: OccupancyModel
+    mpa: Callable[[float], float]
+    api: float
+    alpha: float
+    beta: float
+
+    def __post_init__(self) -> None:
+        if self.api <= 0:
+            raise ConfigurationError("api must be positive")
+        if self.alpha < 0 or self.beta <= 0:
+            raise ConfigurationError("alpha must be >= 0 and beta > 0")
+
+    def aps(self, size: float) -> float:
+        """Accesses per second at occupancy ``size`` (Eq. 6 RHS)."""
+        return self.api / (self.alpha * self.mpa(size) + self.beta)
+
+
+@dataclass(frozen=True)
+class EquilibriumResult:
+    """Solved steady state of co-running, cache-sharing processes."""
+
+    sizes: Tuple[float, ...]
+    mpas: Tuple[float, ...]
+    spis: Tuple[float, ...]
+    solver: str
+    iterations: int
+    contended: bool
+
+    @property
+    def total_size(self) -> float:
+        return float(sum(self.sizes))
+
+
+def _finish(
+    processes: Sequence[EquilibriumProcess],
+    sizes: Sequence[float],
+    solver: str,
+    iterations: int,
+    contended: bool,
+) -> EquilibriumResult:
+    mpas = tuple(p.mpa(s) for p, s in zip(processes, sizes))
+    spis = tuple(p.alpha * m + p.beta for p, m in zip(processes, mpas))
+    return EquilibriumResult(
+        sizes=tuple(float(s) for s in sizes),
+        mpas=mpas,
+        spis=spis,
+        solver=solver,
+        iterations=iterations,
+        contended=contended,
+    )
+
+
+def _uncontended(
+    processes: Sequence[EquilibriumProcess], total_ways: int
+) -> Optional[List[float]]:
+    """If everyone's footprint fits, there is nothing to solve."""
+    saturations = [min(p.occupancy.saturation_size, total_ways) for p in processes]
+    if sum(saturations) <= total_ways + 1e-9:
+        return saturations
+    return None
+
+
+class BisectionSolver:
+    """Nested fixed-point / bisection equilibrium solver."""
+
+    name = "bisection"
+
+    def __init__(
+        self,
+        size_tol: float = 1e-4,
+        max_outer: int = 200,
+        max_inner: int = 300,
+    ):
+        self.size_tol = size_tol
+        self.max_outer = max_outer
+        self.max_inner = max_inner
+
+    def _size_at(self, process: EquilibriumProcess, window_t: float, cap: float) -> float:
+        """Greatest fixed point of S = G(T·APS(S)) on [0, cap]."""
+        size = cap
+        for _ in range(self.max_inner):
+            accesses = window_t * process.aps(size)
+            new_size = min(process.occupancy.g(accesses), cap)
+            if abs(new_size - size) < self.size_tol * 0.1:
+                return new_size
+            size = new_size
+        return size
+
+    def solve(
+        self, processes: Sequence[EquilibriumProcess], total_ways: int
+    ) -> EquilibriumResult:
+        if not processes:
+            raise ConfigurationError("need at least one process")
+        if total_ways < len(processes):
+            raise ConfigurationError("fewer ways than processes")
+        free = _uncontended(processes, total_ways)
+        if free is not None:
+            return _finish(processes, free, self.name, 0, contended=False)
+
+        caps = [min(p.occupancy.saturation_size, float(total_ways)) for p in processes]
+
+        def total(window_t: float) -> float:
+            return sum(
+                self._size_at(p, window_t, cap) for p, cap in zip(processes, caps)
+            )
+
+        # Bracket T: total(T) is monotone increasing.
+        t_hi = 1.0
+        iterations = 0
+        for _ in range(80):
+            iterations += 1
+            if total(t_hi) >= total_ways:
+                break
+            t_hi *= 4.0
+        else:
+            raise ConvergenceError(
+                "could not bracket the equilibrium window from above",
+                iterations=iterations,
+            )
+        t_lo = t_hi
+        for _ in range(120):
+            iterations += 1
+            t_lo /= 4.0
+            if total(t_lo) < total_ways:
+                break
+        else:
+            raise ConvergenceError(
+                "could not bracket the equilibrium window from below",
+                iterations=iterations,
+            )
+
+        for _ in range(self.max_outer):
+            iterations += 1
+            t_mid = (t_lo * t_hi) ** 0.5  # geometric: T spans decades
+            excess = total(t_mid) - total_ways
+            if abs(excess) < self.size_tol:
+                break
+            if excess > 0:
+                t_hi = t_mid
+            else:
+                t_lo = t_mid
+        t_mid = (t_lo * t_hi) ** 0.5
+        sizes = [self._size_at(p, t_mid, cap) for p, cap in zip(processes, caps)]
+        # Distribute any residual rounding error proportionally so the
+        # capacity constraint holds exactly.
+        scale = total_ways / sum(sizes)
+        sizes = [min(s * scale, cap) for s, cap in zip(sizes, caps)]
+        return _finish(processes, sizes, self.name, iterations, contended=True)
+
+
+class NewtonSolver:
+    """Damped Newton–Raphson on the Eq. 1 + Eq. 7 residual system."""
+
+    name = "newton"
+
+    def __init__(
+        self,
+        tol: float = 1e-7,
+        max_iterations: int = 120,
+        fd_step: float = 1e-4,
+    ):
+        self.tol = tol
+        self.max_iterations = max_iterations
+        self.fd_step = fd_step
+
+    def _residual(
+        self,
+        processes: Sequence[EquilibriumProcess],
+        sizes: np.ndarray,
+        total_ways: int,
+    ) -> np.ndarray:
+        k = len(processes)
+        res = np.empty(k)
+        res[0] = sizes.sum() - total_ways
+        p1 = processes[0]
+        n1 = p1.occupancy.g_inverse(float(sizes[0]))
+        rate1 = p1.api / (p1.alpha * p1.mpa(float(sizes[0])) + p1.beta)
+        for i in range(1, k):
+            pi = processes[i]
+            ni = pi.occupancy.g_inverse(float(sizes[i]))
+            ratei = pi.api / (pi.alpha * pi.mpa(float(sizes[i])) + pi.beta)
+            # Eq. 7 rearranged as n1 * rate_i ... / (n_i * rate_1) - 1,
+            # numerically kinder than the raw difference of ratios.
+            if not np.isfinite(ni) or not np.isfinite(n1):
+                res[i] = np.inf
+            else:
+                res[i] = (n1 * ratei) / (ni * rate1) - 1.0
+        return res
+
+    def solve(
+        self,
+        processes: Sequence[EquilibriumProcess],
+        total_ways: int,
+        initial: Optional[Sequence[float]] = None,
+    ) -> EquilibriumResult:
+        if not processes:
+            raise ConfigurationError("need at least one process")
+        if total_ways < len(processes):
+            raise ConfigurationError("fewer ways than processes")
+        free = _uncontended(processes, total_ways)
+        if free is not None:
+            return _finish(processes, free, self.name, 0, contended=False)
+
+        k = len(processes)
+        # Keep strictly inside the domain: g_inverse is infinite at
+        # saturation, so cap each size just below it.
+        lo = 0.05
+        caps = np.array(
+            [
+                min(p.occupancy.saturation_size - 1e-3, total_ways - lo * (k - 1))
+                for p in processes
+            ]
+        )
+        if initial is not None:
+            x = np.asarray(initial, dtype=float).copy()
+        else:
+            demand = np.array(
+                [min(p.occupancy.saturation_size, total_ways) for p in processes]
+            )
+            x = demand * (total_ways / demand.sum())
+        x = np.clip(x, lo, caps)
+
+        h = self.fd_step
+        for iteration in range(1, self.max_iterations + 1):
+            res = self._residual(processes, x, total_ways)
+            if not np.all(np.isfinite(res)):
+                raise ConvergenceError(
+                    "residual left the finite domain", iterations=iteration
+                )
+            norm = float(np.linalg.norm(res))
+            if norm < self.tol:
+                return _finish(processes, x, self.name, iteration, contended=True)
+            jac = np.empty((k, k))
+            for j in range(k):
+                xh = x.copy()
+                step = h if x[j] + h <= caps[j] else -h
+                xh[j] += step
+                res_h = self._residual(processes, xh, total_ways)
+                jac[:, j] = (res_h - res) / step
+            try:
+                delta = np.linalg.solve(jac, -res)
+            except np.linalg.LinAlgError:
+                raise ConvergenceError(
+                    "singular Jacobian", iterations=iteration, residual=norm
+                ) from None
+            # Damped line search: halve until the residual improves.
+            damping = 1.0
+            for _ in range(30):
+                x_new = np.clip(x + damping * delta, lo, caps)
+                res_new = self._residual(processes, x_new, total_ways)
+                if np.all(np.isfinite(res_new)) and np.linalg.norm(res_new) < norm:
+                    break
+                damping *= 0.5
+            else:
+                raise ConvergenceError(
+                    "line search failed", iterations=iteration, residual=norm
+                )
+            x = x_new
+        raise ConvergenceError(
+            "Newton iteration budget exhausted",
+            iterations=self.max_iterations,
+            residual=float(np.linalg.norm(self._residual(processes, x, total_ways))),
+        )
+
+
+def solve_equilibrium(
+    processes: Sequence[EquilibriumProcess],
+    total_ways: int,
+    strategy: str = "auto",
+) -> EquilibriumResult:
+    """Solve the shared-cache equilibrium with the chosen strategy.
+
+    Args:
+        processes: One entry per cache-sharing (simultaneously
+            running) process.
+        total_ways: Associativity ``A`` of the shared cache.
+        strategy: ``newton``, ``bisection``, or ``auto`` (the paper's
+            Newton–Raphson, falling back to the robust bisection
+            scheme if it fails to converge).
+    """
+    if strategy == "newton":
+        return NewtonSolver().solve(processes, total_ways)
+    if strategy == "bisection":
+        return BisectionSolver().solve(processes, total_ways)
+    if strategy != "auto":
+        raise ConfigurationError(
+            f"unknown strategy {strategy!r}; choose newton, bisection or auto"
+        )
+    try:
+        return NewtonSolver().solve(processes, total_ways)
+    except ConvergenceError:
+        return BisectionSolver().solve(processes, total_ways)

@@ -1,0 +1,131 @@
+"""Miss-ratio (misses-per-access) curves.
+
+Profiling (paper Section 3.4) does not observe a reuse-distance
+histogram directly; it observes MPA at a sweep of effective cache
+sizes.  :class:`MissRatioCurve` represents that measured curve, keeps
+it monotone (a cache can only get better with more space), and
+converts to and from :class:`~repro.core.histogram.ReuseDistanceHistogram`
+via the finite-difference relation of Eq. 8:
+
+    hist(S) ~= MPA(S) - MPA(S + 1)
+"""
+
+from __future__ import annotations
+
+from typing import Sequence, Tuple
+
+import numpy as np
+
+from repro.core.histogram import ReuseDistanceHistogram
+from repro.errors import ConfigurationError, ProfilingError
+
+
+class MissRatioCurve:
+    """Piecewise-linear, monotonically non-increasing MPA(S) curve.
+
+    Args:
+        sizes: Effective cache sizes (ways), strictly increasing.
+        mpas: Measured misses-per-access at each size, within [0, 1].
+        enforce_monotone: Replace the measured values with their
+            running minimum (isotonic clamp).  Raw measurements are
+            noisy; a non-monotone curve would imply a negative
+            histogram bucket in Eq. 8.
+    """
+
+    def __init__(
+        self,
+        sizes: Sequence[float],
+        mpas: Sequence[float],
+        enforce_monotone: bool = True,
+    ):
+        size_arr = np.asarray(sizes, dtype=float)
+        mpa_arr = np.asarray(mpas, dtype=float)
+        if size_arr.ndim != 1 or size_arr.shape != mpa_arr.shape:
+            raise ConfigurationError("sizes and mpas must be 1-D and equal length")
+        if size_arr.size < 2:
+            raise ConfigurationError("need at least two sweep points")
+        if np.any(np.diff(size_arr) <= 0):
+            raise ConfigurationError("sizes must be strictly increasing")
+        if np.any(size_arr < 0):
+            raise ConfigurationError("sizes must be non-negative")
+        if np.any((mpa_arr < -1e-9) | (mpa_arr > 1 + 1e-9)):
+            raise ConfigurationError("MPA values must lie within [0, 1]")
+        mpa_arr = np.clip(mpa_arr, 0.0, 1.0)
+        if enforce_monotone:
+            mpa_arr = np.minimum.accumulate(mpa_arr)
+        elif np.any(np.diff(mpa_arr) > 1e-9):
+            raise ProfilingError("MPA curve is not monotone non-increasing")
+        self._sizes = size_arr
+        self._mpas = mpa_arr
+
+    @classmethod
+    def from_histogram(
+        cls, histogram: ReuseDistanceHistogram, max_size: int
+    ) -> "MissRatioCurve":
+        """Evaluate Eq. 2 at integer sizes ``0..max_size``."""
+        sizes = np.arange(max_size + 1, dtype=float)
+        return cls(sizes, histogram.mpa_curve(max_size))
+
+    # ------------------------------------------------------------------
+    # Queries
+    # ------------------------------------------------------------------
+    @property
+    def sizes(self) -> np.ndarray:
+        view = self._sizes.view()
+        view.flags.writeable = False
+        return view
+
+    @property
+    def mpas(self) -> np.ndarray:
+        view = self._mpas.view()
+        view.flags.writeable = False
+        return view
+
+    def mpa(self, size: float) -> float:
+        """Interpolated MPA at ``size``; clamped outside the sweep range."""
+        if size <= self._sizes[0]:
+            return float(self._mpas[0])
+        if size >= self._sizes[-1]:
+            return float(self._mpas[-1])
+        return float(np.interp(size, self._sizes, self._mpas))
+
+    def points(self) -> Tuple[np.ndarray, np.ndarray]:
+        """Return the (sizes, mpas) sweep arrays as copies."""
+        return self._sizes.copy(), self._mpas.copy()
+
+    # ------------------------------------------------------------------
+    # Conversion
+    # ------------------------------------------------------------------
+    def to_histogram(self) -> ReuseDistanceHistogram:
+        """Recover a reuse-distance histogram via Eq. 8.
+
+        Sweep points are first resampled onto the integer grid spanned
+        by the sweep.  The residual MPA at the largest size becomes the
+        infinity bucket (accesses the sweep proved can never hit).
+        """
+        lo = int(np.ceil(self._sizes[0]))
+        hi = int(np.floor(self._sizes[-1]))
+        if hi <= lo:
+            raise ProfilingError("sweep range too narrow to build a histogram")
+        grid = np.arange(lo, hi + 1, dtype=float)
+        mpa_grid = np.array([self.mpa(s) for s in grid])
+        # hist(d) = MPA(d) - MPA(d + 1): mass at distance d (hits once
+        # the process owns d+1 ways).
+        probs = np.zeros(hi)
+        # Mass below the first measured size: accesses that hit even at
+        # the smallest observed allocation. MPA(0) == 1 by definition,
+        # so distances < lo share 1 - MPA(lo); attribute it to d = lo-1
+        # (the finest statement the sweep supports).
+        if lo > 0:
+            probs[lo - 1] = 1.0 - mpa_grid[0]
+        diffs = mpa_grid[:-1] - mpa_grid[1:]
+        for offset, mass in enumerate(diffs):
+            probs[lo + offset] = max(0.0, mass)
+        inf_mass = float(mpa_grid[-1])
+        return ReuseDistanceHistogram(probs, inf_mass)
+
+    def __repr__(self) -> str:
+        return (
+            f"MissRatioCurve(points={self._sizes.size}, "
+            f"range=[{self._sizes[0]:g}, {self._sizes[-1]:g}])"
+        )

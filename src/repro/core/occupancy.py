@@ -1,0 +1,141 @@
+"""Effective-cache-size growth model (paper Section 3.2, Eqs. 4–5).
+
+Starting from an empty cache, the probability ``P_{i,n}`` that a
+process occupies ``i`` ways of a set after ``n`` of its own accesses
+obeys the recursion
+
+    P_{i,n} = P_{i,n-1} * (1 - MPA(i)) + P_{i-1,n-1} * MPA(i-1)
+
+(a miss grows the occupancy by one way, a hit leaves it unchanged),
+with ``P_{1,1} = 1`` and the top size absorbing (a full process evicts
+its own lines).  The expected occupancy ``G(n) = Σ i·P_{i,n}`` is a
+monotone growth curve; its inverse ``G⁻¹(S)`` — the number of accesses
+needed to reach occupancy ``S`` — is what the equilibrium condition of
+Section 3.3 ratios between co-running processes.
+"""
+
+from __future__ import annotations
+
+import numpy as np
+
+from repro.core.histogram import ReuseDistanceHistogram
+from repro.errors import ConfigurationError
+
+
+class OccupancyModel:
+    """Growth curve G(n) and inverse for one process.
+
+    Args:
+        histogram: The process's reuse-distance histogram.
+        max_ways: Associativity ``A`` of the shared cache; occupancy
+            is capped here (absorbing state).
+        max_accesses: Iteration budget for the recursion.  The curve
+            stops early once it saturates (either at ``A`` or at the
+            process's finite footprint where MPA reaches zero).
+        saturation_tol: Growth-per-access threshold below which the
+            curve is considered saturated.
+    """
+
+    def __init__(
+        self,
+        histogram: ReuseDistanceHistogram,
+        max_ways: int,
+        max_accesses: int = 400_000,
+        saturation_tol: float = 1e-9,
+    ):
+        if max_ways < 1:
+            raise ConfigurationError("max_ways must be >= 1")
+        if max_accesses < 1:
+            raise ConfigurationError("max_accesses must be >= 1")
+        self.histogram = histogram
+        self.max_ways = max_ways
+        # MPA at integer sizes 0..A; the recursion only uses 0..A-1.
+        self._mpa = np.array([histogram.mpa(i) for i in range(max_ways + 1)])
+        self._growth = self._compute_growth(max_accesses, saturation_tol)
+
+    def _compute_growth(self, max_accesses: int, tol: float) -> np.ndarray:
+        a = self.max_ways
+        mpa = self._mpa
+        # p[i] = P(occupancy == i after n accesses), i in 0..A.
+        p = np.zeros(a + 1)
+        p[1] = 1.0  # the first access always installs one line
+        sizes = np.arange(a + 1, dtype=float)
+        growth = [float(sizes @ p)]
+        stay = 1.0 - mpa  # probability occupancy stays (hit) at size i
+        for _ in range(1, max_accesses):
+            new_p = p * stay
+            new_p[1:] += p[:-1] * mpa[:-1]
+            # Absorbing top: a full process evicts itself, size stays A.
+            new_p[a] = p[a] + p[a - 1] * mpa[a - 1]
+            p = new_p
+            g = float(sizes @ p)
+            growth.append(g)
+            if g >= a - 1e-9 or g - growth[-2] < tol:
+                break
+        return np.asarray(growth)
+
+    # ------------------------------------------------------------------
+    # Queries
+    # ------------------------------------------------------------------
+    @property
+    def saturation_size(self) -> float:
+        """Occupancy the process converges to with no competition.
+
+        Equals ``A`` for processes whose footprint exceeds the cache,
+        or the finite footprint where the MPA curve reaches zero.
+        """
+        return float(self._growth[-1])
+
+    @property
+    def table_length(self) -> int:
+        """Number of access steps tabulated before saturation."""
+        return int(self._growth.shape[0])
+
+    def g(self, n: float) -> float:
+        """Expected occupancy after ``n`` accesses (Eq. 5), n >= 0.
+
+        Linear interpolation between tabulated integer access counts;
+        beyond the table the curve is flat at the saturation size.
+        """
+        if n < 0:
+            raise ConfigurationError("n must be non-negative")
+        if n == 0:
+            return 0.0
+        growth = self._growth
+        # growth[k] corresponds to n = k + 1 accesses.
+        idx = n - 1.0
+        if idx >= growth.size - 1:
+            return float(growth[-1])
+        lo = int(idx)
+        frac = idx - lo
+        if lo < 0:
+            # 0 < n < 1: interpolate from G(0) = 0 to G(1).
+            return float(growth[0] * n)
+        return float(growth[lo] * (1.0 - frac) + growth[lo + 1] * frac)
+
+    def g_inverse(self, size: float) -> float:
+        """Accesses needed to first reach occupancy ``size`` (G⁻¹).
+
+        Returns ``inf`` for sizes at or beyond saturation — such an
+        occupancy is never reached from below in finite time.
+        """
+        if size < 0:
+            raise ConfigurationError("size must be non-negative")
+        if size == 0:
+            return 0.0
+        growth = self._growth
+        if size >= growth[-1] - 1e-12:
+            return float("inf")
+        if size <= growth[0]:
+            # Between 0 accesses (size 0) and 1 access (size growth[0]).
+            return float(size / growth[0])
+        idx = int(np.searchsorted(growth, size, side="left"))
+        g_lo, g_hi = growth[idx - 1], growth[idx]
+        if g_hi <= g_lo:
+            return float(idx + 1)
+        frac = (size - g_lo) / (g_hi - g_lo)
+        return float(idx + frac) + 0.0  # table index k means n = k + 1
+
+    def mpa_at(self, size: float) -> float:
+        """Convenience: the histogram's MPA at a (fractional) size."""
+        return self.histogram.mpa(size)

@@ -1,0 +1,133 @@
+"""On-line refinement of the Eq. 3 constants from runtime HPC samples.
+
+The paper emphasises that its profiling can be done on-line: when a
+new application appears it is profiled once, and thereafter ordinary
+HPC sampling keeps the model honest.  This module provides that
+maintenance loop:
+
+- :class:`OnlineSpiCalibrator` — recursive least squares (with a
+  forgetting factor) on runtime ``(MPA, SPI)`` observations, seeded
+  from the profiled prior, so α and β track slow drift without
+  re-running the stressmark sweep.
+- :func:`windows_to_observations` — extract those observations from a
+  core's HPC sample stream (valid while one process owns the core).
+- A *drift score*: the recent prediction error of the prior model,
+  in standard deviations; a persistent excursion means the process
+  changed behaviour (e.g. a new phase) and deserves re-profiling.
+"""
+
+from __future__ import annotations
+
+from typing import List, Sequence, Tuple
+
+import numpy as np
+
+from repro.core.spi import SpiModel
+from repro.errors import ConfigurationError
+from repro.events import Event
+from repro.machine.hpc import HpcSample
+
+
+def windows_to_observations(
+    samples: Sequence[HpcSample],
+    min_l2_refs: float = 100.0,
+) -> List[Tuple[float, float]]:
+    """Per-window ``(MPA, SPI)`` pairs from a core's HPC samples.
+
+    Valid while a single process owns the core for the whole window
+    (the paper's 1-process-per-core monitoring case).  Windows with
+    too little L2 traffic are skipped — their MPA estimate is noise.
+    """
+    observations = []
+    for sample in samples:
+        refs = sample.rates[Event.L2_REFS] * sample.duration
+        instructions = sample.rates[Event.INSTRUCTIONS] * sample.duration
+        if refs < min_l2_refs or instructions <= 0:
+            continue
+        mpa = sample.rates[Event.L2_MISSES] / sample.rates[Event.L2_REFS]
+        spi = sample.duration / instructions
+        observations.append((float(np.clip(mpa, 0.0, 1.0)), spi))
+    return observations
+
+
+class OnlineSpiCalibrator:
+    """Recursive least squares for ``SPI = alpha * MPA + beta``.
+
+    Args:
+        prior: The profiled Eq. 3 model to start from.
+        prior_weight: Effective number of observations the prior is
+            worth; higher = slower to move off the profile.
+        forgetting: Exponential forgetting factor in (0, 1]; values
+            below 1 let the calibrator track drift.
+    """
+
+    def __init__(
+        self,
+        prior: SpiModel,
+        prior_weight: float = 50.0,
+        forgetting: float = 0.99,
+    ):
+        if prior_weight <= 0:
+            raise ConfigurationError("prior_weight must be positive")
+        if not 0.0 < forgetting <= 1.0:
+            raise ConfigurationError("forgetting must be within (0, 1]")
+        self.prior = prior
+        self._lambda = forgetting
+        # theta = [alpha, beta]; information form seeded by the prior.
+        self._theta = np.array([prior.alpha, prior.beta], dtype=float)
+        # Prior information matrix: prior_weight pseudo-observations
+        # spread over the MPA range.
+        pseudo_x = np.array([[0.25, 1.0], [0.75, 1.0]])
+        self._p_inv = prior_weight * (pseudo_x.T @ pseudo_x)
+        self._p = np.linalg.inv(self._p_inv)
+        self._residuals: List[float] = []
+        self.observations = 0
+
+    def observe(self, mpa: float, spi: float) -> None:
+        """Fold one runtime observation into the estimate."""
+        if not 0.0 <= mpa <= 1.0:
+            raise ConfigurationError("mpa must be within [0, 1]")
+        if spi <= 0:
+            raise ConfigurationError("spi must be positive")
+        x = np.array([mpa, 1.0])
+        predicted = float(x @ self._theta)
+        error = spi - predicted
+        self._residuals.append(error)
+        if len(self._residuals) > 64:
+            self._residuals.pop(0)
+        # RLS update with forgetting.
+        px = self._p @ x
+        gain = px / (self._lambda + float(x @ px))
+        self._theta = self._theta + gain * error
+        self._p = (self._p - np.outer(gain, px)) / self._lambda
+        self.observations += 1
+
+    def observe_many(self, observations: Sequence[Tuple[float, float]]) -> None:
+        for mpa, spi in observations:
+            self.observe(mpa, spi)
+
+    @property
+    def model(self) -> SpiModel:
+        """Current Eq. 3 estimate (clamped to physical ranges)."""
+        alpha = max(0.0, float(self._theta[0]))
+        beta = max(1e-18, float(self._theta[1]))
+        return SpiModel(alpha=alpha, beta=beta)
+
+    def drift_score(self) -> float:
+        """Recent |bias| of the *prior* model in residual sigmas.
+
+        A score persistently above ~3 means the process no longer
+        matches its profile (phase change, input change) and should be
+        re-profiled rather than merely recalibrated.
+        """
+        if len(self._residuals) < 8:
+            return 0.0
+        residuals = np.asarray(self._residuals)
+        prior_pred_errors = residuals  # residuals vs evolving theta
+        sigma = float(np.std(prior_pred_errors))
+        if sigma == 0:
+            return 0.0
+        # Compare recent window against the prior's prediction.
+        return abs(float(np.mean(prior_pred_errors[-16:]))) / (
+            sigma / np.sqrt(min(16, len(prior_pred_errors)))
+        )

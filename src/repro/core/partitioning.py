@@ -1,0 +1,160 @@
+"""Model-driven cache-partitioning (the Xu et al. [11] use case).
+
+With reuse-distance histograms in hand, the expected behaviour of any
+static way partition is closed-form: a process allocated ``s`` ways
+misses with probability ``MPA(s)`` (Eq. 2) and runs at
+``SPI = alpha * MPA(s) + beta`` (Eq. 3).  Finding the best partition is
+then a small discrete optimisation, solved exactly here by dynamic
+programming over ways.
+
+Three objectives are provided:
+
+- ``misses``  — minimise total misses per second,
+- ``throughput`` — maximise total instructions per second,
+- ``weighted_speedup`` — maximise the sum of per-process speedups
+  relative to owning the whole cache (a fairness-flavoured metric).
+"""
+
+from __future__ import annotations
+
+from dataclasses import dataclass
+from typing import Dict, List, Sequence, Tuple
+
+from repro.core.feature import FeatureVector
+from repro.errors import ConfigurationError
+
+
+@dataclass(frozen=True)
+class PartitionPlan:
+    """An allocation of cache ways to processes, with predictions."""
+
+    names: Tuple[str, ...]
+    allocation: Tuple[int, ...]
+    predicted_mpas: Tuple[float, ...]
+    predicted_spis: Tuple[float, ...]
+    objective: str
+    score: float
+
+    def as_dict(self) -> Dict[str, int]:
+        return dict(zip(self.names, self.allocation))
+
+
+def _per_way_cost(
+    feature: FeatureVector, ways: int, objective: str
+) -> List[float]:
+    """cost(s) for s = 1..ways under the chosen objective (minimised)."""
+    costs = []
+    for s in range(1, ways + 1):
+        mpa = feature.histogram.mpa(s)
+        spi = feature.spi_model.spi(mpa)
+        if objective == "misses":
+            # Misses per second at that operating point.
+            costs.append(feature.api * mpa / spi)
+        elif objective == "throughput":
+            costs.append(-1.0 / spi)
+        elif objective == "weighted_speedup":
+            best_spi = feature.spi_model.spi(feature.histogram.mpa(ways))
+            costs.append(-best_spi / spi)
+        else:
+            raise ConfigurationError(
+                f"unknown objective {objective!r}; choose misses, throughput "
+                "or weighted_speedup"
+            )
+    return costs
+
+
+def optimal_partition(
+    features: Sequence[FeatureVector],
+    ways: int,
+    objective: str = "throughput",
+) -> PartitionPlan:
+    """Exact best static partition by dynamic programming.
+
+    O(k * ways^2) over k processes; every process receives at least
+    one way.
+
+    Args:
+        features: Feature vectors of the co-scheduled processes.
+        ways: Total ways of the shared cache.
+        objective: See module docstring.
+    """
+    k = len(features)
+    if k == 0:
+        raise ConfigurationError("need at least one process")
+    if ways < k:
+        raise ConfigurationError(f"{k} processes cannot split {ways} ways")
+    costs = [_per_way_cost(feature, ways, objective) for feature in features]
+
+    # dp[i][w]: best total cost assigning w ways among first i processes.
+    infinity = float("inf")
+    dp = [[infinity] * (ways + 1) for _ in range(k + 1)]
+    choice = [[0] * (ways + 1) for _ in range(k + 1)]
+    dp[0][0] = 0.0
+    for i in range(1, k + 1):
+        remaining = k - i  # processes still to place (>=1 way each)
+        for w in range(i, ways - remaining + 1):
+            best = infinity
+            best_s = 0
+            for s in range(1, w - (i - 1) + 1):
+                prev = dp[i - 1][w - s]
+                if prev == infinity:
+                    continue
+                candidate = prev + costs[i - 1][s - 1]
+                if candidate < best:
+                    best = candidate
+                    best_s = s
+            dp[i][w] = best
+            choice[i][w] = best_s
+
+    if dp[k][ways] == infinity:
+        raise ConfigurationError("no feasible partition found")
+    allocation: List[int] = []
+    w = ways
+    for i in range(k, 0, -1):
+        s = choice[i][w]
+        allocation.append(s)
+        w -= s
+    allocation.reverse()
+
+    mpas = tuple(
+        feature.histogram.mpa(s) for feature, s in zip(features, allocation)
+    )
+    spis = tuple(
+        feature.spi_model.spi(mpa) for feature, mpa in zip(features, mpas)
+    )
+    return PartitionPlan(
+        names=tuple(feature.name for feature in features),
+        allocation=tuple(allocation),
+        predicted_mpas=mpas,
+        predicted_spis=spis,
+        objective=objective,
+        score=dp[k][ways],
+    )
+
+
+def even_partition(
+    features: Sequence[FeatureVector], ways: int
+) -> PartitionPlan:
+    """Baseline: split the ways as evenly as possible."""
+    k = len(features)
+    if k == 0:
+        raise ConfigurationError("need at least one process")
+    if ways < k:
+        raise ConfigurationError(f"{k} processes cannot split {ways} ways")
+    base = ways // k
+    extras = ways % k
+    allocation = tuple(base + (1 if i < extras else 0) for i in range(k))
+    mpas = tuple(
+        feature.histogram.mpa(s) for feature, s in zip(features, allocation)
+    )
+    spis = tuple(
+        feature.spi_model.spi(mpa) for feature, mpa in zip(features, mpas)
+    )
+    return PartitionPlan(
+        names=tuple(feature.name for feature in features),
+        allocation=allocation,
+        predicted_mpas=mpas,
+        predicted_spis=spis,
+        objective="even",
+        score=float("nan"),
+    )

@@ -1,0 +1,191 @@
+"""Public façade of the paper's performance model (Section 3).
+
+Register a :class:`~repro.core.feature.FeatureVector` per process of
+interest (obtained once, in isolation, via stressmark profiling), then
+predict the steady-state behaviour of *any* subset of them sharing a
+last-level cache — O(k) profiling effort covering 2^k - 1 possible
+co-run combinations, the paper's headline complexity win.
+"""
+
+from __future__ import annotations
+
+from dataclasses import dataclass
+from typing import Dict, List, Optional, Sequence, Tuple
+
+from repro.core.equilibrium import (
+    EquilibriumProcess,
+    EquilibriumResult,
+    solve_equilibrium,
+)
+from repro.core.feature import FeatureVector
+from repro.core.occupancy import OccupancyModel
+from repro.errors import ConfigurationError
+
+
+@dataclass(frozen=True)
+class ProcessPrediction:
+    """Predicted steady state of one process in a co-run."""
+
+    name: str
+    effective_size: float
+    mpa: float
+    spi: float
+
+    @property
+    def l2mpr(self) -> float:
+        """L2 misses per L2 reference — identical to MPA at the L2."""
+        return self.mpa
+
+    @property
+    def ips(self) -> float:
+        """Instructions per second."""
+        return 1.0 / self.spi
+
+
+@dataclass(frozen=True)
+class CoRunPrediction:
+    """Predicted steady state of a set of cache-sharing processes."""
+
+    processes: Tuple[ProcessPrediction, ...]
+    solver: str
+    contended: bool
+
+    def __getitem__(self, index: int) -> ProcessPrediction:
+        return self.processes[index]
+
+    def __len__(self) -> int:
+        return len(self.processes)
+
+    @property
+    def total_size(self) -> float:
+        return sum(p.effective_size for p in self.processes)
+
+
+class PerformanceModel:
+    """Reuse-distance-based contention predictor.
+
+    Args:
+        ways: Associativity of the shared last-level cache the
+            predictions are for.
+        strategy: Equilibrium solver strategy (``auto`` / ``newton`` /
+            ``bisection``).
+    """
+
+    def __init__(self, ways: int, strategy: str = "auto"):
+        if ways < 1:
+            raise ConfigurationError("ways must be >= 1")
+        self.ways = ways
+        self.strategy = strategy
+        self._features: Dict[str, FeatureVector] = {}
+        self._occupancy_cache: Dict[str, OccupancyModel] = {}
+
+    # ------------------------------------------------------------------
+    # Registration
+    # ------------------------------------------------------------------
+    def register(self, feature: FeatureVector) -> None:
+        """Register (or replace) a process's feature vector."""
+        self._features[feature.name] = feature
+        # Occupancy tables are pure functions of the histogram; build
+        # once per registration.
+        self._occupancy_cache[feature.name] = feature.occupancy_model(self.ways)
+
+    def register_all(self, features: Sequence[FeatureVector]) -> None:
+        for feature in features:
+            self.register(feature)
+
+    @property
+    def known_processes(self) -> List[str]:
+        return sorted(self._features)
+
+    def feature(self, name: str) -> FeatureVector:
+        try:
+            return self._features[name]
+        except KeyError:
+            raise KeyError(
+                f"no feature vector registered for {name!r}; "
+                f"known: {self.known_processes}"
+            ) from None
+
+    # ------------------------------------------------------------------
+    # Prediction
+    # ------------------------------------------------------------------
+    def _equilibrium_inputs(
+        self,
+        names: Sequence[str],
+        frequency_ratios: Optional[Sequence[float]] = None,
+    ) -> List[EquilibriumProcess]:
+        if frequency_ratios is None:
+            frequency_ratios = [1.0] * len(names)
+        if len(frequency_ratios) != len(names):
+            raise ConfigurationError(
+                "frequency_ratios must have one entry per process"
+            )
+        inputs = []
+        for name, ratio in zip(names, frequency_ratios):
+            feature = self.feature(name)
+            if ratio != 1.0:
+                feature = feature.with_frequency_ratio(ratio)
+            inputs.append(
+                EquilibriumProcess(
+                    occupancy=self._occupancy_cache[name],
+                    mpa=feature.histogram.mpa,
+                    api=feature.api,
+                    alpha=feature.alpha,
+                    beta=feature.beta,
+                )
+            )
+        return inputs
+
+    def predict(
+        self,
+        names: Sequence[str],
+        frequency_ratios: Optional[Sequence[float]] = None,
+    ) -> CoRunPrediction:
+        """Predict the co-run steady state of the named processes.
+
+        Each name is one *simultaneously running* process on its own
+        core, all sharing one ``ways``-way cache.  Duplicate names are
+        allowed (two instances of the same program).
+
+        Args:
+            names: Process names (feature vectors must be registered).
+            frequency_ratios: Optional per-process core-clock ratios
+                relative to the profiled clock, for heterogeneous
+                machines — a faster core accesses the cache faster and
+                wins a larger share, which the equilibrium captures
+                through the rescaled Eq. 3 constants.
+        """
+        if not names:
+            raise ConfigurationError("need at least one process name")
+        if len(names) > self.ways:
+            raise ConfigurationError(
+                f"{len(names)} processes cannot share a {self.ways}-way cache"
+            )
+        result = solve_equilibrium(
+            self._equilibrium_inputs(names, frequency_ratios),
+            self.ways,
+            strategy=self.strategy,
+        )
+        return self._package(names, result)
+
+    def predict_solo(self, name: str) -> ProcessPrediction:
+        """Predicted steady state of a process running alone."""
+        return self.predict([name]).processes[0]
+
+    def _package(
+        self, names: Sequence[str], result: EquilibriumResult
+    ) -> CoRunPrediction:
+        predictions = tuple(
+            ProcessPrediction(
+                name=name,
+                effective_size=size,
+                mpa=mpa,
+                spi=spi,
+            )
+            for name, size, mpa, spi in zip(
+                names, result.sizes, result.mpas, result.spis
+            )
+        )
+        return CoRunPrediction(
+            processes=predictions, solver=result.solver, contended=result.contended
+        )

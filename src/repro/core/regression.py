@@ -1,0 +1,103 @@
+"""Multi-variable linear regression (the paper's MVLR).
+
+A deliberately small, dependency-free implementation on top of
+``numpy.linalg.lstsq``, with the two quality metrics the paper quotes:
+R² and *accuracy* (one minus the mean absolute relative error, the
+"96.2 %" figure of Section 4.1).
+"""
+
+from __future__ import annotations
+
+from typing import Optional, Sequence
+
+import numpy as np
+
+from repro.errors import ConfigurationError, ModelNotFittedError
+
+
+class LinearRegression:
+    """Ordinary least squares with intercept.
+
+    Call :meth:`fit` with a 2-D design matrix (rows are observations)
+    and a target vector; then :meth:`predict` maps new rows to
+    predictions.
+    """
+
+    def __init__(self) -> None:
+        self.coefficients: Optional[np.ndarray] = None
+        self.intercept: Optional[float] = None
+        self.r_squared: Optional[float] = None
+
+    @property
+    def fitted(self) -> bool:
+        return self.coefficients is not None
+
+    def fit(
+        self,
+        x: Sequence[Sequence[float]],
+        y: Sequence[float],
+        fixed_intercept: Optional[float] = None,
+    ) -> "LinearRegression":
+        """Least-squares fit; returns self for chaining.
+
+        Args:
+            x: Design matrix (observations x features).
+            y: Targets.
+            fixed_intercept: If given, the intercept is pinned to this
+                value and only the slopes are fitted (used to anchor
+                the power model's P_idle to a direct idle measurement,
+                as the paper's micro-benchmark phase 0 provides).
+        """
+        x_arr = np.asarray(x, dtype=float)
+        y_arr = np.asarray(y, dtype=float)
+        if x_arr.ndim != 2:
+            raise ConfigurationError("x must be 2-D (observations x features)")
+        if y_arr.ndim != 1 or y_arr.shape[0] != x_arr.shape[0]:
+            raise ConfigurationError("y must be 1-D with one entry per row of x")
+        if x_arr.shape[0] <= x_arr.shape[1]:
+            raise ConfigurationError(
+                f"need more observations ({x_arr.shape[0]}) than "
+                f"features ({x_arr.shape[1]})"
+            )
+        if fixed_intercept is None:
+            design = np.column_stack([x_arr, np.ones(x_arr.shape[0])])
+            solution, *_ = np.linalg.lstsq(design, y_arr, rcond=None)
+            self.coefficients = solution[:-1]
+            self.intercept = float(solution[-1])
+            predictions = design @ solution
+        else:
+            solution, *_ = np.linalg.lstsq(
+                x_arr, y_arr - fixed_intercept, rcond=None
+            )
+            self.coefficients = solution
+            self.intercept = float(fixed_intercept)
+            predictions = x_arr @ solution + fixed_intercept
+        ss_res = float(((y_arr - predictions) ** 2).sum())
+        ss_tot = float(((y_arr - y_arr.mean()) ** 2).sum())
+        self.r_squared = 1.0 - ss_res / ss_tot if ss_tot > 0 else 1.0
+        return self
+
+    def _require_fitted(self) -> None:
+        if not self.fitted:
+            raise ModelNotFittedError("call fit() before predicting")
+
+    def predict(self, x: Sequence[Sequence[float]]) -> np.ndarray:
+        """Predictions for a 2-D batch of feature rows."""
+        self._require_fitted()
+        x_arr = np.asarray(x, dtype=float)
+        if x_arr.ndim == 1:
+            x_arr = x_arr[None, :]
+        return x_arr @ self.coefficients + self.intercept
+
+    def predict_one(self, row: Sequence[float]) -> float:
+        """Prediction for a single feature row."""
+        return float(self.predict([list(row)])[0])
+
+    def accuracy(self, x: Sequence[Sequence[float]], y: Sequence[float]) -> float:
+        """1 - mean(|error| / |truth|): the paper's accuracy metric."""
+        self._require_fitted()
+        y_arr = np.asarray(y, dtype=float)
+        if np.any(y_arr == 0):
+            raise ConfigurationError("accuracy undefined for zero targets")
+        predictions = self.predict(x)
+        return float(1.0 - np.mean(np.abs(predictions - y_arr) / np.abs(y_arr)))

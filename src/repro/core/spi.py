@@ -1,0 +1,80 @@
+"""The linear SPI model of Eq. 3: ``SPI = α · MPA + β``.
+
+α and β are per-process constants obtained during characterization by
+regressing measured seconds-per-instruction against measured
+misses-per-access across the stressmark sweep.  The paper validated
+this linearity empirically (re-affirmed by Choi et al.); our machine
+substrate realises it mechanistically, so the fit quality here mainly
+reflects measurement noise.
+"""
+
+from __future__ import annotations
+
+from dataclasses import dataclass
+from typing import Sequence
+
+import numpy as np
+
+from repro.errors import ConfigurationError, ProfilingError
+
+
+@dataclass(frozen=True)
+class SpiModel:
+    """Fitted Eq. 3 relation for one process."""
+
+    alpha: float
+    beta: float
+    r_squared: float = 1.0
+
+    def __post_init__(self) -> None:
+        if self.beta <= 0:
+            raise ConfigurationError("beta must be positive (finite hit-path SPI)")
+        if self.alpha < 0:
+            raise ConfigurationError("alpha must be non-negative")
+
+    def spi(self, mpa: float) -> float:
+        """Seconds per instruction at a given miss-per-access ratio."""
+        if not 0.0 <= mpa <= 1.0:
+            raise ConfigurationError("mpa must be within [0, 1]")
+        return self.alpha * mpa + self.beta
+
+    def mpa_for_spi(self, spi: float) -> float:
+        """Invert Eq. 3 (clamped to the physical MPA range)."""
+        if self.alpha == 0:
+            raise ConfigurationError("alpha is zero; SPI does not determine MPA")
+        return float(np.clip((spi - self.beta) / self.alpha, 0.0, 1.0))
+
+
+def fit_spi_model(mpas: Sequence[float], spis: Sequence[float]) -> SpiModel:
+    """Least-squares fit of Eq. 3 from sweep measurements.
+
+    Args:
+        mpas: Measured misses-per-access at each sweep point.
+        spis: Measured seconds-per-instruction at each sweep point.
+
+    Raises:
+        ProfilingError: If fewer than two points are given, the MPA
+            range is degenerate, or the fit is unphysical (negative
+            slope or intercept), which indicates broken profiling data.
+    """
+    x = np.asarray(mpas, dtype=float)
+    y = np.asarray(spis, dtype=float)
+    if x.ndim != 1 or x.shape != y.shape:
+        raise ConfigurationError("mpas and spis must be 1-D and equal length")
+    if x.size < 2:
+        raise ProfilingError("need at least two sweep points to fit Eq. 3")
+    if float(x.max() - x.min()) < 1e-9:
+        # No MPA variation: any slope fits. Treat as miss-insensitive.
+        return SpiModel(alpha=0.0, beta=float(y.mean()), r_squared=1.0)
+    design = np.column_stack([x, np.ones_like(x)])
+    (alpha, beta), *_ = np.linalg.lstsq(design, y, rcond=None)
+    if beta <= 0 or alpha < -1e-12:
+        raise ProfilingError(
+            f"unphysical Eq. 3 fit (alpha={alpha:.3e}, beta={beta:.3e}); "
+            "check the profiling sweep"
+        )
+    predicted = design @ np.array([alpha, beta])
+    ss_res = float(((y - predicted) ** 2).sum())
+    ss_tot = float(((y - y.mean()) ** 2).sum())
+    r2 = 1.0 - ss_res / ss_tot if ss_tot > 0 else 1.0
+    return SpiModel(alpha=max(0.0, float(alpha)), beta=float(beta), r_squared=r2)

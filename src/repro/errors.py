@@ -1,0 +1,60 @@
+"""Exception hierarchy for the :mod:`repro` package.
+
+All exceptions raised by this package derive from :class:`ReproError`
+so callers can catch every library failure with a single ``except``
+clause while still being able to distinguish configuration mistakes,
+numerical failures, and profiling problems.
+"""
+
+from __future__ import annotations
+
+
+class ReproError(Exception):
+    """Base class for every exception raised by :mod:`repro`."""
+
+
+class ConfigurationError(ReproError, ValueError):
+    """An invalid configuration value was supplied.
+
+    Raised during construction of configuration dataclasses (cache
+    geometry, machine topology, workload definitions) when a field is
+    out of its physically meaningful range.
+    """
+
+
+class ConvergenceError(ReproError, RuntimeError):
+    """An iterative numerical procedure failed to converge.
+
+    Raised by the equilibrium solvers in
+    :mod:`repro.core.equilibrium` and by the neural-network trainer
+    when the iteration budget is exhausted without meeting the
+    tolerance.
+    """
+
+    def __init__(self, message: str, iterations: int = 0, residual: float = float("nan")):
+        super().__init__(message)
+        #: Number of iterations performed before giving up.
+        self.iterations = iterations
+        #: Final residual norm when the solver stopped.
+        self.residual = residual
+
+
+class ProfilingError(ReproError, RuntimeError):
+    """Automated profiling produced unusable data.
+
+    Raised when a stressmark sweep yields non-monotonic or degenerate
+    miss-rate measurements from which no reuse-distance histogram can
+    be recovered.
+    """
+
+
+class ModelNotFittedError(ReproError, RuntimeError):
+    """A model was queried before being fitted.
+
+    Raised when :meth:`predict`-style methods are called on a power or
+    performance model whose coefficients have not been estimated yet.
+    """
+
+
+class SimulationError(ReproError, RuntimeError):
+    """The machine simulator reached an inconsistent state."""

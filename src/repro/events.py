@@ -1,0 +1,48 @@
+"""Hardware-performance-counter event definitions.
+
+The paper's power model (Eq. 9) regresses processor power on five
+event *rates*: L1 data-cache references, L2 references, L2 misses,
+branches and floating-point operations, all per second.  The machine
+simulator additionally maintains instruction and cycle counts so SPI
+and IPC can be measured.
+"""
+
+from __future__ import annotations
+
+from enum import Enum
+from typing import Tuple
+
+
+class Event(Enum):
+    """A countable hardware event."""
+
+    INSTRUCTIONS = "instructions"
+    CYCLES = "cycles"
+    L1_REFS = "l1_refs"
+    L2_REFS = "l2_refs"
+    L2_MISSES = "l2_misses"
+    BRANCHES = "branches"
+    FP_OPS = "fp_ops"
+
+    def __str__(self) -> str:  # pragma: no cover - cosmetic
+        return self.value
+
+
+#: The five regressors of the paper's power model (Eq. 9), in the
+#: paper's order: L1RPS, L2RPS, L2MPS, BRPS, FPPS.
+RATE_EVENTS: Tuple[Event, ...] = (
+    Event.L1_REFS,
+    Event.L2_REFS,
+    Event.L2_MISSES,
+    Event.BRANCHES,
+    Event.FP_OPS,
+)
+
+#: Human-readable names matching the paper's notation.
+PAPER_NAMES = {
+    Event.L1_REFS: "L1RPS",
+    Event.L2_REFS: "L2RPS",
+    Event.L2_MISSES: "L2MPS",
+    Event.BRANCHES: "BRPS",
+    Event.FP_OPS: "FPPS",
+}

@@ -1,0 +1,21 @@
+"""Experiment drivers — one per paper table/figure plus ablations.
+
+Mapping to the paper (see DESIGN.md §4 for the full index):
+
+- :mod:`~repro.experiments.table1` — Table 1 + the §6.2 second-machine
+  result.
+- :mod:`~repro.experiments.power_training` — Section 4.1 model
+  construction and the MVLR-vs-NN comparison.
+- :mod:`~repro.experiments.table2` / :mod:`~repro.experiments.table3`
+  — power-model validation tables.
+- :mod:`~repro.experiments.figure2` — power trace overlays.
+- :mod:`~repro.experiments.table4` — combined-model validation.
+- :mod:`~repro.experiments.prefetch_ablation` — §3.1 prefetching study.
+- :mod:`~repro.experiments.context_switch` — §4.2 refill transient.
+- :mod:`~repro.experiments.ablations` — solver / resolution / sampling
+  / replacement-policy ablations.
+"""
+
+from repro.experiments.context import ExperimentContext, get_context
+
+__all__ = ["ExperimentContext", "get_context"]

@@ -1,0 +1,120 @@
+"""End-to-end assignment-quality experiment (the paper's motivation).
+
+Section 5's purpose is power-aware assignment: if the combined model
+prices every tentative mapping accurately, picking the cheapest one
+should pick the mapping that *measures* cheapest.  This experiment
+closes that loop:
+
+1. enumerate every distinct one-process-per-core mapping of a process
+   set onto the machine,
+2. price each from profiles alone (combined model),
+3. run each for measured ground truth,
+4. report the rank correlation and the *regret* — how many measured
+   watts the model's choice gives away versus the true optimum.
+"""
+
+from __future__ import annotations
+
+import itertools
+from dataclasses import dataclass
+from typing import TYPE_CHECKING, Dict, List, Sequence, Tuple
+
+import numpy as np
+
+if TYPE_CHECKING:  # pragma: no cover
+    from repro.experiments.context import ExperimentContext
+
+Assignment = Dict[int, Tuple[str, ...]]
+
+
+def distinct_one_per_core_assignments(
+    names: Sequence[str], cores: Sequence[int]
+) -> List[Assignment]:
+    """All distinct mappings of ``names`` onto ``cores`` (one each)."""
+    assignments = []
+    seen = set()
+    for permutation in itertools.permutations(names):
+        assignment = {
+            core: (name,) for core, name in zip(cores, permutation)
+        }
+        key = tuple(sorted(assignment.items()))
+        if key not in seen:
+            seen.add(key)
+            assignments.append(assignment)
+    return assignments
+
+
+@dataclass(frozen=True)
+class RankedAssignment:
+    assignment: Assignment
+    predicted_watts: float
+    measured_watts: float
+
+
+@dataclass(frozen=True)
+class AssignmentQualityResult:
+    """How well profile-only pricing ranks real assignments."""
+
+    ranked: Tuple[RankedAssignment, ...]
+    rank_correlation: float
+
+    @property
+    def chosen(self) -> RankedAssignment:
+        """The assignment the model would pick (min predicted power)."""
+        return min(self.ranked, key=lambda r: r.predicted_watts)
+
+    @property
+    def true_best(self) -> RankedAssignment:
+        return min(self.ranked, key=lambda r: r.measured_watts)
+
+    @property
+    def regret_watts(self) -> float:
+        """Measured power given away by trusting the model's choice."""
+        return self.chosen.measured_watts - self.true_best.measured_watts
+
+    @property
+    def regret_pct(self) -> float:
+        return self.regret_watts / self.true_best.measured_watts * 100.0
+
+    @property
+    def measured_spread_watts(self) -> float:
+        """Range of measured powers across the assignment space."""
+        values = [r.measured_watts for r in self.ranked]
+        return max(values) - min(values)
+
+
+def _spearman(a: Sequence[float], b: Sequence[float]) -> float:
+    """Spearman rank correlation (no scipy dependency)."""
+    ranks_a = np.argsort(np.argsort(a)).astype(float)
+    ranks_b = np.argsort(np.argsort(b)).astype(float)
+    if np.std(ranks_a) == 0 or np.std(ranks_b) == 0:
+        return 1.0
+    return float(np.corrcoef(ranks_a, ranks_b)[0, 1])
+
+
+def run_assignment_quality(
+    context: "ExperimentContext",
+    names: Sequence[str] = ("mcf", "art", "gzip", "twolf"),
+) -> AssignmentQualityResult:
+    """Price and then run every distinct mapping of ``names``."""
+    model = context.combined_model()
+    cores = list(range(context.topology.num_cores))
+    assignments = distinct_one_per_core_assignments(names, cores)
+    ranked: List[RankedAssignment] = []
+    for index, assignment in enumerate(assignments):
+        predicted = model.estimate_assignment_power(assignment).watts
+        result = context.run_assignment(assignment, seed_offset=3_000 + index)
+        ranked.append(
+            RankedAssignment(
+                assignment=assignment,
+                predicted_watts=predicted,
+                measured_watts=result.power.mean_measured,
+            )
+        )
+    correlation = _spearman(
+        [r.predicted_watts for r in ranked],
+        [r.measured_watts for r in ranked],
+    )
+    return AssignmentQualityResult(
+        ranked=tuple(ranked), rank_correlation=correlation
+    )

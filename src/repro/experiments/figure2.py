@@ -1,0 +1,112 @@
+"""Figure 2: estimated vs measured power traces on the 4-core server.
+
+The paper plots the per-sample power of the assignments with the
+highest and lowest average power among its test cases, estimated power
+overlaid on the meter trace, and quotes ~2.5 % average estimation
+error for both.  This driver runs a candidate pool of one-process-per-
+core assignments, picks the max/min-average-power ones, and returns
+both traces with their error figures.
+"""
+
+from __future__ import annotations
+
+from dataclasses import dataclass
+from typing import TYPE_CHECKING, Dict, List, Optional, Tuple
+
+import numpy as np
+
+from repro.analysis.tables import render_series
+from repro.analysis.validation import random_assignments
+from repro.experiments.power_validation import (
+    AssignmentValidation,
+    estimate_power_series,
+    validate_assignment,
+)
+
+if TYPE_CHECKING:  # pragma: no cover
+    from repro.experiments.context import ExperimentContext
+
+
+@dataclass(frozen=True)
+class PowerTraceComparison:
+    """One panel of Figure 2."""
+
+    label: str
+    assignment: Dict[int, Tuple[str, ...]]
+    times_s: Tuple[float, ...]
+    measured_watts: Tuple[float, ...]
+    estimated_watts: Tuple[float, ...]
+
+    @property
+    def avg_error_pct(self) -> float:
+        measured = np.asarray(self.measured_watts)
+        estimated = np.asarray(self.estimated_watts)
+        return float(np.mean(np.abs(estimated - measured) / measured) * 100.0)
+
+    @property
+    def mean_measured_watts(self) -> float:
+        return float(np.mean(self.measured_watts))
+
+    def render(self) -> str:
+        return render_series(
+            list(self.times_s),
+            [list(self.estimated_watts), list(self.measured_watts)],
+            labels=["estimated(W)", "measured(W)"],
+            title=f"Figure 2 ({self.label}): {self.assignment}",
+        )
+
+
+@dataclass(frozen=True)
+class Figure2Result:
+    maximum: PowerTraceComparison
+    minimum: PowerTraceComparison
+    pool_size: int
+
+
+def _trace_for(
+    context: "ExperimentContext",
+    assignment: Dict[int, Tuple[str, ...]],
+    label: str,
+    seed_offset: int,
+) -> PowerTraceComparison:
+    result = context.run_assignment(assignment, seed_offset=seed_offset)
+    estimated, measured = estimate_power_series(context, result)
+    times = result.power.times[: len(measured)]
+    return PowerTraceComparison(
+        label=label,
+        assignment={c: tuple(n) for c, n in assignment.items()},
+        times_s=tuple(float(t) for t in times),
+        measured_watts=tuple(float(w) for w in measured),
+        estimated_watts=tuple(float(w) for w in estimated),
+    )
+
+
+def run_figure2(
+    context: "ExperimentContext", pool: Optional[int] = None
+) -> Figure2Result:
+    """Pick max/min-power assignments from a pool and trace them."""
+    cores = list(range(context.topology.num_cores))
+    candidates = random_assignments(
+        context.benchmark_names,
+        cores=cores,
+        processes_per_core=1,
+        count=pool if pool is not None else 12,
+        seed=context.seed + 77,
+    )
+    validations: List[Tuple[AssignmentValidation, int]] = []
+    for index, assignment in enumerate(candidates):
+        validations.append(
+            (validate_assignment(context, assignment, seed_offset=500 + index), index)
+        )
+    by_power = sorted(validations, key=lambda vi: vi[0].measured_avg_watts)
+    low, low_idx = by_power[0]
+    high, high_idx = by_power[-1]
+    return Figure2Result(
+        maximum=_trace_for(
+            context, dict(high.assignment), "maximum power", 600 + high_idx
+        ),
+        minimum=_trace_for(
+            context, dict(low.assignment), "minimum power", 600 + low_idx
+        ),
+        pool_size=len(candidates),
+    )

@@ -1,0 +1,111 @@
+"""Extension experiment: heterogeneous cores (paper contribution #4).
+
+The paper claims its models are "general enough to accommodate
+heterogeneous tasks and processors".  This experiment checks the
+performance side of that claim: on a big.LITTLE-style machine whose
+dies pair a fast core with a half-clock core, predict the cache
+partition and SPIs of a pair running on a fast+slow core couple from
+profiles taken at the nominal clock, and compare to the simulated
+truth.  The clock enters the model purely through the Eq. 3 rescale
+(:meth:`~repro.core.feature.FeatureVector.with_frequency_ratio`).
+"""
+
+from __future__ import annotations
+
+from dataclasses import dataclass
+from typing import TYPE_CHECKING, List, Tuple
+
+from repro.analysis.errors import relative_error_pct
+from repro.core.performance_model import PerformanceModel
+from repro.machine.simulator import MachineSimulation
+from repro.machine.topology import heterogeneous_server
+from repro.workloads.spec import BENCHMARKS
+
+if TYPE_CHECKING:  # pragma: no cover
+    from repro.experiments.context import ExperimentContext
+
+
+@dataclass(frozen=True)
+class HeterogeneityCase:
+    """One fast+slow co-run: prediction vs simulation."""
+
+    pair: Tuple[str, str]  # (fast-core process, slow-core process)
+    measured_occupancies: Tuple[float, float]
+    predicted_occupancies: Tuple[float, float]
+    measured_spis: Tuple[float, float]
+    predicted_spis: Tuple[float, float]
+
+    @property
+    def max_spi_error_pct(self) -> float:
+        return max(
+            relative_error_pct(p, m)
+            for p, m in zip(self.predicted_spis, self.measured_spis)
+        )
+
+    @property
+    def max_occupancy_error_ways(self) -> float:
+        return max(
+            abs(p - m)
+            for p, m in zip(self.predicted_occupancies, self.measured_occupancies)
+        )
+
+
+@dataclass(frozen=True)
+class HeterogeneityResult:
+    cases: Tuple[HeterogeneityCase, ...]
+    naive_spi_error_pct: float  # ignoring the clock difference
+    slow_scale: float
+
+
+def run_heterogeneity_extension(
+    context: "ExperimentContext",
+    pairs: Tuple[Tuple[str, str], ...] = (("mcf", "art"), ("twolf", "mcf")),
+    slow_scale: float = 0.5,
+) -> HeterogeneityResult:
+    """Fast+slow co-runs: clock-aware vs clock-oblivious prediction."""
+    topology = heterogeneous_server(sets=context.sets, slow_scale=slow_scale)
+    ways = topology.domains[0].geometry.ways
+    model = PerformanceModel(ways=ways)
+    # Profiles were taken on the homogeneous machine at nominal clock.
+    for profile in context.profiles().values():
+        model.register(profile.feature)
+
+    cases: List[HeterogeneityCase] = []
+    naive_errors: List[float] = []
+    for index, (fast_name, slow_name) in enumerate(pairs):
+        sim = MachineSimulation(
+            topology,
+            # Cores 0 (fast) and 1 (slow) share die 0's cache.
+            {0: [BENCHMARKS[fast_name]], 1: [BENCHMARKS[slow_name]]},
+            scale=context.run_scale,
+            seed=context.seed + 70 + index,
+        )
+        result = sim.run_accesses()
+        aware = model.predict(
+            [fast_name, slow_name], frequency_ratios=[1.0, slow_scale]
+        )
+        naive = model.predict([fast_name, slow_name])
+        cases.append(
+            HeterogeneityCase(
+                pair=(fast_name, slow_name),
+                measured_occupancies=(
+                    result.processes[0].occupancy_ways,
+                    result.processes[1].occupancy_ways,
+                ),
+                predicted_occupancies=(
+                    aware[0].effective_size,
+                    aware[1].effective_size,
+                ),
+                measured_spis=(result.processes[0].spi, result.processes[1].spi),
+                predicted_spis=(aware[0].spi, aware[1].spi),
+            )
+        )
+        for slot in range(2):
+            naive_errors.append(
+                relative_error_pct(naive[slot].spi, result.processes[slot].spi)
+            )
+    return HeterogeneityResult(
+        cases=tuple(cases),
+        naive_spi_error_pct=sum(naive_errors) / len(naive_errors),
+        slow_scale=slow_scale,
+    )

@@ -1,0 +1,134 @@
+"""Extension experiment: model-driven cache partitioning.
+
+The paper's machinery descends from a cache-partitioning predictor
+(Xu et al. [11]).  This experiment closes that loop: use the profiled
+histograms to pick the best static way partition, then verify on the
+way-partitioned cache substrate that each process's miss rate lands
+where Eq. 2 predicted, and compare the resulting throughput against an
+even split and against free-for-all LRU sharing.
+"""
+
+from __future__ import annotations
+
+from dataclasses import dataclass
+from typing import TYPE_CHECKING, List, Sequence, Tuple
+
+from repro.cache.partitioned import WayPartitionedCache
+from repro.core.feature import FeatureVector
+from repro.core.partitioning import PartitionPlan, even_partition, optimal_partition
+from repro.errors import ConfigurationError
+from repro.machine.simulator import MachineSimulation
+from repro.workloads.generator import build_generator
+from repro.workloads.spec import BENCHMARKS
+
+if TYPE_CHECKING:  # pragma: no cover
+    from repro.experiments.context import ExperimentContext
+
+
+@dataclass(frozen=True)
+class PartitionValidation:
+    """Predicted vs measured behaviour under one partition plan."""
+
+    plan: PartitionPlan
+    measured_mpas: Tuple[float, ...]
+    measured_spis: Tuple[float, ...]
+
+    @property
+    def max_mpa_error_pts(self) -> float:
+        return max(
+            abs(p - m) * 100.0
+            for p, m in zip(self.plan.predicted_mpas, self.measured_mpas)
+        )
+
+    @property
+    def measured_total_ips(self) -> float:
+        return sum(1.0 / spi for spi in self.measured_spis)
+
+    @property
+    def predicted_total_ips(self) -> float:
+        return sum(1.0 / spi for spi in self.plan.predicted_spis)
+
+
+@dataclass(frozen=True)
+class PartitioningResult:
+    """Full extension-experiment outcome."""
+
+    optimal: PartitionValidation
+    even: PartitionValidation
+    shared_lru_total_ips: float
+    names: Tuple[str, ...]
+
+
+def simulate_partition(
+    context: "ExperimentContext",
+    names: Sequence[str],
+    plan: PartitionPlan,
+    accesses: int = 40_000,
+) -> PartitionValidation:
+    """Run each process through its private partition and measure.
+
+    Partitions isolate processes completely, so interleaving is
+    irrelevant and each process can be driven independently.
+    """
+    geometry = context.topology.domains[0].geometry
+    cache = WayPartitionedCache(
+        geometry, {i: s for i, s in enumerate(plan.allocation)}
+    )
+    frequency = context.topology.frequency_hz
+    measured_mpas: List[float] = []
+    measured_spis: List[float] = []
+    for owner, name in enumerate(names):
+        benchmark = BENCHMARKS[name]
+        generator = build_generator(
+            benchmark, sets=geometry.sets, seed=context.seed + owner, owner_index=owner
+        )
+        warmup = accesses // 4
+        for _ in range(warmup):
+            cache.access(generator.next_line(), owner)
+        baseline = cache.stats.owner(owner).snapshot()
+        for _ in range(accesses):
+            cache.access(generator.next_line(), owner)
+        window = cache.stats.owner(owner).delta_since(baseline)
+        mpa = window.miss_rate
+        measured_mpas.append(mpa)
+        measured_spis.append(benchmark.spi(mpa, frequency))
+    return PartitionValidation(
+        plan=plan,
+        measured_mpas=tuple(measured_mpas),
+        measured_spis=tuple(measured_spis),
+    )
+
+
+def run_partitioning_extension(
+    context: "ExperimentContext",
+    names: Sequence[str] = ("mcf", "twolf"),
+    objective: str = "throughput",
+) -> PartitioningResult:
+    """Optimal vs even partition vs shared LRU for one co-schedule."""
+    if len(names) < 2:
+        raise ConfigurationError("need at least two processes to partition")
+    ways = context.topology.domains[0].geometry.ways
+    features: List[FeatureVector] = [
+        context.profiles()[name].feature for name in names
+    ]
+
+    optimal_plan = optimal_partition(features, ways, objective=objective)
+    even_plan = even_partition(features, ways)
+    optimal_validated = simulate_partition(context, names, optimal_plan)
+    even_validated = simulate_partition(context, names, even_plan)
+
+    # Shared-LRU ground truth: the ordinary contention simulation.
+    shared = MachineSimulation(
+        context.topology,
+        {core: [BENCHMARKS[name]] for core, name in enumerate(names)},
+        scale=context.run_scale,
+        seed=context.seed + 909,
+    ).run_accesses()
+    shared_ips = sum(1.0 / p.spi for p in shared.processes)
+
+    return PartitioningResult(
+        optimal=optimal_validated,
+        even=even_validated,
+        shared_lru_total_ips=shared_ips,
+        names=tuple(names),
+    )

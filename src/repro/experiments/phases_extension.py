@@ -1,0 +1,158 @@
+"""Extension experiment: multi-phase processes (paper §3.1 assumption).
+
+The paper assumes single-phase processes and prescribes modeling
+non-repeating phases separately, using the longest phase for art and
+mcf.  This experiment makes that concrete on a two-phase workload with
+a dominant memory-heavy phase and a minority medium phase:
+
+1. detect the phases from the solo HPC miss-rate series
+   (:mod:`repro.workloads.phases`, the Tam-et-al. step);
+2. profile the workload two ways — naively over the whole run (the
+   stressmark sweep sees the phase *mixture*) and phase-aware
+   (profile the longest phase only);
+3. predict a co-run against a partner with both feature vectors and
+   compare against the simulated truth of the dominant phase.
+"""
+
+from __future__ import annotations
+
+from dataclasses import dataclass, replace
+from typing import TYPE_CHECKING, List, Tuple
+
+from repro.analysis.errors import relative_error_pct
+from repro.core.performance_model import PerformanceModel
+from repro.errors import SimulationError
+from repro.events import Event
+from repro.machine.simulator import MachineSimulation
+from repro.profiling.profiler import profile_process
+from repro.workloads.phased import (
+    PhaseSegment,
+    PhasedBenchmark,
+    make_phased_benchmark,
+    phase_benchmark,
+)
+from repro.workloads.phases import detect_phases
+from repro.workloads.spec import BENCHMARKS
+
+if TYPE_CHECKING:  # pragma: no cover
+    from repro.experiments.context import ExperimentContext
+
+
+def make_two_phase_workload(
+    dominant_accesses: int = 9_000, minority_accesses: int = 4_500
+) -> PhasedBenchmark:
+    """An mcf-like dominant phase alternating with a vpr-like one.
+
+    Default phase lengths are short relative to a profiling run so a
+    phase-oblivious sweep genuinely measures the mixture; the
+    phase-detection step uses a long-phase variant (same profiles) so
+    phases span several HPC windows.
+    """
+    dominant = BENCHMARKS["mcf"]
+    minority = BENCHMARKS["vpr"]
+    return make_phased_benchmark(
+        name="phased-mcf",
+        mix=dominant.mix,
+        phases=(
+            PhaseSegment(profile=dominant.rd_profile, accesses=dominant_accesses),
+            PhaseSegment(profile=minority.rd_profile, accesses=minority_accesses),
+        ),
+        base_cpi=dominant.base_cpi,
+        penalty_cycles=dominant.penalty_cycles,
+    )
+
+
+@dataclass(frozen=True)
+class PhasesExtensionResult:
+    """Outcome of the multi-phase profiling comparison."""
+
+    detected_phases: int
+    longest_phase_share: float
+    naive_spi_error_pct: float
+    phase_aware_spi_error_pct: float
+    partner: str
+
+    @property
+    def phase_aware_wins(self) -> bool:
+        return self.phase_aware_spi_error_pct < self.naive_spi_error_pct
+
+
+def detect_workload_phases(
+    context: "ExperimentContext", workload: PhasedBenchmark
+) -> Tuple[int, float]:
+    """Solo-run phase detection on the HPC L2-miss-rate series."""
+    sim = MachineSimulation(
+        context.topology,
+        {0: [workload]},
+        scale=context.run_scale,
+        seed=context.seed + 60,
+        power_env=context.power_env,
+    )
+    result = sim.run_duration(measure_s=context.run_scale.measure_s * 3)
+    series = [s.rates[Event.L2_MISSES] for s in result.hpc_by_core[0]]
+    if len(series) < 8:
+        raise SimulationError("too few HPC windows for phase detection")
+    phases = detect_phases(series, window=2, threshold=0.3)
+    longest = max(phases, key=lambda p: p.length)
+    return len(phases), longest.length / len(series)
+
+
+def run_phases_extension(
+    context: "ExperimentContext", partner: str = "twolf"
+) -> PhasesExtensionResult:
+    """Compare naive vs longest-phase profiling on a phased workload."""
+    workload = make_two_phase_workload()
+    ways = context.topology.domains[0].geometry.ways
+
+    # Phase detection needs phases spanning several HPC windows: use a
+    # long-phase variant of the same program.
+    detection_workload = make_two_phase_workload(
+        dominant_accesses=60_000, minority_accesses=30_000
+    )
+    detected, longest_share = detect_workload_phases(context, detection_workload)
+
+    # Ground truth for the dominant regime: the dominant phase co-run.
+    dominant = phase_benchmark(workload, workload.longest_phase_index)
+    truth_sim = MachineSimulation(
+        context.topology,
+        {0: [dominant], 1: [BENCHMARKS[partner]]},
+        scale=context.run_scale,
+        seed=context.seed + 61,
+    )
+    truth = truth_sim.run_accesses().processes[0]
+
+    partner_feature = context.profiles()[partner].feature
+
+    # Naive profiling must integrate over whole phase cycles.
+    naive_scale = replace(
+        context.profile_scale,
+        warmup_accesses=max(
+            context.profile_scale.warmup_accesses, workload.cycle_accesses
+        ),
+        measure_accesses=max(
+            context.profile_scale.measure_accesses, 3 * workload.cycle_accesses
+        ),
+    )
+    naive_profile = profile_process(
+        workload, context.topology, scale=naive_scale, seed=context.seed + 62
+    )
+    aware_profile = profile_process(
+        dominant, context.topology, scale=context.profile_scale,
+        seed=context.seed + 63,
+    )
+
+    errors: List[float] = []
+    for feature in (naive_profile.feature, aware_profile.feature):
+        model = PerformanceModel(ways=ways)
+        model.register(partner_feature)
+        model.register(feature)
+        prediction = model.predict([feature.name, partner])
+        errors.append(relative_error_pct(prediction[0].spi, truth.spi))
+
+    return PhasesExtensionResult(
+        detected_phases=detected,
+        longest_phase_share=longest_share,
+        naive_spi_error_pct=errors[0],
+        phase_aware_spi_error_pct=errors[1],
+        partner=partner,
+    )

@@ -1,0 +1,136 @@
+"""Power-model validation scenarios (paper Tables 2 and 3).
+
+For each random assignment, the machine runs it and the model
+estimates every HPC window's processor power from the *measured* event
+rates.  Two error figures are recorded per assignment, as in the
+paper: per-sample error (window by window) and the error of the
+run-average power.
+"""
+
+from __future__ import annotations
+
+from dataclasses import dataclass
+from typing import TYPE_CHECKING, Dict, List, Mapping, Sequence, Tuple
+
+import numpy as np
+
+from repro.analysis.errors import ErrorSummary, relative_error_pct
+from repro.analysis.tables import render_table
+from repro.errors import SimulationError
+from repro.machine.simulator import SimulationResult
+
+if TYPE_CHECKING:  # pragma: no cover
+    from repro.experiments.context import ExperimentContext
+
+Assignment = Mapping[int, Tuple[str, ...]]
+
+
+@dataclass(frozen=True)
+class AssignmentValidation:
+    """Model-vs-meter comparison for one assignment run."""
+
+    assignment: Dict[int, Tuple[str, ...]]
+    sample_errors_pct: Tuple[float, ...]
+    measured_avg_watts: float
+    estimated_avg_watts: float
+
+    @property
+    def avg_error_pct(self) -> float:
+        return relative_error_pct(self.estimated_avg_watts, self.measured_avg_watts)
+
+
+@dataclass(frozen=True)
+class ScenarioResult:
+    """One row of Table 2 / Table 3."""
+
+    label: str
+    assignments: int
+    sample_error: ErrorSummary
+    avg_error: ErrorSummary
+    details: Tuple[AssignmentValidation, ...]
+
+
+def estimate_power_series(
+    context: "ExperimentContext", result: SimulationResult
+) -> Tuple[np.ndarray, np.ndarray]:
+    """(estimated, measured) per-window processor power of one run.
+
+    Estimates apply Eq. 9 per core to the measured HPC rates and sum
+    over all cores (idle cores have zero rates and contribute the
+    fitted per-core idle power).
+    """
+    if result.power is None or not result.hpc_by_core:
+        raise SimulationError("run has no power/HPC trace to validate against")
+    model = context.power_model()
+    cores = sorted(result.hpc_by_core)
+    windows = min(len(result.power), *(len(result.hpc_by_core[c]) for c in cores))
+    estimated = np.empty(windows)
+    for w in range(windows):
+        per_core = [result.hpc_by_core[core][w].rates for core in cores]
+        estimated[w] = model.processor_power(per_core)
+    measured = np.asarray(result.power.measured_watts[:windows])
+    return estimated, measured
+
+
+def validate_assignment(
+    context: "ExperimentContext", assignment: Assignment, seed_offset: int
+) -> AssignmentValidation:
+    """Run one assignment and compare estimates to meter readings."""
+    result = context.run_assignment(assignment, seed_offset=seed_offset)
+    estimated, measured = estimate_power_series(context, result)
+    sample_errors = tuple(
+        relative_error_pct(float(e), float(m)) for e, m in zip(estimated, measured)
+    )
+    return AssignmentValidation(
+        assignment={c: tuple(n) for c, n in assignment.items()},
+        sample_errors_pct=sample_errors,
+        measured_avg_watts=float(measured.mean()),
+        estimated_avg_watts=float(estimated.mean()),
+    )
+
+
+def validate_scenario(
+    context: "ExperimentContext",
+    label: str,
+    assignments: Sequence[Assignment],
+    seed_base: int = 0,
+) -> ScenarioResult:
+    """Validate the power model over one table row's assignments."""
+    details: List[AssignmentValidation] = []
+    for index, assignment in enumerate(assignments):
+        details.append(
+            validate_assignment(context, assignment, seed_offset=seed_base + index)
+        )
+    all_samples = [e for d in details for e in d.sample_errors_pct]
+    avg_errors = [d.avg_error_pct for d in details]
+    return ScenarioResult(
+        label=label,
+        assignments=len(details),
+        sample_error=ErrorSummary.from_errors(all_samples),
+        avg_error=ErrorSummary.from_errors(avg_errors),
+        details=tuple(details),
+    )
+
+
+def render_power_table(title: str, scenarios: Sequence[ScenarioResult]) -> str:
+    """Render rows in the layout of the paper's Tables 2/3."""
+    rows = []
+    for scenario in scenarios:
+        rows.append(
+            (
+                scenario.label,
+                scenario.assignments,
+                f"{scenario.sample_error.mean:.2f} / {scenario.sample_error.maximum:.2f}",
+                f"{scenario.avg_error.mean:.2f} / {scenario.avg_error.maximum:.2f}",
+            )
+        )
+    return render_table(
+        headers=[
+            "Scenario",
+            "Assignments",
+            "Avg/max err samples (%)",
+            "Avg/max err avg power (%)",
+        ],
+        rows=rows,
+        title=title,
+    )

@@ -1,0 +1,51 @@
+"""Table 2: power-model validation on the 2-core workstation.
+
+Two scenarios, as in the paper: 36 assignments with one process per
+core (all unordered pairs of the 8 benchmarks) and 24 random
+assignments with two processes time-sharing each core.
+"""
+
+from __future__ import annotations
+
+from typing import TYPE_CHECKING, List, Optional
+
+from repro.analysis.validation import pairs_with_replacement, random_assignments
+from repro.experiments.power_validation import (
+    ScenarioResult,
+    render_power_table,
+    validate_scenario,
+)
+
+if TYPE_CHECKING:  # pragma: no cover
+    from repro.experiments.context import ExperimentContext
+
+
+def run_table2(
+    context: "ExperimentContext",
+    limit_1pc: Optional[int] = None,
+    limit_2pc: Optional[int] = None,
+) -> List[ScenarioResult]:
+    """Both Table 2 rows; ``limit_*`` trims assignment counts for CI."""
+    pairs = pairs_with_replacement(context.benchmark_names)
+    one_per_core = [{0: (a,), 1: (b,)} for a, b in pairs]
+    if limit_1pc is not None:
+        one_per_core = one_per_core[:limit_1pc]
+    two_per_core = random_assignments(
+        context.benchmark_names,
+        cores=[0, 1],
+        processes_per_core=2,
+        count=limit_2pc if limit_2pc is not None else 24,
+        seed=context.seed + 2,
+    )
+    return [
+        validate_scenario(context, "1 proc./core", one_per_core, seed_base=0),
+        validate_scenario(
+            context, "2 proc./core", two_per_core, seed_base=len(one_per_core)
+        ),
+    ]
+
+
+def render_table2(scenarios: List[ScenarioResult]) -> str:
+    return render_power_table(
+        "Table 2: Power Model Validation on a 2-Core Workstation", scenarios
+    )

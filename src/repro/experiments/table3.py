@@ -1,0 +1,90 @@
+"""Table 3: power-model validation on the 4-core server.
+
+Three scenarios, as in the paper: 24 random assignments with one
+process per core, 3 with two processes per core, and 10 assignments
+of four processes that leave one or two cores unused.
+"""
+
+from __future__ import annotations
+
+from typing import TYPE_CHECKING, Dict, List, Optional, Tuple
+
+from repro.analysis.validation import random_assignments, spread_assignments
+from repro.experiments.power_validation import (
+    ScenarioResult,
+    render_power_table,
+    validate_scenario,
+)
+
+if TYPE_CHECKING:  # pragma: no cover
+    from repro.experiments.context import ExperimentContext
+
+
+def unused_core_assignments(
+    context: "ExperimentContext", count: int
+) -> List[Dict[int, Tuple[str, ...]]]:
+    """Four processes on 2 or 3 of the 4 cores (alternating shapes)."""
+    three_cores = spread_assignments(
+        context.benchmark_names,
+        total_processes=4,
+        cores_used=[0, 1, 2],
+        count=(count + 1) // 2,
+        seed=context.seed + 31,
+    )
+    two_cores = spread_assignments(
+        context.benchmark_names,
+        total_processes=4,
+        cores_used=[0, 2],
+        count=count // 2,
+        seed=context.seed + 32,
+    )
+    mixed: List[Dict[int, Tuple[str, ...]]] = []
+    for pair in zip(three_cores, two_cores):
+        mixed.extend(pair)
+    mixed.extend(three_cores[len(two_cores):])
+    return mixed[:count]
+
+
+def run_table3(
+    context: "ExperimentContext",
+    limit_1pc: Optional[int] = None,
+    limit_2pc: Optional[int] = None,
+    limit_unused: Optional[int] = None,
+) -> List[ScenarioResult]:
+    """All three Table 3 rows (limits trim counts for CI)."""
+    cores = list(range(context.topology.num_cores))
+    one_per_core = random_assignments(
+        context.benchmark_names,
+        cores=cores,
+        processes_per_core=1,
+        count=limit_1pc if limit_1pc is not None else 24,
+        seed=context.seed + 11,
+    )
+    two_per_core = random_assignments(
+        context.benchmark_names,
+        cores=cores,
+        processes_per_core=2,
+        count=limit_2pc if limit_2pc is not None else 3,
+        seed=context.seed + 12,
+    )
+    unused = unused_core_assignments(
+        context, count=limit_unused if limit_unused is not None else 10
+    )
+    return [
+        validate_scenario(context, "1 proc./core", one_per_core, seed_base=100),
+        validate_scenario(
+            context, "2 proc./core", two_per_core, seed_base=100 + len(one_per_core)
+        ),
+        validate_scenario(
+            context,
+            "4 proc. with unused cores",
+            unused,
+            seed_base=100 + len(one_per_core) + len(two_per_core),
+        ),
+    ]
+
+
+def render_table3(scenarios: List[ScenarioResult]) -> str:
+    return render_power_table(
+        "Table 3: Power Model Validation on a 4-Core Server", scenarios
+    )

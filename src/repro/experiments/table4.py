@@ -1,0 +1,133 @@
+"""Table 4: combined-model validation on the 4-core server.
+
+The combined model estimates each assignment's average processor power
+from *profiling data only* (Figure 1 algorithm) — no runtime HPC
+values — and is compared against the measured average power of the
+actually-run assignment.  Five scenarios, as in the paper:
+32 × one process per core, 10 × two per core, and 16/16/9 assignments
+of four processes onto 3/2/1 cores.
+"""
+
+from __future__ import annotations
+
+from dataclasses import dataclass
+from typing import TYPE_CHECKING, Dict, List, Mapping, Optional, Sequence, Tuple
+
+from repro.analysis.errors import ErrorSummary, relative_error_pct
+from repro.analysis.tables import render_table
+from repro.analysis.validation import random_assignments, spread_assignments
+
+if TYPE_CHECKING:  # pragma: no cover
+    from repro.experiments.context import ExperimentContext
+
+Assignment = Mapping[int, Tuple[str, ...]]
+
+
+@dataclass(frozen=True)
+class CombinedCase:
+    """One assignment's profiles-only estimate vs measured power."""
+
+    assignment: Dict[int, Tuple[str, ...]]
+    estimated_watts: float
+    measured_watts: float
+
+    @property
+    def error_pct(self) -> float:
+        return relative_error_pct(self.estimated_watts, self.measured_watts)
+
+
+@dataclass(frozen=True)
+class CombinedScenario:
+    """One row of Table 4."""
+
+    label: str
+    assignments: int
+    avg_error: ErrorSummary
+    cases: Tuple[CombinedCase, ...]
+
+
+def validate_combined_scenario(
+    context: "ExperimentContext",
+    label: str,
+    assignments: Sequence[Assignment],
+    seed_base: int,
+) -> CombinedScenario:
+    """Estimate-then-run every assignment of one scenario."""
+    model = context.combined_model()
+    cases: List[CombinedCase] = []
+    for index, assignment in enumerate(assignments):
+        estimate = model.estimate_assignment_power(assignment)
+        result = context.run_assignment(assignment, seed_offset=seed_base + index)
+        cases.append(
+            CombinedCase(
+                assignment={c: tuple(n) for c, n in assignment.items()},
+                estimated_watts=estimate.watts,
+                measured_watts=result.power.mean_measured,
+            )
+        )
+    return CombinedScenario(
+        label=label,
+        assignments=len(cases),
+        avg_error=ErrorSummary.from_errors([c.error_pct for c in cases]),
+        cases=tuple(cases),
+    )
+
+
+#: (label, total processes, cores used) for the paper's five scenarios.
+_SCENARIO_SHAPES = (
+    ("1 proc./core", 32, None, 1),
+    ("2 proc./core", 10, None, 2),
+    ("4 proc., 1 core unused", 16, (0, 1, 2), None),
+    ("4 proc., 2 core unused", 16, (0, 2), None),
+    ("4 proc., 3 core unused", 9, (0,), None),
+)
+
+
+def run_table4(
+    context: "ExperimentContext", limits: Optional[Sequence[int]] = None
+) -> List[CombinedScenario]:
+    """All five Table 4 rows; ``limits`` trims counts per row for CI."""
+    cores = list(range(context.topology.num_cores))
+    scenarios: List[CombinedScenario] = []
+    seed_base = 1000
+    for row, shape in enumerate(_SCENARIO_SHAPES):
+        label, count, cores_used, per_core = shape
+        if limits is not None:
+            count = min(count, limits[row])
+        if per_core is not None:
+            assignments: List[Assignment] = random_assignments(
+                context.benchmark_names,
+                cores=cores,
+                processes_per_core=per_core,
+                count=count,
+                seed=context.seed + 800 + row,
+            )
+        else:
+            assignments = spread_assignments(
+                context.benchmark_names,
+                total_processes=4,
+                cores_used=list(cores_used),
+                count=count,
+                seed=context.seed + 800 + row,
+            )
+        scenarios.append(
+            validate_combined_scenario(context, label, assignments, seed_base)
+        )
+        seed_base += len(assignments)
+    return scenarios
+
+
+def render_table4(scenarios: Sequence[CombinedScenario]) -> str:
+    rows = [
+        (
+            s.label,
+            s.assignments,
+            f"{s.avg_error.mean:.2f} / {s.avg_error.maximum:.2f}",
+        )
+        for s in scenarios
+    ]
+    return render_table(
+        headers=["Scenario", "Assignments", "Avg/max err avg power (%)"],
+        rows=rows,
+        title="Table 4: Validating the Combined Model on a 4-Core Server",
+    )

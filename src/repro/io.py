@@ -1,0 +1,235 @@
+"""JSON persistence for profiles and fitted models.
+
+Profiling is the expensive step of the paper's methodology (O(A)
+machine runs per process), so real deployments profile once and reuse
+the vectors across scheduling decisions.  This module round-trips the
+three artefacts a deployment needs to persist:
+
+- :class:`~repro.core.feature.FeatureVector` (performance side),
+- :class:`~repro.core.feature.ProfileVector` (power side, PF_i),
+- :class:`~repro.core.power_model.CorePowerModel` (fitted Eq. 9).
+
+The format is plain JSON with an explicit ``kind``/``version`` header
+so files are self-describing and future-proof.
+"""
+
+from __future__ import annotations
+
+import json
+import pathlib
+from typing import Dict, Union
+
+import numpy as np
+
+from repro.core.feature import FeatureVector, ProfileVector
+from repro.core.histogram import ReuseDistanceHistogram
+from repro.core.power_model import CorePowerModel, PowerTrainingSet
+from repro.core.spi import SpiModel
+from repro.errors import ConfigurationError
+from repro.events import PAPER_NAMES, RATE_EVENTS
+
+Pathish = Union[str, pathlib.Path]
+
+FORMAT_VERSION = 1
+
+
+def _check_header(data: Dict, kind: str) -> None:
+    if not isinstance(data, dict):
+        raise ConfigurationError("malformed document: expected a JSON object")
+    if data.get("kind") != kind:
+        raise ConfigurationError(
+            f"expected kind={kind!r}, found {data.get('kind')!r}"
+        )
+    version = data.get("version")
+    if version != FORMAT_VERSION:
+        raise ConfigurationError(
+            f"unsupported format version {version!r} (supported: {FORMAT_VERSION})"
+        )
+
+
+# ----------------------------------------------------------------------
+# Histograms
+# ----------------------------------------------------------------------
+def histogram_to_dict(histogram: ReuseDistanceHistogram) -> Dict:
+    """Plain-JSON representation of a histogram."""
+    return {
+        "probs": [float(p) for p in histogram.probs],
+        "inf_mass": histogram.inf_mass,
+    }
+
+
+def histogram_from_dict(data: Dict) -> ReuseDistanceHistogram:
+    try:
+        return ReuseDistanceHistogram(data["probs"], data["inf_mass"])
+    except KeyError as missing:
+        raise ConfigurationError(f"histogram document missing {missing}") from None
+
+
+# ----------------------------------------------------------------------
+# Feature vectors
+# ----------------------------------------------------------------------
+def feature_to_dict(feature: FeatureVector) -> Dict:
+    return {
+        "kind": "feature_vector",
+        "version": FORMAT_VERSION,
+        "name": feature.name,
+        "api": feature.api,
+        "alpha": feature.alpha,
+        "beta": feature.beta,
+        "spi_fit_r2": feature.spi_model.r_squared,
+        "histogram": histogram_to_dict(feature.histogram),
+    }
+
+
+def feature_from_dict(data: Dict) -> FeatureVector:
+    _check_header(data, "feature_vector")
+    try:
+        return FeatureVector(
+            name=data["name"],
+            histogram=histogram_from_dict(data["histogram"]),
+            api=data["api"],
+            spi_model=SpiModel(
+                alpha=data["alpha"],
+                beta=data["beta"],
+                r_squared=data.get("spi_fit_r2", 1.0),
+            ),
+        )
+    except KeyError as missing:
+        raise ConfigurationError(f"feature document missing {missing}") from None
+
+
+# ----------------------------------------------------------------------
+# Profile vectors
+# ----------------------------------------------------------------------
+def profile_to_dict(profile: ProfileVector) -> Dict:
+    return {
+        "kind": "profile_vector",
+        "version": FORMAT_VERSION,
+        "name": profile.name,
+        "p_alone": profile.p_alone,
+        "l1rpi": profile.l1rpi,
+        "l2rpi": profile.l2rpi,
+        "brpi": profile.brpi,
+        "fppi": profile.fppi,
+    }
+
+
+def profile_from_dict(data: Dict) -> ProfileVector:
+    _check_header(data, "profile_vector")
+    try:
+        return ProfileVector(
+            name=data["name"],
+            p_alone=data["p_alone"],
+            l1rpi=data["l1rpi"],
+            l2rpi=data["l2rpi"],
+            brpi=data["brpi"],
+            fppi=data["fppi"],
+        )
+    except KeyError as missing:
+        raise ConfigurationError(f"profile document missing {missing}") from None
+
+
+# ----------------------------------------------------------------------
+# Power models
+# ----------------------------------------------------------------------
+def power_model_to_dict(model: CorePowerModel) -> Dict:
+    coefficients = model.coefficients
+    return {
+        "kind": "power_model",
+        "version": FORMAT_VERSION,
+        "p_idle": model.p_idle,
+        "coefficients": coefficients,
+        "r_squared": model.r_squared,
+    }
+
+
+def power_model_from_dict(data: Dict) -> CorePowerModel:
+    _check_header(data, "power_model")
+    try:
+        p_idle = float(data["p_idle"])
+        coefficients = [
+            float(data["coefficients"][PAPER_NAMES[event]]) for event in RATE_EVENTS
+        ]
+    except KeyError as missing:
+        raise ConfigurationError(f"power-model document missing {missing}") from None
+    # Rebuild the fitted state by solving a tiny exact system: one row
+    # per coefficient plus the pinned intercept reproduces the model.
+    training = PowerTrainingSet()
+    rng = np.random.default_rng(0)
+    for _ in range(12):
+        rates = {event: float(rng.uniform(1e5, 1e7)) for event in RATE_EVENTS}
+        power = p_idle + sum(
+            c * rates[event] for c, event in zip(coefficients, RATE_EVENTS)
+        )
+        training.add(rates, max(0.0, power))
+    model = CorePowerModel().fit(training, idle_core_watts=p_idle)
+    # Guard against information loss (e.g. negative powers clamped).
+    rebuilt = [model.coefficients[PAPER_NAMES[event]] for event in RATE_EVENTS]
+    if not np.allclose(rebuilt, coefficients, rtol=1e-6, atol=1e-12):
+        raise ConfigurationError("power-model document could not be rebuilt exactly")
+    return model
+
+
+# ----------------------------------------------------------------------
+# Suites and files
+# ----------------------------------------------------------------------
+def save_json(data: Dict, path: Pathish) -> None:
+    pathlib.Path(path).write_text(json.dumps(data, indent=2, sort_keys=True) + "\n")
+
+
+def load_json(path: Pathish) -> Dict:
+    return json.loads(pathlib.Path(path).read_text())
+
+
+def save_feature(feature: FeatureVector, path: Pathish) -> None:
+    """Write one feature vector to a JSON file."""
+    save_json(feature_to_dict(feature), path)
+
+
+def load_feature(path: Pathish) -> FeatureVector:
+    """Read one feature vector from a JSON file."""
+    return feature_from_dict(load_json(path))
+
+
+def save_profile_suite(
+    features: Dict[str, FeatureVector],
+    profiles: Dict[str, ProfileVector],
+    path: Pathish,
+) -> None:
+    """Persist a whole profiled suite (features + PF vectors) to JSON."""
+    if set(features) != set(profiles):
+        raise ConfigurationError("features and profiles must cover the same names")
+    document = {
+        "kind": "profile_suite",
+        "version": FORMAT_VERSION,
+        "features": {name: feature_to_dict(f) for name, f in features.items()},
+        "profiles": {name: profile_to_dict(p) for name, p in profiles.items()},
+    }
+    save_json(document, path)
+
+
+def load_profile_suite(path: Pathish):
+    """Load a suite saved by :func:`save_profile_suite`.
+
+    Returns:
+        ``(features, profiles)`` dictionaries keyed by process name.
+    """
+    data = load_json(path)
+    _check_header(data, "profile_suite")
+    features = {
+        name: feature_from_dict(d) for name, d in data.get("features", {}).items()
+    }
+    profiles = {
+        name: profile_from_dict(d) for name, d in data.get("profiles", {}).items()
+    }
+    return features, profiles
+
+
+def save_power_model(model: CorePowerModel, path: Pathish) -> None:
+    """Persist a fitted Eq. 9 model to JSON."""
+    save_json(power_model_to_dict(model), path)
+
+
+def load_power_model(path: Pathish) -> CorePowerModel:
+    """Load a fitted Eq. 9 model from JSON."""
+    return power_model_from_dict(load_json(path))

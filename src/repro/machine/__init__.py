@@ -1,0 +1,48 @@
+"""Multicore machine simulator substrate.
+
+:class:`~repro.machine.simulator.MachineSimulation` is the "real
+machine" of the reproduction: given a process-to-core assignment it
+produces the measured ground truth (per-process MPA/SPI/occupancy, HPC
+samples, power traces) that the paper's models are validated against.
+"""
+
+from repro.machine.events import Event, PAPER_NAMES, RATE_EVENTS
+from repro.machine.hpc import CounterBank, HpcSample, HpcSampler
+from repro.machine.process import Process, ProcessCounters
+from repro.machine.scheduler import CoreSchedule
+from repro.machine.simulator import (
+    MachineSimulation,
+    PowerEnvironment,
+    ProcessResult,
+    SimulationResult,
+)
+from repro.machine.topology import (
+    CacheDomain,
+    MachineTopology,
+    STANDARD_MACHINES,
+    four_core_server,
+    two_core_laptop,
+    two_core_workstation,
+)
+
+__all__ = [
+    "Event",
+    "RATE_EVENTS",
+    "PAPER_NAMES",
+    "CounterBank",
+    "HpcSample",
+    "HpcSampler",
+    "Process",
+    "ProcessCounters",
+    "CoreSchedule",
+    "MachineSimulation",
+    "PowerEnvironment",
+    "ProcessResult",
+    "SimulationResult",
+    "MachineTopology",
+    "CacheDomain",
+    "four_core_server",
+    "two_core_workstation",
+    "two_core_laptop",
+    "STANDARD_MACHINES",
+]

@@ -1,0 +1,11 @@
+"""Re-export of :mod:`repro.events` under its historical location.
+
+The event definitions live at the package top level so that leaf
+modules (e.g. :mod:`repro.power.reference`) can import them without
+triggering the :mod:`repro.machine` package initialiser, which imports
+the simulator and would create an import cycle.
+"""
+
+from repro.events import Event, PAPER_NAMES, RATE_EVENTS
+
+__all__ = ["Event", "RATE_EVENTS", "PAPER_NAMES"]

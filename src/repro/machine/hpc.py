@@ -1,0 +1,139 @@
+"""Hardware-performance-counter emulation (the PAPI substitute).
+
+Each core owns a :class:`CounterBank`; the simulator increments it as
+instructions retire.  An :class:`HpcSampler` closes fixed-period
+windows over simulated time and converts counter deltas into the
+per-second event rates the paper's power model consumes.
+
+Counters are stored in a plain list indexed by :data:`EVENT_INDEX`
+rather than an ``Event``-keyed dict: the simulator updates them on
+every simulated L2 access, and enum hashing would dominate the inner
+loop.
+"""
+
+from __future__ import annotations
+
+from dataclasses import dataclass
+from typing import Dict, List, Tuple
+
+from repro.errors import ConfigurationError
+from repro.machine.events import RATE_EVENTS, Event
+
+#: Fixed storage index of each event inside a CounterBank.
+EVENT_INDEX: Dict[Event, int] = {event: i for i, event in enumerate(Event)}
+
+IDX_INSTRUCTIONS = EVENT_INDEX[Event.INSTRUCTIONS]
+IDX_CYCLES = EVENT_INDEX[Event.CYCLES]
+IDX_L1_REFS = EVENT_INDEX[Event.L1_REFS]
+IDX_L2_REFS = EVENT_INDEX[Event.L2_REFS]
+IDX_L2_MISSES = EVENT_INDEX[Event.L2_MISSES]
+IDX_BRANCHES = EVENT_INDEX[Event.BRANCHES]
+IDX_FP_OPS = EVENT_INDEX[Event.FP_OPS]
+
+
+class CounterBank:
+    """Free-running event counters for one core.
+
+    Counts are floats: the simulator retires ``1/API`` instructions
+    per L2 access, so non-L2 event increments are fractional.
+    """
+
+    __slots__ = ("values",)
+
+    def __init__(self) -> None:
+        #: Raw storage, indexed by :data:`EVENT_INDEX`.  The simulator
+        #: inner loop writes this directly.
+        self.values: List[float] = [0.0] * len(EVENT_INDEX)
+
+    def add(self, event: Event, amount: float) -> None:
+        self.values[EVENT_INDEX[event]] += amount
+
+    def read(self, event: Event) -> float:
+        return self.values[EVENT_INDEX[event]]
+
+    @property
+    def counts(self) -> Dict[Event, float]:
+        """Counter values keyed by event (a copy)."""
+        return {event: self.values[i] for event, i in EVENT_INDEX.items()}
+
+    def snapshot(self) -> List[float]:
+        """Copy of the raw counter values."""
+        return list(self.values)
+
+    def delta_since(self, earlier: List[float]) -> Dict[Event, float]:
+        """Counter increments since an earlier :meth:`snapshot`."""
+        return {
+            event: self.values[i] - earlier[i] for event, i in EVENT_INDEX.items()
+        }
+
+
+@dataclass(frozen=True)
+class HpcSample:
+    """Event rates of one core over one sampling window."""
+
+    core: int
+    t_start: float
+    t_end: float
+    rates: Dict[Event, float]
+
+    @property
+    def duration(self) -> float:
+        return self.t_end - self.t_start
+
+    def rate_vector(self) -> Tuple[float, ...]:
+        """The five Eq. 9 regressors (L1RPS, L2RPS, L2MPS, BRPS, FPPS)."""
+        return tuple(self.rates[event] for event in RATE_EVENTS)
+
+
+class HpcSampler:
+    """Fixed-period sampler over a set of per-core counter banks.
+
+    Args:
+        banks: One bank per core, indexed by core id.
+        period_s: Sampling period in simulated seconds.
+        start_s: Time of the first window's start.
+    """
+
+    def __init__(self, banks: List[CounterBank], period_s: float, start_s: float = 0.0):
+        if period_s <= 0:
+            raise ConfigurationError("period_s must be positive")
+        if not banks:
+            raise ConfigurationError("need at least one counter bank")
+        self._banks = banks
+        self.period_s = period_s
+        self._window_start = start_s
+        self._last = [bank.snapshot() for bank in banks]
+        self.samples: List[HpcSample] = []
+
+    @property
+    def next_boundary(self) -> float:
+        return self._window_start + self.period_s
+
+    def advance(self, now: float) -> List[List[HpcSample]]:
+        """Close every window whose end is <= ``now``.
+
+        Returns the newly closed windows, one list of per-core samples
+        per window, so the caller can attach power measurements.
+        """
+        closed: List[List[HpcSample]] = []
+        # The boundary accumulates additively; tolerate float error so a
+        # window ending exactly at `now` is not lost to epsilon drift.
+        while self.next_boundary <= now + self.period_s * 1e-9:
+            t_start = self._window_start
+            t_end = self.next_boundary
+            window: List[HpcSample] = []
+            for core, bank in enumerate(self._banks):
+                delta = bank.delta_since(self._last[core])
+                rates = {event: delta[event] / self.period_s for event in Event}
+                window.append(
+                    HpcSample(core=core, t_start=t_start, t_end=t_end, rates=rates)
+                )
+                self._last[core] = bank.snapshot()
+            self.samples.extend(window)
+            closed.append(window)
+            self._window_start = t_end
+        return closed
+
+    def samples_for_core(self, core: int) -> List[HpcSample]:
+        """All closed samples belonging to one core, in time order."""
+        return [s for s in self.samples if s.core == core]

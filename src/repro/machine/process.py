@@ -1,0 +1,141 @@
+"""A running process: a workload instance bound to a core.
+
+The execution model realises the paper's Eq. 3 mechanistically: every
+instruction takes ``base_cpi`` cycles plus, per L2 miss,
+``penalty_cycles`` stall cycles.  Simulated at L2-access granularity,
+one access quantum retires ``1/API`` instructions in
+
+    dt = base_cpi / (API * f)  +  penalty_cycles / f   (on a miss)
+
+so the process's average SPI is exactly ``alpha * MPA + beta`` with
+``alpha = API * penalty / f`` and ``beta = base_cpi / f`` — the linear
+relation the paper verified empirically on real hardware.
+"""
+
+from __future__ import annotations
+
+from dataclasses import dataclass
+from typing import Optional
+
+from repro.errors import ConfigurationError
+from repro.workloads.generator import AccessGenerator, build_generator
+from repro.workloads.spec import SyntheticBenchmark
+
+
+@dataclass
+class ProcessCounters:
+    """Architectural totals of one process."""
+
+    instructions: float = 0.0
+    l2_refs: int = 0
+    l2_misses: int = 0
+    time_running: float = 0.0
+
+    def snapshot(self) -> "ProcessCounters":
+        return ProcessCounters(
+            instructions=self.instructions,
+            l2_refs=self.l2_refs,
+            l2_misses=self.l2_misses,
+            time_running=self.time_running,
+        )
+
+    def delta_since(self, earlier: "ProcessCounters") -> "ProcessCounters":
+        return ProcessCounters(
+            instructions=self.instructions - earlier.instructions,
+            l2_refs=self.l2_refs - earlier.l2_refs,
+            l2_misses=self.l2_misses - earlier.l2_misses,
+            time_running=self.time_running - earlier.time_running,
+        )
+
+    @property
+    def mpa(self) -> float:
+        """Measured misses per L2 access."""
+        if self.l2_refs == 0:
+            return 0.0
+        return self.l2_misses / self.l2_refs
+
+    @property
+    def spi(self) -> float:
+        """Measured seconds per instruction (while scheduled)."""
+        if self.instructions <= 0:
+            return float("inf")
+        return self.time_running / self.instructions
+
+
+class Process:
+    """A workload instance assigned to a core.
+
+    Args:
+        pid: Globally unique process id (also the cache-owner id).
+        workload: The synthetic benchmark being run.
+        core: Core the process is assigned to.
+        frequency_hz: Machine clock; fixes the Eq. 3 constants.
+        seed: Trace-generator seed.
+        sets: Set count of the core's last-level cache (the generator
+            needs it to lay out per-set reuse).
+    """
+
+    def __init__(
+        self,
+        pid: int,
+        workload: SyntheticBenchmark,
+        core: int,
+        frequency_hz: float,
+        seed: int,
+        sets: int,
+    ):
+        if frequency_hz <= 0:
+            raise ConfigurationError("frequency_hz must be positive")
+        self.pid = pid
+        self.workload = workload
+        self.core = core
+        self.generator: AccessGenerator = build_generator(
+            workload, sets=sets, seed=seed, owner_index=pid
+        )
+        api = workload.api
+        self.inv_api = 1.0 / api
+        self.hit_seconds_per_access = workload.base_cpi / (api * frequency_hz)
+        self.miss_stall_seconds = workload.penalty_cycles / frequency_hz
+        # Per-access HPC increments, precomputed for the simulator's
+        # inner loop.
+        self.l1_incr = workload.mix.l1rpi * self.inv_api
+        self.br_incr = workload.mix.brpi * self.inv_api
+        self.fp_incr = workload.mix.fppi * self.inv_api
+        self.counters = ProcessCounters()
+        self._mark: Optional[ProcessCounters] = None
+
+    def execute_access(self, hit: bool) -> float:
+        """Account one L2-access quantum; return its duration (s)."""
+        dt = self.hit_seconds_per_access
+        if not hit:
+            dt += self.miss_stall_seconds
+        counters = self.counters
+        counters.instructions += self.inv_api
+        counters.l2_refs += 1
+        if not hit:
+            counters.l2_misses += 1
+        counters.time_running += dt
+        return dt
+
+    def charge_stall(self, seconds: float) -> None:
+        """Charge extra stall time (e.g. prefetch bandwidth) to the process."""
+        if seconds < 0:
+            raise ConfigurationError("stall seconds must be non-negative")
+        self.counters.time_running += seconds
+
+    def mark_measurement_start(self) -> None:
+        """Snapshot counters at the warm-up/measure boundary."""
+        self._mark = self.counters.snapshot()
+
+    def measured(self) -> ProcessCounters:
+        """Counters accumulated since the measurement mark."""
+        if self._mark is None:
+            return self.counters.snapshot()
+        return self.counters.delta_since(self._mark)
+
+    @property
+    def name(self) -> str:
+        return self.workload.name
+
+    def __repr__(self) -> str:
+        return f"Process(pid={self.pid}, name={self.name!r}, core={self.core})"

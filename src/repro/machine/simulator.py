@@ -1,0 +1,451 @@
+"""Closed-loop trace-driven multicore machine simulation.
+
+This is the "real machine" of the reproduction.  Processes generate L2
+access streams from their intrinsic reuse-distance profiles; the
+streams interleave in the shared per-domain caches; each process's
+pace depends on its *emergent* miss rate (a miss stalls it for the
+miss penalty), which in turn shifts the interleaving ratio — exactly
+the feedback loop whose fixed point the paper's equilibrium model
+(Section 3.3) predicts analytically.
+
+The simulator also emulates the measurement infrastructure: per-core
+HPC counters sampled on a fixed period and, optionally, the power
+chain (hidden reference model + noisy meter).
+"""
+
+from __future__ import annotations
+
+import heapq
+from dataclasses import dataclass, field
+from typing import Callable, Dict, List, Mapping, Optional, Sequence, Tuple
+
+#: Per-access observer signature: ``hook(time_s, pid, hit)``.
+AccessHook = Callable[[float, int, bool], None]
+
+from repro.cache.prefetch import NextLinePrefetcher, Prefetcher, StridePrefetcher
+from repro.cache.replacement import make_policy
+from repro.cache.set_associative import SetAssociativeCache
+from repro.cache.shared import ContentionMonitor
+from repro.config import SimulationScale, BENCH_SCALE
+from repro.errors import ConfigurationError, SimulationError
+from repro.machine.events import Event
+from repro.machine.hpc import (
+    CounterBank,
+    HpcSample,
+    HpcSampler,
+    IDX_BRANCHES,
+    IDX_CYCLES,
+    IDX_FP_OPS,
+    IDX_INSTRUCTIONS,
+    IDX_L1_REFS,
+    IDX_L2_MISSES,
+    IDX_L2_REFS,
+)
+from repro.machine.process import Process, ProcessCounters
+from repro.machine.scheduler import CoreSchedule
+from repro.machine.topology import MachineTopology
+from repro.power.meter import PowerMeter
+from repro.power.reference import ReferencePowerModel, reference_for
+from repro.power.sampling import PowerTrace
+from repro.workloads.spec import SyntheticBenchmark
+
+
+@dataclass(frozen=True)
+class PowerEnvironment:
+    """The physical power plant of one machine: truth + instrument."""
+
+    reference: ReferencePowerModel
+    meter: PowerMeter
+
+    @classmethod
+    def for_topology(cls, topology: MachineTopology, seed: int = 0) -> "PowerEnvironment":
+        """Standard environment for a machine (deterministic in seed)."""
+        reference = reference_for(
+            topology.nominal_power_watts, topology.num_cores, topology.frequency_hz
+        )
+        return cls(reference=reference, meter=PowerMeter(seed=seed))
+
+
+@dataclass(frozen=True)
+class ProcessResult:
+    """Steady-state measurements of one process over the window."""
+
+    pid: int
+    name: str
+    core: int
+    instructions: float
+    l2_refs: int
+    l2_misses: int
+    time_running: float
+    mpa: float
+    spi: float
+    occupancy_ways: float
+
+    @property
+    def aps(self) -> float:
+        """L2 accesses per second while scheduled."""
+        if self.time_running <= 0:
+            return 0.0
+        return self.l2_refs / self.time_running
+
+
+@dataclass
+class SimulationResult:
+    """Everything one simulated run produced."""
+
+    topology_name: str
+    measure_start_s: float
+    measure_end_s: float
+    processes: List[ProcessResult]
+    hpc_by_core: Dict[int, List[HpcSample]] = field(default_factory=dict)
+    power: Optional[PowerTrace] = None
+    context_switches: int = 0
+
+    @property
+    def duration_s(self) -> float:
+        return self.measure_end_s - self.measure_start_s
+
+    def process_by_pid(self, pid: int) -> ProcessResult:
+        for result in self.processes:
+            if result.pid == pid:
+                return result
+        raise KeyError(f"no process with pid {pid}")
+
+
+_PREFETCHERS = {
+    "nextline": NextLinePrefetcher,
+    "stride": StridePrefetcher,
+}
+
+
+class MachineSimulation:
+    """One assignment of workloads to cores, ready to run.
+
+    Args:
+        topology: The machine.
+        assignment: ``core id -> workloads on that core`` (several
+            workloads on one core time-share it round-robin).  Cores
+            absent from the mapping stay idle.
+        scale: Fidelity/runtime knobs.
+        seed: Master seed (traces, scheduler jitter).
+        power_env: Attach the power plant to collect power traces in
+            duration mode.
+        policy: Replacement-policy name for the shared caches
+            (default LRU, the paper's assumption).
+        prefetch: Optional prefetcher name (``nextline``/``stride``)
+            for the prefetching ablation.
+        prefetch_cost_fraction: Extra stall, as a fraction of the miss
+            penalty, charged per issued prefetch — the constrained
+            memory bandwidth the paper argues limits prefetching.
+    """
+
+    def __init__(
+        self,
+        topology: MachineTopology,
+        assignment: Mapping[int, Sequence[SyntheticBenchmark]],
+        scale: SimulationScale = BENCH_SCALE,
+        seed: int = 0,
+        power_env: Optional[PowerEnvironment] = None,
+        policy: str = "lru",
+        prefetch: Optional[str] = None,
+        prefetch_cost_fraction: float = 0.35,
+        access_hook: Optional["AccessHook"] = None,
+    ):
+        self.topology = topology
+        self.scale = scale
+        self.power_env = power_env
+        for core in assignment:
+            if not 0 <= core < topology.num_cores:
+                raise ConfigurationError(
+                    f"core {core} out of range for {topology.name}"
+                )
+        if prefetch_cost_fraction < 0:
+            raise ConfigurationError("prefetch_cost_fraction must be non-negative")
+        self._prefetch_cost_fraction = prefetch_cost_fraction
+        #: Optional per-access observer ``hook(time_s, pid, hit)`` for
+        #: instrumentation experiments (e.g. context-switch refill).
+        self.access_hook = access_hook
+
+        self.caches: List[SetAssociativeCache] = []
+        self.monitors: List[ContentionMonitor] = []
+        self.prefetchers: Optional[List[Prefetcher]] = None
+        if prefetch is not None:
+            if prefetch not in _PREFETCHERS:
+                raise ConfigurationError(
+                    f"unknown prefetcher {prefetch!r}; choose from {sorted(_PREFETCHERS)}"
+                )
+            self.prefetchers = []
+        for idx, domain in enumerate(topology.domains):
+            cache = SetAssociativeCache(domain.geometry, make_policy(policy, seed + idx))
+            self.caches.append(cache)
+            self.monitors.append(ContentionMonitor(cache))
+            if self.prefetchers is not None:
+                self.prefetchers.append(_PREFETCHERS[prefetch]())
+
+        self._domain_of_core: Dict[int, int] = {}
+        for idx, domain in enumerate(topology.domains):
+            for core in domain.core_ids:
+                self._domain_of_core[core] = idx
+
+        self.processes: List[Process] = []
+        per_core: Dict[int, List[Process]] = {c: [] for c in range(topology.num_cores)}
+        pid = 0
+        for core in sorted(assignment):
+            for workload in assignment[core]:
+                sets = topology.domain_of(core).geometry.sets
+                process = Process(
+                    pid=pid,
+                    workload=workload,
+                    core=core,
+                    frequency_hz=topology.core_frequency(core),
+                    seed=seed * 1_000_003 + pid,
+                    sets=sets,
+                )
+                self.processes.append(process)
+                per_core[core].append(process)
+                pid += 1
+
+        self.schedules: Dict[int, CoreSchedule] = {
+            core: CoreSchedule(
+                core,
+                per_core[core],
+                timeslice_s=scale.timeslice_s,
+                seed=seed * 7_919 + core,
+            )
+            for core in range(topology.num_cores)
+        }
+        self.banks: List[CounterBank] = [CounterBank() for _ in range(topology.num_cores)]
+
+    # ------------------------------------------------------------------
+    # Public entry points
+    # ------------------------------------------------------------------
+    def run_accesses(
+        self,
+        warmup_accesses: Optional[int] = None,
+        measure_accesses: Optional[int] = None,
+    ) -> SimulationResult:
+        """Run until every process retires a per-process access budget.
+
+        Used by the performance experiments, which care about converged
+        per-process statistics rather than wall-clock alignment.
+        """
+        warmup = warmup_accesses if warmup_accesses is not None else self.scale.warmup_accesses
+        measure = (
+            measure_accesses if measure_accesses is not None else self.scale.measure_accesses
+        )
+        if not self.processes:
+            raise SimulationError("access-budget mode needs at least one process")
+        return self._run(duration_mode=False, warmup_budget=warmup, measure_budget=measure)
+
+    def run_duration(
+        self,
+        warmup_s: Optional[float] = None,
+        measure_s: Optional[float] = None,
+        collect_power: bool = True,
+    ) -> SimulationResult:
+        """Run for fixed simulated time with HPC (and power) sampling.
+
+        Used by the power experiments; also works with an empty
+        assignment to measure idle power.
+        """
+        warmup = warmup_s if warmup_s is not None else self.scale.warmup_s
+        measure = measure_s if measure_s is not None else self.scale.measure_s
+        if collect_power and self.power_env is None:
+            raise ConfigurationError("collect_power requires a power_env")
+        return self._run(
+            duration_mode=True,
+            warmup_s=warmup,
+            measure_s=measure,
+            collect_power=collect_power,
+        )
+
+    # ------------------------------------------------------------------
+    # Core loop
+    # ------------------------------------------------------------------
+    def _begin_measurement(self) -> None:
+        for process in self.processes:
+            process.mark_measurement_start()
+        for monitor in self.monitors:
+            monitor.start_measurement()
+
+    def _drain_power(
+        self,
+        sampler: HpcSampler,
+        trace: PowerTrace,
+        now: float,
+    ) -> None:
+        assert self.power_env is not None
+        for window in sampler.advance(now):
+            per_core_rates = [sample.rates for sample in window]
+            true_w = self.power_env.reference.processor_power(per_core_rates)
+            measured_w = self.power_env.meter.measure_window(true_w, sampler.period_s)
+            trace.append(true_w, measured_w)
+
+    def _run(
+        self,
+        duration_mode: bool,
+        warmup_budget: int = 0,
+        measure_budget: int = 0,
+        warmup_s: float = 0.0,
+        measure_s: float = 0.0,
+        collect_power: bool = False,
+    ) -> SimulationResult:
+        heap: List[Tuple[float, int, int]] = []
+        seq = 0
+        for core, sched in self.schedules.items():
+            if not sched.idle:
+                heapq.heappush(heap, (seq * 1e-9, seq, core))
+                seq += 1
+
+        measuring = False
+        t_measure_start = 0.0
+        t_end = warmup_s + measure_s if duration_mode else float("inf")
+        sampler: Optional[HpcSampler] = None
+        trace: Optional[PowerTrace] = None
+        check_countdown = 128
+        t_now = 0.0
+        core_frequencies = [
+            self.topology.core_frequency(core)
+            for core in range(self.topology.num_cores)
+        ]
+        hook = self.access_hook
+
+        while heap:
+            t, s, core = heapq.heappop(heap)
+            if duration_mode and t >= t_end:
+                break
+            t_now = t
+            sched = self.schedules[core]
+            sched.maybe_switch(t)
+            process = sched.current()
+            if process is None:  # pragma: no cover - idle cores never enqueue
+                continue
+            domain_idx = self._domain_of_core[core]
+            line = process.generator.next_line()
+            hit = self.monitors[domain_idx].access(line, process.pid)
+            dt = process.execute_access(hit)
+            if self.prefetchers is not None:
+                issued = self.prefetchers[domain_idx].on_access(
+                    self.caches[domain_idx], process.pid, line, hit
+                )
+                if issued:
+                    extra = issued * self._prefetch_cost_fraction * process.miss_stall_seconds
+                    process.charge_stall(extra)
+                    dt += extra
+            values = self.banks[core].values
+            values[IDX_INSTRUCTIONS] += process.inv_api
+            values[IDX_L1_REFS] += process.l1_incr
+            values[IDX_BRANCHES] += process.br_incr
+            values[IDX_FP_OPS] += process.fp_incr
+            values[IDX_L2_REFS] += 1.0
+            if not hit:
+                values[IDX_L2_MISSES] += 1.0
+            values[IDX_CYCLES] += dt * core_frequencies[core]
+            if hook is not None:
+                hook(t, process.pid, hit)
+            t_next = t + dt
+
+            if not measuring:
+                if duration_mode:
+                    if t_next >= warmup_s:
+                        measuring = True
+                        t_measure_start = warmup_s
+                        self._begin_measurement()
+                        if collect_power:
+                            sampler = HpcSampler(
+                                self.banks, self.scale.hpc_period_s, start_s=warmup_s
+                            )
+                            trace = PowerTrace(
+                                window_s=self.scale.hpc_period_s, start_s=warmup_s
+                            )
+                else:
+                    check_countdown -= 1
+                    if check_countdown <= 0:
+                        check_countdown = 128
+                        if all(
+                            p.counters.l2_refs >= warmup_budget for p in self.processes
+                        ):
+                            measuring = True
+                            t_measure_start = t_next
+                            self._begin_measurement()
+            else:
+                if duration_mode:
+                    if sampler is not None and trace is not None:
+                        self._drain_power(sampler, trace, min(t_next, t_end))
+                else:
+                    check_countdown -= 1
+                    if check_countdown <= 0:
+                        check_countdown = 128
+                        if all(
+                            p.measured().l2_refs >= measure_budget for p in self.processes
+                        ):
+                            t_now = t_next
+                            break
+
+            heapq.heappush(heap, (t_next, seq, core))
+            seq += 1
+
+        if duration_mode:
+            if not measuring:
+                # No process ever ran (idle machine): open the window now.
+                measuring = True
+                t_measure_start = warmup_s
+                self._begin_measurement()
+                if collect_power:
+                    sampler = HpcSampler(
+                        self.banks, self.scale.hpc_period_s, start_s=warmup_s
+                    )
+                    trace = PowerTrace(window_s=self.scale.hpc_period_s, start_s=warmup_s)
+            if sampler is not None and trace is not None:
+                self._drain_power(sampler, trace, t_end)
+            t_measure_end = t_end
+        else:
+            if not measuring:
+                raise SimulationError(
+                    "run ended before the warm-up budget was met; "
+                    "increase the access budget"
+                )
+            t_measure_end = t_now
+
+        return self._assemble(t_measure_start, t_measure_end, sampler, trace)
+
+    def _assemble(
+        self,
+        t_start: float,
+        t_end: float,
+        sampler: Optional[HpcSampler],
+        trace: Optional[PowerTrace],
+    ) -> SimulationResult:
+        process_results = []
+        for process in self.processes:
+            measured = process.measured()
+            domain_idx = self._domain_of_core[process.core]
+            process_results.append(
+                ProcessResult(
+                    pid=process.pid,
+                    name=process.name,
+                    core=process.core,
+                    instructions=measured.instructions,
+                    l2_refs=measured.l2_refs,
+                    l2_misses=measured.l2_misses,
+                    time_running=measured.time_running,
+                    mpa=measured.mpa,
+                    spi=measured.spi,
+                    occupancy_ways=self.monitors[domain_idx].mean_occupancy_ways(
+                        process.pid
+                    ),
+                )
+            )
+        hpc_by_core: Dict[int, List[HpcSample]] = {}
+        if sampler is not None:
+            for core in range(self.topology.num_cores):
+                hpc_by_core[core] = sampler.samples_for_core(core)
+        return SimulationResult(
+            topology_name=self.topology.name,
+            measure_start_s=t_start,
+            measure_end_s=t_end,
+            processes=process_results,
+            hpc_by_core=hpc_by_core,
+            power=trace,
+            context_switches=sum(s.context_switches for s in self.schedules.values()),
+        )

@@ -1,0 +1,22 @@
+"""Power ground truth and measurement-chain substrate.
+
+The hidden :class:`~repro.power.reference.ReferencePowerModel` plays
+the role of the physical processor; the
+:class:`~repro.power.meter.PowerMeter` plays the Fluke clamp + NI DAQ
+chain.  Models in :mod:`repro.core` only ever see meter output.
+"""
+
+from repro.power.meter import MeterSpec, PowerMeter
+from repro.power.reference import ComponentResponse, ReferencePowerModel, reference_for
+from repro.power.regulator import Regulator
+from repro.power.sampling import PowerTrace
+
+__all__ = [
+    "ReferencePowerModel",
+    "ComponentResponse",
+    "reference_for",
+    "Regulator",
+    "PowerMeter",
+    "MeterSpec",
+    "PowerTrace",
+]

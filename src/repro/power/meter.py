@@ -1,0 +1,113 @@
+"""Current-clamp + DAQ measurement chain.
+
+Models the paper's instrumentation: a Fluke i30 current clamp (gain
+error plus broadband noise) sampled by an NI USB6210 card at 10 kHz
+with finite resolution.  The simulator supplies the *true* processor
+power over a measurement window; the meter returns what the
+experimenter's pipeline would record — the per-window mean of the
+quantised, noisy samples mapped through the 10.8 W/A factor — plus an
+optional slow thermal wander so consecutive windows are realistically
+correlated.
+"""
+
+from __future__ import annotations
+
+from dataclasses import dataclass
+from typing import Optional
+
+import numpy as np
+
+from repro.errors import ConfigurationError
+from repro.power.regulator import Regulator
+
+
+@dataclass(frozen=True)
+class MeterSpec:
+    """Noise/quantisation characteristics of the measurement chain.
+
+    Attributes:
+        sample_rate_hz: DAQ sampling rate (paper: 10 kHz).
+        clamp_gain_error: Fixed multiplicative gain error of the clamp,
+            drawn once per meter instance within ±this fraction.
+        clamp_noise_amps: Per-sample RMS current noise of the clamp.
+        daq_lsb_amps: Quantisation step of the acquisition card.
+        wander_fraction: RMS of the slow (per-window AR(1)) power
+            wander as a fraction of the current true power, modelling
+            temperature-dependent leakage the models cannot see.
+        wander_rho: AR(1) correlation of the wander between windows.
+    """
+
+    sample_rate_hz: float = 10_000.0
+    clamp_gain_error: float = 0.015
+    clamp_noise_amps: float = 0.05
+    daq_lsb_amps: float = 0.005
+    wander_fraction: float = 0.035
+    wander_rho: float = 0.8
+
+    def __post_init__(self) -> None:
+        if self.sample_rate_hz <= 0:
+            raise ConfigurationError("sample_rate_hz must be positive")
+        for name in ("clamp_gain_error", "clamp_noise_amps", "daq_lsb_amps", "wander_fraction"):
+            if getattr(self, name) < 0:
+                raise ConfigurationError(f"{name} must be non-negative")
+        if not 0.0 <= self.wander_rho < 1.0:
+            raise ConfigurationError("wander_rho must be within [0, 1)")
+
+
+class PowerMeter:
+    """Stateful measurement chain for one experiment run.
+
+    Args:
+        spec: Noise characteristics.
+        regulator: Supply-line model (12 V, 90 % efficient).
+        seed: RNG seed; one meter instance models one physical setup,
+            so the clamp gain error is drawn once here.
+    """
+
+    def __init__(
+        self,
+        spec: Optional[MeterSpec] = None,
+        regulator: Optional[Regulator] = None,
+        seed: int = 0,
+    ):
+        self.spec = spec if spec is not None else MeterSpec()
+        self.regulator = regulator if regulator is not None else Regulator()
+        self._rng = np.random.default_rng(seed)
+        self._gain = 1.0 + self._rng.uniform(
+            -self.spec.clamp_gain_error, self.spec.clamp_gain_error
+        )
+        self._wander_state = 0.0
+
+    def measure_window(self, true_watts: float, window_s: float) -> float:
+        """Measured average power over one window of true power.
+
+        Draws the DAQ samples the window would contain, adds clamp
+        noise and wander, quantises, and returns the mean reported
+        power.  At 10 kHz even short windows contain many samples, so
+        white noise averages down while gain error and wander do not —
+        matching why the paper's *average*-power errors are smaller
+        than its per-sample errors.
+        """
+        if true_watts < 0:
+            raise ConfigurationError("true_watts must be non-negative")
+        if window_s <= 0:
+            raise ConfigurationError("window_s must be positive")
+        spec = self.spec
+        n = max(1, int(round(window_s * spec.sample_rate_hz)))
+        rho = spec.wander_rho
+        self._wander_state = rho * self._wander_state + (
+            1.0 - rho**2
+        ) ** 0.5 * self._rng.normal()
+        wandered = true_watts * (1.0 + spec.wander_fraction * self._wander_state)
+        true_current = self.regulator.line_current(max(0.0, wandered))
+        samples = self._gain * true_current + self._rng.normal(
+            0.0, spec.clamp_noise_amps, size=n
+        )
+        if spec.daq_lsb_amps > 0:
+            samples = np.round(samples / spec.daq_lsb_amps) * spec.daq_lsb_amps
+        mean_current = float(np.clip(samples, 0.0, None).mean())
+        return self.regulator.reported_power(mean_current)
+
+    def measure_trace(self, true_watts: np.ndarray, window_s: float) -> np.ndarray:
+        """Measure a sequence of windows (vector convenience)."""
+        return np.array([self.measure_window(float(w), window_s) for w in true_watts])

@@ -1,0 +1,59 @@
+"""Voltage-regulator model of the paper's measurement setup.
+
+Section 6.1: a Fluke i30 current clamp sits on one of the 12 V
+processor supply lines; an on-board regulator with an assumed fixed
+efficiency of 90 % converts down to the core voltage, so the paper
+computes processor power as ``P = 0.9 * 12 * I = 10.8 * I``.
+
+We run the chain in both directions: the reference model gives true
+processor power, the regulator maps it to the 12 V line current the
+clamp would see, and the meter maps noisy current samples back to the
+power figure the paper's methodology reports.
+"""
+
+from __future__ import annotations
+
+from dataclasses import dataclass
+
+from repro.errors import ConfigurationError
+
+
+@dataclass(frozen=True)
+class Regulator:
+    """Fixed-efficiency 12 V to core-voltage regulator.
+
+    Attributes:
+        supply_volts: Supply-line voltage (12 V in the paper).
+        efficiency: Fraction of supply power delivered to the chip.
+    """
+
+    supply_volts: float = 12.0
+    efficiency: float = 0.9
+
+    def __post_init__(self) -> None:
+        if self.supply_volts <= 0:
+            raise ConfigurationError("supply_volts must be positive")
+        if not 0.0 < self.efficiency <= 1.0:
+            raise ConfigurationError("efficiency must be within (0, 1]")
+
+    @property
+    def watts_per_amp(self) -> float:
+        """The paper's 10.8 factor: reported W per measured A."""
+        return self.efficiency * self.supply_volts
+
+    def line_current(self, processor_watts: float) -> float:
+        """12 V line current drawn for a given true processor power.
+
+        The paper's convention reports ``P = eff * V * I`` as processor
+        power, i.e. the true power *is* that product, so the line
+        current is ``P / (eff * V)``.
+        """
+        if processor_watts < 0:
+            raise ConfigurationError("processor_watts must be non-negative")
+        return processor_watts / self.watts_per_amp
+
+    def reported_power(self, line_current: float) -> float:
+        """Power figure the paper's methodology reports for a current."""
+        if line_current < 0:
+            raise ConfigurationError("line_current must be non-negative")
+        return self.watts_per_amp * line_current

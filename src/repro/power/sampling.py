@@ -1,0 +1,60 @@
+"""Power-trace containers and window alignment helpers."""
+
+from __future__ import annotations
+
+from dataclasses import dataclass, field
+from typing import List
+
+import numpy as np
+
+from repro.errors import ConfigurationError
+
+
+@dataclass
+class PowerTrace:
+    """Per-window processor power over one measurement run.
+
+    Windows are contiguous with fixed duration ``window_s``; entry
+    ``i`` covers ``[start_s + i*window_s, start_s + (i+1)*window_s)``.
+    ``true_watts`` comes from the hidden reference model,
+    ``measured_watts`` from the simulated meter — the models only ever
+    see the latter.
+    """
+
+    window_s: float
+    start_s: float = 0.0
+    true_watts: List[float] = field(default_factory=list)
+    measured_watts: List[float] = field(default_factory=list)
+
+    def append(self, true_w: float, measured_w: float) -> None:
+        self.true_watts.append(true_w)
+        self.measured_watts.append(measured_w)
+
+    def __len__(self) -> int:
+        return len(self.measured_watts)
+
+    @property
+    def times(self) -> np.ndarray:
+        """Window-center timestamps in seconds."""
+        n = len(self.measured_watts)
+        return self.start_s + (np.arange(n) + 0.5) * self.window_s
+
+    @property
+    def mean_measured(self) -> float:
+        if not self.measured_watts:
+            raise ConfigurationError("empty power trace")
+        return float(np.mean(self.measured_watts))
+
+    @property
+    def mean_true(self) -> float:
+        if not self.true_watts:
+            raise ConfigurationError("empty power trace")
+        return float(np.mean(self.true_watts))
+
+    def as_arrays(self):
+        """Return (times, true, measured) numpy arrays."""
+        return (
+            self.times,
+            np.asarray(self.true_watts),
+            np.asarray(self.measured_watts),
+        )

@@ -1,0 +1,21 @@
+"""Automated process profiling (stressmark co-runs, Section 3.4)."""
+
+from repro.profiling.characterize import (
+    AloneMeasurement,
+    SweepPoint,
+    measure_alone,
+    measure_alone_power,
+    measure_with_stressmark,
+)
+from repro.profiling.profiler import ProcessProfile, profile_process, profile_suite
+
+__all__ = [
+    "AloneMeasurement",
+    "SweepPoint",
+    "measure_alone",
+    "measure_alone_power",
+    "measure_with_stressmark",
+    "ProcessProfile",
+    "profile_process",
+    "profile_suite",
+]

@@ -1,0 +1,154 @@
+"""Low-level measurement helpers for automated profiling.
+
+Everything here consumes only quantities observable on a real system:
+HPC counter totals, wall-clock time, and meter readings.  The hidden
+benchmark definitions are used solely to *run* the process in the
+simulator, never to read its parameters.
+"""
+
+from __future__ import annotations
+
+from dataclasses import dataclass
+from typing import Dict, Optional, Tuple
+
+from repro.config import SimulationScale
+from repro.errors import ProfilingError
+from repro.machine.events import Event
+from repro.machine.simulator import (
+    MachineSimulation,
+    PowerEnvironment,
+    SimulationResult,
+)
+from repro.machine.topology import MachineTopology
+from repro.workloads.spec import SyntheticBenchmark
+from repro.workloads.stressmark import make_stressmark
+
+
+@dataclass(frozen=True)
+class AloneMeasurement:
+    """Measured behaviour of a process running alone on the machine."""
+
+    name: str
+    api: float
+    mpa: float
+    spi: float
+    l1rpi: float
+    l2rpi: float
+    brpi: float
+    fppi: float
+
+
+@dataclass(frozen=True)
+class SweepPoint:
+    """One stressmark co-run measurement (Section 3.4)."""
+
+    stress_ways: int
+    #: Effective cache size the procedure assumes for the process:
+    #: associativity minus the stressmark's ways.
+    target_size: int
+    mpa: float
+    spi: float
+
+
+def _per_instruction_rates(sim: MachineSimulation, core: int) -> Dict[str, float]:
+    """Instruction-related event rates measured from the core's HPCs."""
+    counts = sim.banks[core].counts
+    instructions = counts[Event.INSTRUCTIONS]
+    if instructions <= 0:
+        raise ProfilingError("no instructions retired during profiling run")
+    return {
+        "l1rpi": counts[Event.L1_REFS] / instructions,
+        "l2rpi": counts[Event.L2_REFS] / instructions,
+        "brpi": counts[Event.BRANCHES] / instructions,
+        "fppi": counts[Event.FP_OPS] / instructions,
+    }
+
+
+def measure_alone(
+    benchmark: SyntheticBenchmark,
+    topology: MachineTopology,
+    scale: SimulationScale,
+    seed: int,
+    core: int = 0,
+) -> AloneMeasurement:
+    """Run the process alone and record its solo operating point."""
+    sim = MachineSimulation(topology, {core: [benchmark]}, scale=scale, seed=seed)
+    result = sim.run_accesses()
+    process = result.processes[0]
+    if process.l2_refs == 0 or process.instructions <= 0:
+        raise ProfilingError(f"{benchmark.name}: degenerate alone run")
+    rates = _per_instruction_rates(sim, core)
+    return AloneMeasurement(
+        name=benchmark.name,
+        api=process.l2_refs / process.instructions,
+        mpa=process.mpa,
+        spi=process.spi,
+        **rates,
+    )
+
+
+def measure_with_stressmark(
+    benchmark: SyntheticBenchmark,
+    topology: MachineTopology,
+    stress_ways: int,
+    scale: SimulationScale,
+    seed: int,
+    core: int = 0,
+    partner_core: Optional[int] = None,
+) -> SweepPoint:
+    """Co-run the process with a ``stress_ways``-way stressmark.
+
+    The partner core defaults to the first other core in the profiled
+    core's cache domain.
+    """
+    domain = topology.domain_of(core)
+    if partner_core is None:
+        partners = [c for c in domain.core_ids if c != core]
+        if not partners:
+            raise ProfilingError(
+                f"core {core} has no cache-sharing partner for the stressmark"
+            )
+        partner_core = partners[0]
+    stressmark = make_stressmark(stress_ways)
+    sim = MachineSimulation(
+        topology,
+        {core: [benchmark], partner_core: [stressmark]},
+        scale=scale,
+        seed=seed,
+    )
+    result = sim.run_accesses()
+    process = next(p for p in result.processes if p.core == core)
+    if process.l2_refs == 0:
+        raise ProfilingError(
+            f"{benchmark.name}: no L2 accesses in stressmark sweep w={stress_ways}"
+        )
+    return SweepPoint(
+        stress_ways=stress_ways,
+        target_size=domain.geometry.ways - stress_ways,
+        mpa=process.mpa,
+        spi=process.spi,
+    )
+
+
+def measure_alone_power(
+    benchmark: SyntheticBenchmark,
+    topology: MachineTopology,
+    power_env: PowerEnvironment,
+    scale: SimulationScale,
+    seed: int,
+    core: int = 0,
+) -> Tuple[float, float]:
+    """Measured processor power with only this process running.
+
+    Returns ``(processor_watts_alone, processor_watts_idle)`` so the
+    caller can convert to a core-level P_alone.
+    """
+    alone = MachineSimulation(
+        topology, {core: [benchmark]}, scale=scale, seed=seed, power_env=power_env
+    ).run_duration()
+    idle = MachineSimulation(
+        topology, {}, scale=scale, seed=seed + 1, power_env=power_env
+    ).run_duration()
+    if alone.power is None or idle.power is None:
+        raise ProfilingError("power traces missing from profiling runs")
+    return alone.power.mean_measured, idle.power.mean_measured

@@ -1,0 +1,175 @@
+"""End-to-end automated profiling (paper Section 3.4 and Section 5).
+
+One call to :func:`profile_process` performs the paper's whole
+characterisation recipe for a process:
+
+1. run it alone, recording API, the instruction-related event rates
+   and (optionally) P_alone;
+2. co-run it with the stressmark at every effective cache size
+   ``A - w`` for ``w = A-1 .. 1``;
+3. regress the Eq. 3 constants α, β from the (MPA, SPI) sweep;
+4. difference the MPA sweep into a reuse-distance histogram (Eq. 8).
+
+The outputs — a :class:`~repro.core.feature.FeatureVector` and a
+:class:`~repro.core.feature.ProfileVector` — are everything the
+performance, power and combined models consume.  Total cost is O(A)
+runs per process, once, versus the 2^k co-run combinations the models
+can then predict.
+"""
+
+from __future__ import annotations
+
+from dataclasses import dataclass
+from typing import List, Optional, Sequence, Tuple
+
+from repro.config import SimulationScale, BENCH_SCALE
+from repro.core.feature import FeatureVector, ProfileVector
+from repro.core.mpa import MissRatioCurve
+from repro.core.spi import fit_spi_model
+from repro.errors import ProfilingError
+from repro.machine.simulator import PowerEnvironment
+from repro.machine.topology import MachineTopology
+from repro.profiling.characterize import (
+    AloneMeasurement,
+    SweepPoint,
+    measure_alone,
+    measure_alone_power,
+    measure_with_stressmark,
+)
+from repro.workloads.spec import SyntheticBenchmark
+
+
+@dataclass(frozen=True)
+class ProcessProfile:
+    """Everything profiling learned about one process."""
+
+    feature: FeatureVector
+    profile: ProfileVector
+    alone: AloneMeasurement
+    sweep: Tuple[SweepPoint, ...]
+    spi_fit_r2: float
+
+
+def profile_process(
+    benchmark: SyntheticBenchmark,
+    topology: MachineTopology,
+    scale: SimulationScale = BENCH_SCALE,
+    seed: int = 0,
+    core: int = 0,
+    power_env: Optional[PowerEnvironment] = None,
+    sweep_ways: Optional[Sequence[int]] = None,
+) -> ProcessProfile:
+    """Run the paper's automated profiling recipe for one process.
+
+    Args:
+        benchmark: The process to characterise (executed, not read).
+        topology: Machine to profile on; the profiled core's cache
+            domain defines the sweep range.
+        scale: Simulation budgets for each profiling run.
+        seed: Base RNG seed; each run derives its own.
+        core: Core the profiled process runs on.
+        power_env: If given, P_alone is measured (needed for the
+            combined model); otherwise it is recorded as 0.
+        sweep_ways: Stressmark way counts to sweep (default
+            ``A-1 .. 1``, giving effective sizes ``1 .. A-1``; the
+            alone run supplies the size-``A`` point).
+
+    Raises:
+        ProfilingError: If the sweep data is degenerate.
+    """
+    ways = topology.domain_of(core).geometry.ways
+    if ways < 2:
+        raise ProfilingError(
+            f"cannot sweep a {ways}-way cache: the stressmark procedure "
+            "needs at least 2 ways"
+        )
+    if sweep_ways is None:
+        sweep_ways = range(ways - 1, 0, -1)
+    sweep_ways = list(sweep_ways)
+    if any(not 1 <= w <= ways - 1 for w in sweep_ways):
+        raise ProfilingError(
+            f"stressmark ways must lie in 1..{ways - 1} for a {ways}-way cache"
+        )
+
+    alone = measure_alone(benchmark, topology, scale=scale, seed=seed, core=core)
+
+    points: List[SweepPoint] = []
+    for index, w in enumerate(sweep_ways):
+        points.append(
+            measure_with_stressmark(
+                benchmark,
+                topology,
+                stress_ways=w,
+                scale=scale,
+                seed=seed + 101 * (index + 1),
+                core=core,
+            )
+        )
+
+    # Assemble the MPA(S) sweep: stressmark points plus the alone run
+    # as the full-cache point.
+    sized = sorted(points, key=lambda p: p.target_size)
+    sizes = [float(p.target_size) for p in sized] + [float(ways)]
+    mpas = [p.mpa for p in sized] + [alone.mpa]
+    curve = MissRatioCurve(sizes, mpas, enforce_monotone=True)
+    histogram = curve.to_histogram()
+
+    spi_model = fit_spi_model(
+        [p.mpa for p in sized] + [alone.mpa],
+        [p.spi for p in sized] + [alone.spi],
+    )
+
+    p_alone_core = 0.0
+    if power_env is not None:
+        processor_alone, processor_idle = measure_alone_power(
+            benchmark, topology, power_env, scale=scale, seed=seed + 5_000, core=core
+        )
+        # Convert to a core-level figure consistent with the power
+        # model's convention (uncore amortised per core): the busy
+        # core's power is the alone-run increment plus one idle share.
+        idle_share = processor_idle / topology.num_cores
+        p_alone_core = max(0.0, processor_alone - processor_idle + idle_share)
+
+    feature = FeatureVector(
+        name=benchmark.name,
+        histogram=histogram,
+        api=alone.api,
+        spi_model=spi_model,
+    )
+    profile = ProfileVector(
+        name=benchmark.name,
+        p_alone=p_alone_core,
+        l1rpi=alone.l1rpi,
+        l2rpi=alone.l2rpi,
+        brpi=alone.brpi,
+        fppi=alone.fppi,
+    )
+    return ProcessProfile(
+        feature=feature,
+        profile=profile,
+        alone=alone,
+        sweep=tuple(sized),
+        spi_fit_r2=spi_model.r_squared,
+    )
+
+
+def profile_suite(
+    benchmarks: Sequence[SyntheticBenchmark],
+    topology: MachineTopology,
+    scale: SimulationScale = BENCH_SCALE,
+    seed: int = 0,
+    power_env: Optional[PowerEnvironment] = None,
+) -> List[ProcessProfile]:
+    """Profile a whole benchmark suite (O(k·A) runs in total)."""
+    profiles = []
+    for index, benchmark in enumerate(benchmarks):
+        profiles.append(
+            profile_process(
+                benchmark,
+                topology,
+                scale=scale,
+                seed=seed + 10_007 * index,
+                power_env=power_env,
+            )
+        )
+    return profiles

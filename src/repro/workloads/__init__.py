@@ -1,0 +1,56 @@
+"""Synthetic workload substrate.
+
+- :mod:`~repro.workloads.spec` — ten SPEC-CPU2000-like benchmark
+  models (:data:`~repro.workloads.spec.BENCHMARKS`).
+- :mod:`~repro.workloads.generator` — trace synthesis from
+  reuse-distance profiles.
+- :mod:`~repro.workloads.stressmark` — the configurable-contention
+  profiling benchmark of Section 3.4.
+- :mod:`~repro.workloads.microbenchmark` — the 6-phase power-training
+  schedule of Section 4.1.
+- :mod:`~repro.workloads.phases` — program-phase detection.
+"""
+
+from repro.workloads.generator import (
+    AccessGenerator,
+    StackDistanceTraceGenerator,
+    StressmarkGenerator,
+    build_generator,
+)
+from repro.workloads.microbenchmark import Microbenchmark, MicrobenchmarkWindow
+from repro.workloads.mix import InstructionMix
+from repro.workloads.phases import Phase, detect_phases, longest_phase
+from repro.workloads.profiles import bump, combine, geometric, streaming, validate_profile
+from repro.workloads.spec import (
+    BENCHMARKS,
+    PAPER_EIGHT,
+    PAPER_TEN,
+    SyntheticBenchmark,
+    get_benchmark,
+)
+from repro.workloads.stressmark import StressmarkSpec, make_stressmark
+
+__all__ = [
+    "InstructionMix",
+    "SyntheticBenchmark",
+    "BENCHMARKS",
+    "PAPER_EIGHT",
+    "PAPER_TEN",
+    "get_benchmark",
+    "AccessGenerator",
+    "StackDistanceTraceGenerator",
+    "StressmarkGenerator",
+    "build_generator",
+    "StressmarkSpec",
+    "make_stressmark",
+    "Microbenchmark",
+    "MicrobenchmarkWindow",
+    "Phase",
+    "detect_phases",
+    "longest_phase",
+    "bump",
+    "combine",
+    "geometric",
+    "streaming",
+    "validate_profile",
+]

@@ -1,0 +1,105 @@
+"""The 6-phase power-model-training micro-benchmark (paper Section 4.1).
+
+The paper trains its power model partly with a purpose-built
+micro-benchmark: phase 0 records idle power, then each of five phases
+exercises one architectural block (L1, L2, L2-miss path, branch unit,
+FP unit) at eight descending access frequencies.  We reproduce it as a
+*rate schedule*: a sequence of HPC-rate vectors (one per sampling
+window) that the training pipeline feeds through the hidden reference
+model and the meter, spanning each component's operating range the way
+the original micro-benchmark spans it on real hardware.
+"""
+
+from __future__ import annotations
+
+from dataclasses import dataclass
+from typing import Dict, Iterator, List
+
+from repro.errors import ConfigurationError
+from repro.events import Event, RATE_EVENTS
+
+
+#: Peak achievable event rates as a fraction of the core clock,
+#: matching what the synthetic SPEC suite can actually reach.
+_PEAK_FRACTION = {
+    Event.L1_REFS: 0.60,
+    Event.L2_REFS: 0.15,
+    Event.L2_MISSES: 0.05,
+    Event.BRANCHES: 0.30,
+    Event.FP_OPS: 0.40,
+}
+
+#: Background activity (fraction of the phase's stressed component
+#: level) on the non-stressed components: a real micro-benchmark still
+#: executes instructions while stressing one block.
+_BACKGROUND_FRACTION = 0.05
+
+
+@dataclass(frozen=True)
+class MicrobenchmarkWindow:
+    """One sampling window of the micro-benchmark schedule."""
+
+    phase: int
+    level: int
+    rates: Dict[Event, float]
+
+
+class Microbenchmark:
+    """Rate schedule of the 6-phase training micro-benchmark.
+
+    Args:
+        frequency_hz: Clock of the machine being trained for; event
+            rates scale with it.
+        levels: Access-frequency steps per component phase (paper: 8,
+            descending).
+        windows_per_level: HPC windows spent at each level (the paper
+            holds each level for 10 s, i.e. many windows; a handful is
+            enough for regression).
+    """
+
+    def __init__(
+        self,
+        frequency_hz: float,
+        levels: int = 8,
+        windows_per_level: int = 4,
+    ):
+        if frequency_hz <= 0:
+            raise ConfigurationError("frequency_hz must be positive")
+        if levels < 2:
+            raise ConfigurationError("need at least two levels per phase")
+        if windows_per_level < 1:
+            raise ConfigurationError("windows_per_level must be positive")
+        self.frequency_hz = frequency_hz
+        self.levels = levels
+        self.windows_per_level = windows_per_level
+
+    def windows(self) -> Iterator[MicrobenchmarkWindow]:
+        """Yield the schedule: idle phase, then one phase per component."""
+        # Phase 0: idle.
+        idle = {event: 0.0 for event in RATE_EVENTS}
+        for _ in range(self.windows_per_level):
+            yield MicrobenchmarkWindow(phase=0, level=0, rates=dict(idle))
+        for phase, stressed in enumerate(RATE_EVENTS, start=1):
+            peak = _PEAK_FRACTION[stressed] * self.frequency_hz
+            for level in range(self.levels):
+                # Highest frequency first, reduced every level (paper).
+                fraction = (self.levels - level) / self.levels
+                stressed_rate = peak * fraction
+                rates = {
+                    event: _BACKGROUND_FRACTION * _PEAK_FRACTION[event]
+                    * self.frequency_hz * fraction
+                    for event in RATE_EVENTS
+                }
+                rates[stressed] = stressed_rate
+                if stressed is not Event.L1_REFS:
+                    # Any activity implies L1 traffic; keep the vector
+                    # physically consistent (L2 refs filter through L1).
+                    rates[Event.L1_REFS] = max(rates[Event.L1_REFS], stressed_rate)
+                if stressed is Event.L2_MISSES:
+                    rates[Event.L2_REFS] = max(rates[Event.L2_REFS], stressed_rate)
+                for _ in range(self.windows_per_level):
+                    yield MicrobenchmarkWindow(phase=phase, level=level, rates=dict(rates))
+
+    def all_windows(self) -> List[MicrobenchmarkWindow]:
+        """The whole schedule as a list."""
+        return list(self.windows())

@@ -1,0 +1,78 @@
+"""Instruction-mix description of a workload.
+
+The power model (paper Section 4/5) consumes five event rates; four of
+them are *instruction-related* process properties (fixed per process
+regardless of co-runners): L1 references, L2 references, branches and
+floating-point operations per instruction.  This dataclass holds those
+per-instruction rates.
+"""
+
+from __future__ import annotations
+
+from dataclasses import dataclass
+
+from repro.errors import ConfigurationError
+
+
+@dataclass(frozen=True)
+class InstructionMix:
+    """Per-instruction event rates of a workload.
+
+    Attributes:
+        l1rpi: L1 data-cache references per instruction.
+        l2rpi: L2 cache references per instruction (the paper's API,
+            accesses per instruction).
+        brpi: Branch instructions retired per instruction.
+        fppi: Floating-point instructions retired per instruction.
+    """
+
+    l1rpi: float
+    l2rpi: float
+    brpi: float
+    fppi: float
+
+    def __post_init__(self) -> None:
+        for name in ("l1rpi", "l2rpi", "brpi", "fppi"):
+            value = getattr(self, name)
+            if not 0.0 <= value <= 1.0:
+                raise ConfigurationError(
+                    f"{name} must be within [0, 1] events/instruction, got {value!r}"
+                )
+        if self.l2rpi > self.l1rpi:
+            raise ConfigurationError(
+                "l2rpi cannot exceed l1rpi: every L2 reference is an L1 miss"
+            )
+        if self.l2rpi <= 0.0:
+            raise ConfigurationError(
+                "l2rpi must be positive: the performance model is defined "
+                "in terms of L2 accesses"
+            )
+
+    @property
+    def api(self) -> float:
+        """Paper notation: (last-level cache) accesses per instruction."""
+        return self.l2rpi
+
+    def rates_per_second(self, spi: float, l2mpr: float) -> dict:
+        """Translate per-instruction rates into per-second event rates.
+
+        Args:
+            spi: Seconds per instruction.
+            l2mpr: L2 misses per L2 reference (equals the model's MPA).
+
+        Returns:
+            Mapping with keys ``l1rps``, ``l2rps``, ``l2mps``, ``brps``,
+            ``fpps`` — exactly the regressors of Eq. 9.
+        """
+        if spi <= 0:
+            raise ConfigurationError("spi must be positive")
+        if not 0.0 <= l2mpr <= 1.0:
+            raise ConfigurationError("l2mpr must be within [0, 1]")
+        ips = 1.0 / spi
+        return {
+            "l1rps": self.l1rpi * ips,
+            "l2rps": self.l2rpi * ips,
+            "l2mps": self.l2rpi * l2mpr * ips,
+            "brps": self.brpi * ips,
+            "fpps": self.fppi * ips,
+        }

@@ -1,0 +1,171 @@
+"""Multi-phase workloads (relaxing the paper's single-phase assumption).
+
+Section 3.1 assumes processes are single-phased and says that
+"non-repeating phases should be modeled separately"; in the
+experiments the longest phases of *art* and *mcf* were used (after Tam
+et al.).  This module provides workloads whose memory behaviour
+switches between phases so that assumption can be stress-tested:
+
+- :class:`PhasedBenchmark` cycles through per-phase reuse-distance
+  profiles (instruction mix and SPI constants stay fixed — phases
+  differ in *memory access pattern*, which is what the model cares
+  about).
+- :func:`phase_benchmark` extracts a single phase as an ordinary
+  :class:`~repro.workloads.spec.SyntheticBenchmark`, which is what
+  "profile the longest phase separately" means operationally.
+
+The phases-extension experiment compares naive whole-run profiling
+against longest-phase profiling on these workloads.
+"""
+
+from __future__ import annotations
+
+from dataclasses import dataclass
+from typing import Dict, List, Sequence, Tuple
+
+from repro.errors import ConfigurationError
+from repro.workloads.generator import AccessGenerator, StackDistanceTraceGenerator
+from repro.workloads.mix import InstructionMix
+from repro.workloads.profiles import Profile, validate_profile
+from repro.workloads.spec import SyntheticBenchmark
+
+
+@dataclass(frozen=True)
+class PhaseSegment:
+    """One phase: a reuse-distance profile held for a number of accesses."""
+
+    profile: Profile
+    accesses: int
+
+    def __post_init__(self) -> None:
+        validate_profile(self.profile)
+        if self.accesses < 1:
+            raise ConfigurationError("phase length must be >= 1 access")
+
+
+def _mixture_profile(segments: Sequence[PhaseSegment]) -> Profile:
+    """Access-weighted mixture of the phase profiles.
+
+    This is what a whole-run (phase-oblivious) measurement converges
+    to, and serves as the benchmark's nominal ``rd_profile``.
+    """
+    total = sum(s.accesses for s in segments)
+    merged: Dict[float, float] = {}
+    for segment in segments:
+        weight = segment.accesses / total
+        for distance, probability in segment.profile:
+            merged[distance] = merged.get(distance, 0.0) + weight * probability
+    items = sorted(merged.items(), key=lambda kv: kv[0])
+    return tuple(items)
+
+
+@dataclass(frozen=True)
+class PhasedBenchmark(SyntheticBenchmark):
+    """A benchmark whose reuse-distance behaviour cycles through phases.
+
+    The inherited ``rd_profile`` is the access-weighted phase mixture
+    (the distribution a phase-oblivious profiler sees); the actual
+    generated trace switches distributions at phase boundaries.
+    """
+
+    phases: Tuple[PhaseSegment, ...] = ()
+
+    def __post_init__(self) -> None:
+        super().__post_init__()
+        if len(self.phases) < 2:
+            raise ConfigurationError("a phased benchmark needs at least two phases")
+
+    @property
+    def longest_phase_index(self) -> int:
+        """Index of the phase with the most accesses per cycle."""
+        lengths = [segment.accesses for segment in self.phases]
+        return lengths.index(max(lengths))
+
+    @property
+    def cycle_accesses(self) -> int:
+        return sum(segment.accesses for segment in self.phases)
+
+
+def make_phased_benchmark(
+    name: str,
+    mix: InstructionMix,
+    phases: Sequence[PhaseSegment],
+    base_cpi: float,
+    penalty_cycles: float,
+) -> PhasedBenchmark:
+    """Build a phased benchmark with the mixture as nominal profile."""
+    phases = tuple(phases)
+    if len(phases) < 2:
+        raise ConfigurationError("need at least two phases")
+    return PhasedBenchmark(
+        name=name,
+        mix=mix,
+        rd_profile=_mixture_profile(phases),
+        base_cpi=base_cpi,
+        penalty_cycles=penalty_cycles,
+        phases=phases,
+    )
+
+
+def phase_benchmark(benchmark: PhasedBenchmark, index: int) -> SyntheticBenchmark:
+    """Extract phase ``index`` as a stand-alone single-phase benchmark.
+
+    Profiling this object is the operational meaning of the paper's
+    "model non-repeating phases separately" / "the longest phase was
+    used".
+    """
+    if not 0 <= index < len(benchmark.phases):
+        raise ConfigurationError(
+            f"phase index {index} out of range 0..{len(benchmark.phases) - 1}"
+        )
+    return SyntheticBenchmark(
+        name=f"{benchmark.name}#phase{index}",
+        mix=benchmark.mix,
+        rd_profile=benchmark.phases[index].profile,
+        base_cpi=benchmark.base_cpi,
+        penalty_cycles=benchmark.penalty_cycles,
+        streaming_sequential=benchmark.streaming_sequential,
+    )
+
+
+class PhasedTraceGenerator(AccessGenerator):
+    """Cycles through per-phase stack-distance generators.
+
+    The per-set reuse history (the address space) is shared across
+    phases: a phase change alters the *pattern*, not the data, so
+    early accesses of a new phase may still hit lines the previous
+    phase touched — matching how real phase transitions behave.
+    """
+
+    def __init__(self, benchmark: PhasedBenchmark, sets: int, seed: int, tag_offset: int = 0):
+        self._segments = benchmark.phases
+        self._generators: List[StackDistanceTraceGenerator] = []
+        shared_stacks: List[List[int]] = [[] for _ in range(sets)]
+        shared_fresh = [0] * sets
+        for offset, segment in enumerate(self._segments):
+            generator = StackDistanceTraceGenerator(
+                segment.profile,
+                sets,
+                seed=seed + 7_919 * offset,
+                tag_offset=tag_offset,
+                streaming_sequential=benchmark.streaming_sequential,
+            )
+            # Share address-space state across phases.
+            generator.adopt_state(shared_stacks, shared_fresh)
+            self._generators.append(generator)
+        self._phase = 0
+        self._left = self._segments[0].accesses
+        #: Number of completed phase transitions (for tests/metrics).
+        self.transitions = 0
+
+    @property
+    def current_phase(self) -> int:
+        return self._phase
+
+    def next_line(self) -> int:
+        if self._left <= 0:
+            self._phase = (self._phase + 1) % len(self._segments)
+            self._left = self._segments[self._phase].accesses
+            self.transitions += 1
+        self._left -= 1
+        return self._generators[self._phase].next_line()

@@ -1,0 +1,85 @@
+"""Program-phase detection on HPC time series.
+
+The paper records phase information per benchmark and notes all but
+two programs have a single significant phase; for *art* and *mcf* the
+longest phase was used (following Tam et al.).  These helpers perform
+that selection on a sampled metric series: segment where the rolling
+mean shifts, then pick the longest stable segment.
+"""
+
+from __future__ import annotations
+
+from dataclasses import dataclass
+from typing import List, Sequence
+
+import numpy as np
+
+from repro.errors import ConfigurationError
+
+
+@dataclass(frozen=True)
+class Phase:
+    """A stable segment of a sampled metric series."""
+
+    start: int
+    end: int  # exclusive
+    mean: float
+
+    @property
+    def length(self) -> int:
+        return self.end - self.start
+
+
+def detect_phases(
+    values: Sequence[float],
+    window: int = 8,
+    threshold: float = 0.25,
+) -> List[Phase]:
+    """Segment a series into phases by mean shifts.
+
+    A new phase starts whenever the rolling mean of the last ``window``
+    samples departs from the current phase's running mean by more than
+    ``threshold`` (relative to the series' overall dynamic range).
+
+    Args:
+        values: The sampled metric (e.g. MPA or L2RPS per window).
+        window: Rolling-mean width in samples.
+        threshold: Relative mean-shift that opens a new phase.
+
+    Returns:
+        Phases covering the whole series in order.
+    """
+    arr = np.asarray(values, dtype=float)
+    if arr.ndim != 1 or arr.size == 0:
+        raise ConfigurationError("values must be a non-empty 1-D sequence")
+    if window < 1:
+        raise ConfigurationError("window must be positive")
+    if threshold <= 0:
+        raise ConfigurationError("threshold must be positive")
+    scale = float(arr.max() - arr.min())
+    if scale <= 0:
+        return [Phase(start=0, end=arr.size, mean=float(arr.mean()))]
+
+    phases: List[Phase] = []
+    start = 0
+    phase_sum = arr[0]
+    phase_count = 1
+    for i in range(1, arr.size):
+        rolling = arr[max(0, i - window + 1): i + 1].mean()
+        phase_mean = phase_sum / phase_count
+        if abs(rolling - phase_mean) > threshold * scale and i - start >= window:
+            phases.append(Phase(start=start, end=i, mean=phase_mean))
+            start = i
+            phase_sum = arr[i]
+            phase_count = 1
+        else:
+            phase_sum += arr[i]
+            phase_count += 1
+    phases.append(Phase(start=start, end=arr.size, mean=phase_sum / phase_count))
+    return phases
+
+
+def longest_phase(values: Sequence[float], window: int = 8, threshold: float = 0.25) -> Phase:
+    """The longest stable phase of a series (paper: used for art/mcf)."""
+    phases = detect_phases(values, window=window, threshold=threshold)
+    return max(phases, key=lambda p: p.length)

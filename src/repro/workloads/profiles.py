@@ -1,0 +1,102 @@
+"""Helpers for constructing reuse-distance profiles.
+
+Synthetic benchmarks are defined by a per-set reuse-distance
+distribution.  Real programs exhibit a few canonical shapes — tight
+loops (mass at small distances), blocked algorithms (a bump at the
+block size), pointer chasing (a heavy tail), and streaming (mass at
+infinity).  These builders compose those shapes into normalised
+``(distance, weight)`` profiles consumed by
+:class:`repro.core.histogram.ReuseDistanceHistogram` and the trace
+generator.
+"""
+
+from __future__ import annotations
+
+import math
+from typing import Dict, Sequence, Tuple
+
+from repro.errors import ConfigurationError
+
+Profile = Tuple[Tuple[float, float], ...]  # ((distance, weight), ...)
+
+
+def geometric(mean: float, max_distance: int, weight: float = 1.0) -> Dict[float, float]:
+    """Geometric decay with the given mean distance (tight-loop reuse)."""
+    if mean < 0:
+        raise ConfigurationError("mean must be non-negative")
+    if max_distance < 0:
+        raise ConfigurationError("max_distance must be non-negative")
+    p = 1.0 / (1.0 + mean)
+    raw = {d: p * (1.0 - p) ** d for d in range(max_distance + 1)}
+    total = sum(raw.values())
+    return {d: weight * w / total for d, w in raw.items()}
+
+
+def bump(center: float, width: float, max_distance: int, weight: float = 1.0) -> Dict[float, float]:
+    """Gaussian bump around ``center`` (blocked/working-set reuse)."""
+    if width <= 0:
+        raise ConfigurationError("width must be positive")
+    raw = {
+        d: math.exp(-0.5 * ((d - center) / width) ** 2)
+        for d in range(max_distance + 1)
+    }
+    total = sum(raw.values())
+    if total <= 0:
+        raise ConfigurationError("bump has no mass within range")
+    return {d: weight * w / total for d, w in raw.items()}
+
+
+def streaming(weight: float = 1.0) -> Dict[float, float]:
+    """Pure streaming mass: accesses that never hit (infinite distance)."""
+    if weight < 0:
+        raise ConfigurationError("weight must be non-negative")
+    return {math.inf: weight}
+
+
+def combine(*components: Dict[float, float]) -> Profile:
+    """Merge weighted components into one normalised profile.
+
+    The relative weights of the inputs are preserved; the result sums
+    to 1 and is sorted by distance (infinity last).
+    """
+    merged: Dict[float, float] = {}
+    for component in components:
+        for distance, weight in component.items():
+            if weight < 0:
+                raise ConfigurationError("weights must be non-negative")
+            merged[distance] = merged.get(distance, 0.0) + weight
+    total = sum(merged.values())
+    if total <= 0:
+        raise ConfigurationError("profile has no mass")
+    items = sorted(merged.items(), key=lambda kv: kv[0])
+    return tuple((d, w / total) for d, w in items if w > 0)
+
+
+def validate_profile(profile: Sequence[Tuple[float, float]]) -> None:
+    """Check a profile is normalised with legal distances.
+
+    Raises:
+        ConfigurationError: On negative weights, negative or
+            non-integral finite distances, or mass not summing to 1.
+    """
+    total = 0.0
+    for distance, weight in profile:
+        if weight < 0:
+            raise ConfigurationError("profile weights must be non-negative")
+        if distance != math.inf:
+            if distance < 0 or distance != int(distance):
+                raise ConfigurationError(
+                    f"finite distances must be non-negative integers, got {distance!r}"
+                )
+        total += weight
+    if not math.isclose(total, 1.0, rel_tol=0, abs_tol=1e-9):
+        raise ConfigurationError(f"profile mass must sum to 1, got {total!r}")
+
+
+def profile_mean(profile: Sequence[Tuple[float, float]]) -> float:
+    """Mean finite distance (conditioned on finite), inf if none."""
+    finite = [(d, w) for d, w in profile if d != math.inf]
+    mass = sum(w for _, w in finite)
+    if mass <= 0:
+        return math.inf
+    return sum(d * w for d, w in finite) / mass

@@ -1,0 +1,75 @@
+"""The stressmark: a benchmark with configurable cache contention.
+
+Section 3.4 of the paper profiles an unknown process by co-running it
+with a *stressmark* whose effective cache size is tunable.  Our
+stressmark sweeps ``ways`` lines per set cyclically (reuse distance
+exactly ``ways - 1``) at a very high L2 access rate, so under LRU it
+reliably holds ``ways`` ways of every set and squeezes the profiled
+process into the remaining ``A - ways``.
+"""
+
+from __future__ import annotations
+
+from dataclasses import dataclass
+
+from repro.core.histogram import ReuseDistanceHistogram
+from repro.errors import ConfigurationError
+from repro.workloads.mix import InstructionMix
+from repro.workloads.spec import SyntheticBenchmark
+
+
+@dataclass(frozen=True)
+class StressmarkSpec(SyntheticBenchmark):
+    """A stressmark occupying a configurable number of ways."""
+
+    ways: int = 1
+
+    def __post_init__(self) -> None:
+        super().__post_init__()
+        if self.ways < 1:
+            raise ConfigurationError("stressmark ways must be >= 1")
+
+
+def make_stressmark(
+    ways: int,
+    api: float = 0.12,
+    base_cpi: float = 0.8,
+    penalty_cycles: float = 8.0,
+) -> StressmarkSpec:
+    """Build a stressmark that occupies ``ways`` ways per set.
+
+    The default access-per-instruction rate is much higher than any of
+    the synthetic SPEC models so the stressmark wins LRU recency races
+    and its occupancy stays pinned at ``ways``, which is the assumption
+    the paper's profiling procedure relies on.
+
+    The default miss penalty is deliberately tiny: a real stressmark is
+    written with independent, non-blocking loads whose misses overlap,
+    so missing barely slows its issue rate.  (A stressmark that stalled
+    on every miss could never win back its ways against an aggressive
+    co-runner once evicted.)
+
+    Args:
+        ways: Target effective cache size in ways per set.
+        api: L2 accesses per instruction of the stressmark.
+        base_cpi: Hit-path cycles per instruction.
+        penalty_cycles: Stall cycles per L2 miss.
+    """
+    if ways < 1:
+        raise ConfigurationError("ways must be >= 1")
+    profile = tuple(
+        (d, p)
+        for d, p in enumerate(
+            ReuseDistanceHistogram.point_mass(ways - 1).probs
+        )
+        if p > 0
+    )
+    mix = InstructionMix(l1rpi=max(0.2, api), l2rpi=api, brpi=0.05, fppi=0.0)
+    return StressmarkSpec(
+        name=f"stressmark-{ways}w",
+        mix=mix,
+        rd_profile=profile,
+        base_cpi=base_cpi,
+        penalty_cycles=penalty_cycles,
+        ways=ways,
+    )

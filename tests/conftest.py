@@ -1,0 +1,78 @@
+"""Shared fixtures: small machines and fast simulation scales."""
+
+from __future__ import annotations
+
+import pytest
+
+from repro.config import CacheGeometry, SimulationScale
+from repro.machine.simulator import MachineSimulation, PowerEnvironment
+from repro.machine.topology import (
+    CacheDomain,
+    MachineTopology,
+    four_core_server,
+    two_core_workstation,
+)
+from repro.workloads.spec import BENCHMARKS
+
+
+@pytest.fixture
+def tiny_geometry() -> CacheGeometry:
+    """A small cache: 16 sets x 8 ways."""
+    return CacheGeometry(sets=16, ways=8)
+
+
+@pytest.fixture
+def tiny_scale() -> SimulationScale:
+    """Budgets small enough for sub-second simulator runs."""
+    return SimulationScale(
+        warmup_accesses=2_000,
+        measure_accesses=6_000,
+        warmup_s=0.002,
+        measure_s=0.008,
+        hpc_period_s=0.0008,
+        timeslice_s=0.0005,
+    )
+
+
+@pytest.fixture
+def small_server() -> MachineTopology:
+    """4-core server scaled to 64 sets for fast tests."""
+    return four_core_server(sets=64)
+
+
+@pytest.fixture
+def small_workstation() -> MachineTopology:
+    """2-core workstation scaled to 64 sets."""
+    return two_core_workstation(sets=64)
+
+
+@pytest.fixture
+def power_env(small_server) -> PowerEnvironment:
+    return PowerEnvironment.for_topology(small_server, seed=3)
+
+
+@pytest.fixture
+def mcf():
+    return BENCHMARKS["mcf"]
+
+
+@pytest.fixture
+def gzip():
+    return BENCHMARKS["gzip"]
+
+
+@pytest.fixture
+def art():
+    return BENCHMARKS["art"]
+
+
+def run_pair(topology, scale, left, right, seed=1, **kwargs):
+    """Convenience: co-run two benchmarks on cores 0 and 1."""
+    sim = MachineSimulation(
+        topology,
+        {0: [BENCHMARKS[left]], 1: [BENCHMARKS[right]]},
+        scale=scale,
+        seed=seed,
+        **kwargs,
+    )
+    return sim.run_accesses()

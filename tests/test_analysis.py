@@ -1,0 +1,132 @@
+"""Unit tests for error metrics, tables and scenario enumeration."""
+
+import pytest
+
+from repro.analysis.errors import (
+    ErrorSummary,
+    absolute_error_pct,
+    relative_error_pct,
+    summarize,
+)
+from repro.analysis.tables import render_series, render_table
+from repro.analysis.validation import (
+    pairs_with_replacement,
+    random_assignments,
+    spread_assignments,
+)
+from repro.errors import ConfigurationError
+
+
+class TestErrorMetrics:
+    def test_relative_error(self):
+        assert relative_error_pct(11.0, 10.0) == pytest.approx(10.0)
+        assert relative_error_pct(9.0, 10.0) == pytest.approx(10.0)
+
+    def test_relative_error_zero_truth(self):
+        with pytest.raises(ConfigurationError):
+            relative_error_pct(1.0, 0.0)
+
+    def test_absolute_error_points(self):
+        assert absolute_error_pct(0.45, 0.40) == pytest.approx(5.0)
+
+    def test_summary(self):
+        summary = summarize([1.0, 3.0, 7.0, 9.0])
+        assert summary.count == 4
+        assert summary.mean == pytest.approx(5.0)
+        assert summary.maximum == 9.0
+        assert summary.over_5pct == pytest.approx(50.0)
+
+    def test_summary_empty(self):
+        with pytest.raises(ConfigurationError):
+            summarize([])
+
+    def test_summary_negative(self):
+        with pytest.raises(ConfigurationError):
+            summarize([-1.0])
+
+    def test_merge(self):
+        a = summarize([2.0, 4.0])
+        b = summarize([6.0, 8.0, 10.0])
+        merged = a.merged_with(b)
+        assert merged.count == 5
+        assert merged.mean == pytest.approx(6.0)
+        assert merged.maximum == 10.0
+
+
+class TestTables:
+    def test_render_basic(self):
+        text = render_table(["Name", "X"], [("a", 1.234), ("bb", 5.0)])
+        lines = text.splitlines()
+        assert "Name" in lines[0]
+        assert "1.23" in text
+        assert "bb" in text
+
+    def test_title_included(self):
+        text = render_table(["A"], [("x",)], title="Table 9")
+        assert text.startswith("Table 9")
+
+    def test_row_length_validation(self):
+        with pytest.raises(ConfigurationError):
+            render_table(["A", "B"], [("only-one",)])
+
+    def test_render_series_decimated(self):
+        times = [i * 0.1 for i in range(100)]
+        series = [[float(i) for i in range(100)]]
+        text = render_series(times, series, labels=["watts"], max_rows=10)
+        assert len(text.splitlines()) <= 15
+
+    def test_render_series_label_mismatch(self):
+        with pytest.raises(ConfigurationError):
+            render_series([0.0], [[1.0]], labels=["a", "b"])
+
+
+class TestScenarioEnumeration:
+    def test_pairs_counts_match_paper(self):
+        names8 = [f"b{i}" for i in range(8)]
+        names10 = [f"b{i}" for i in range(10)]
+        assert len(pairs_with_replacement(names8)) == 36
+        assert len(pairs_with_replacement(names10)) == 55
+
+    def test_pairs_include_self(self):
+        pairs = pairs_with_replacement(["a", "b"])
+        assert ("a", "a") in pairs
+
+    def test_random_assignments_shape(self):
+        assignments = random_assignments(
+            ["a", "b", "c"], cores=[0, 1], processes_per_core=2, count=5, seed=1
+        )
+        assert len(assignments) == 5
+        for assignment in assignments:
+            assert set(assignment) == {0, 1}
+            assert all(len(p) == 2 for p in assignment.values())
+
+    def test_random_assignments_distinct(self):
+        assignments = random_assignments(
+            ["a", "b", "c", "d"], cores=[0, 1], processes_per_core=1, count=8, seed=2
+        )
+        keys = {
+            tuple(sorted((c, p) for c, p in a.items())) for a in assignments
+        }
+        assert len(keys) == 8
+
+    def test_random_assignments_deterministic(self):
+        a = random_assignments(["a", "b"], [0], 1, 2, seed=5)
+        b = random_assignments(["a", "b"], [0], 1, 2, seed=5)
+        assert a == b
+
+    def test_random_assignments_space_too_small(self):
+        with pytest.raises(ConfigurationError):
+            random_assignments(["a"], [0], 1, count=2, seed=1)
+
+    def test_spread_assignments(self):
+        assignments = spread_assignments(
+            ["a", "b", "c"], total_processes=4, cores_used=[0, 2], count=4, seed=3
+        )
+        for assignment in assignments:
+            assert set(assignment) == {0, 2}
+            assert sum(len(p) for p in assignment.values()) == 4
+            assert all(len(p) == 2 for p in assignment.values())
+
+    def test_spread_requires_enough_processes(self):
+        with pytest.raises(ConfigurationError):
+            spread_assignments(["a"], total_processes=1, cores_used=[0, 1], count=1, seed=1)

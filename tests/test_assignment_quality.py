@@ -1,0 +1,51 @@
+"""Unit tests for the assignment-quality experiment."""
+
+import pytest
+
+from repro.experiments.assignment_quality import (
+    AssignmentQualityResult,
+    RankedAssignment,
+    _spearman,
+    distinct_one_per_core_assignments,
+)
+
+
+class TestEnumeration:
+    def test_distinct_permutations(self):
+        assignments = distinct_one_per_core_assignments(
+            ["a", "b", "c"], cores=[0, 1, 2]
+        )
+        assert len(assignments) == 6  # 3!
+        for assignment in assignments:
+            placed = sorted(n for names in assignment.values() for n in names)
+            assert placed == ["a", "b", "c"]
+
+    def test_duplicate_names_deduplicated(self):
+        assignments = distinct_one_per_core_assignments(["a", "a"], cores=[0, 1])
+        assert len(assignments) == 1
+
+
+class TestSpearman:
+    def test_perfect_agreement(self):
+        assert _spearman([1, 2, 3], [10, 20, 30]) == pytest.approx(1.0)
+
+    def test_perfect_inversion(self):
+        assert _spearman([1, 2, 3], [30, 20, 10]) == pytest.approx(-1.0)
+
+    def test_constant_series(self):
+        assert _spearman([1, 1, 1], [1, 2, 3]) == pytest.approx(1.0)
+
+
+class TestResultProperties:
+    def test_regret_and_choice(self):
+        ranked = (
+            RankedAssignment({0: ("a",)}, predicted_watts=10.0, measured_watts=12.0),
+            RankedAssignment({0: ("b",)}, predicted_watts=11.0, measured_watts=10.0),
+            RankedAssignment({0: ("c",)}, predicted_watts=12.0, measured_watts=15.0),
+        )
+        result = AssignmentQualityResult(ranked=ranked, rank_correlation=0.5)
+        assert result.chosen.predicted_watts == 10.0
+        assert result.true_best.measured_watts == 10.0
+        assert result.regret_watts == pytest.approx(2.0)
+        assert result.regret_pct == pytest.approx(20.0)
+        assert result.measured_spread_watts == pytest.approx(5.0)

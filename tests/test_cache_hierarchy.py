@@ -1,0 +1,68 @@
+"""Unit tests for the two-level cache hierarchy."""
+
+import pytest
+
+from repro.cache.hierarchy import CacheHierarchy
+from repro.config import CacheGeometry
+from repro.errors import ConfigurationError
+
+
+@pytest.fixture
+def hierarchy():
+    return CacheHierarchy(
+        l1_geometry=CacheGeometry(sets=2, ways=2),
+        l2_geometry=CacheGeometry(sets=8, ways=4),
+        cores=2,
+    )
+
+
+class TestHierarchy:
+    def test_cold_access_misses_both(self, hierarchy):
+        outcome = hierarchy.access(0, line=0)
+        assert outcome.level == "memory"
+
+    def test_l1_hit_shields_l2(self, hierarchy):
+        hierarchy.access(0, line=0)
+        l2_accesses_before = hierarchy.l2.stats.accesses
+        outcome = hierarchy.access(0, line=0)
+        assert outcome.level == "l1"
+        assert hierarchy.l2.stats.accesses == l2_accesses_before
+
+    def test_l2_hit_after_l1_eviction(self, hierarchy):
+        hierarchy.access(0, line=0)
+        # Push line 0 out of the tiny L1 (set 0 holds lines 0, 2, 4...).
+        hierarchy.access(0, line=2)
+        hierarchy.access(0, line=4)
+        outcome = hierarchy.access(0, line=0)
+        assert outcome.level == "l2"
+
+    def test_private_l1_per_core(self, hierarchy):
+        hierarchy.access(0, line=0)
+        outcome = hierarchy.access(1, line=0)
+        # Core 1's L1 is cold; the shared L2 has the line.
+        assert outcome.l1_hit is False
+        assert outcome.l2_hit is True
+
+    def test_miss_rates_per_owner(self, hierarchy):
+        for _ in range(2):
+            hierarchy.access(0, line=0, owner=7)
+        rates = hierarchy.miss_rates(7)
+        assert rates["l1"] == pytest.approx(0.5)
+        assert rates["l2"] == pytest.approx(1.0)  # one access, one miss
+
+    def test_flush(self, hierarchy):
+        hierarchy.access(0, line=0)
+        hierarchy.flush()
+        assert hierarchy.access(0, line=0).level == "memory"
+
+    def test_rejects_core_out_of_range(self, hierarchy):
+        with pytest.raises(ConfigurationError):
+            hierarchy.access(5, line=0)
+
+    def test_rejects_l1_bigger_than_l2(self):
+        with pytest.raises(ConfigurationError):
+            CacheHierarchy(
+                l1_geometry=CacheGeometry(sets=64, ways=8),
+                l2_geometry=CacheGeometry(sets=8, ways=4),
+                cores=1,
+            )

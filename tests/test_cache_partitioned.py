@@ -1,0 +1,126 @@
+"""Unit tests for the way-partitioned cache."""
+
+import pytest
+
+from repro.cache.partitioned import WayPartitionedCache
+from repro.config import CacheGeometry
+from repro.errors import ConfigurationError
+
+
+@pytest.fixture
+def cache():
+    return WayPartitionedCache(
+        CacheGeometry(sets=4, ways=8), allocations={0: 2, 1: 6}
+    )
+
+
+class TestPartitionedCache:
+    def test_hits_within_quota(self, cache):
+        cache.access(0, owner=0)
+        assert cache.access(0, owner=0) is True
+
+    def test_quota_enforced(self, cache):
+        # Owner 0 has 2 ways per set; lines 0, 4, 8 share set 0.
+        cache.access(0, owner=0)
+        cache.access(4, owner=0)
+        cache.access(8, owner=0)  # evicts owner 0's own LRU (line 0)
+        assert cache.access(0, owner=0) is False
+
+    def test_isolation_between_owners(self, cache):
+        """Owner 1's traffic can never evict owner 0's lines."""
+        cache.access(0, owner=0)
+        for step in range(1, 50):
+            cache.access(step * 4, owner=1)  # hammer set 0 as owner 1
+        assert cache.access(0, owner=0) is True
+
+    def test_occupancy_bounded_by_quota(self, cache):
+        for line in range(100):
+            cache.access(line, owner=1)
+        assert cache.occupancy_ways(1) <= 6.0
+        assert cache.resident_lines(1) <= 6 * 4
+
+    def test_mpa_matches_histogram_tail(self):
+        """Partitioned MPA equals Eq. 2 at the allocation exactly."""
+        from repro.workloads.generator import build_generator
+        from repro.workloads.spec import BENCHMARKS
+
+        geometry = CacheGeometry(sets=16, ways=16)
+        benchmark = BENCHMARKS["twolf"]
+        for quota in (3, 8, 14):
+            cache = WayPartitionedCache(geometry, {0: quota})
+            generator = build_generator(benchmark, sets=16, seed=4)
+            for _ in range(8_000):
+                cache.access(generator.next_line(), 0)
+            baseline = cache.stats.owner(0).snapshot()
+            for _ in range(25_000):
+                cache.access(generator.next_line(), 0)
+            window = cache.stats.owner(0).delta_since(baseline)
+            expected = benchmark.intrinsic_histogram().mpa(quota)
+            assert window.miss_rate == pytest.approx(expected, abs=0.04)
+
+    def test_unknown_owner_rejected(self, cache):
+        with pytest.raises(ConfigurationError):
+            cache.access(0, owner=9)
+
+    def test_over_allocation_rejected(self):
+        with pytest.raises(ConfigurationError):
+            WayPartitionedCache(
+                CacheGeometry(sets=4, ways=4), allocations={0: 3, 1: 2}
+            )
+
+    def test_zero_quota_rejected(self):
+        with pytest.raises(ConfigurationError):
+            WayPartitionedCache(CacheGeometry(sets=4, ways=4), allocations={0: 0})
+
+    def test_empty_allocations_rejected(self):
+        with pytest.raises(ConfigurationError):
+            WayPartitionedCache(CacheGeometry(sets=4, ways=4), allocations={})
+
+
+class TestPartitioningModel:
+    def test_optimal_beats_even_on_skewed_demand(self):
+        from repro.core.feature import FeatureVector
+        from repro.core.partitioning import even_partition, optimal_partition
+        from repro.workloads.spec import BENCHMARKS
+
+        features = [
+            FeatureVector.oracle(BENCHMARKS["gzip"], 2e8),
+            FeatureVector.oracle(BENCHMARKS["mcf"], 2e8),
+        ]
+        optimal = optimal_partition(features, ways=16, objective="throughput")
+        even = even_partition(features, ways=16)
+        optimal_ips = sum(1.0 / s for s in optimal.predicted_spis)
+        even_ips = sum(1.0 / s for s in even.predicted_spis)
+        assert optimal_ips >= even_ips - 1e-9
+
+    def test_allocation_sums_to_ways(self):
+        from repro.core.feature import FeatureVector
+        from repro.core.partitioning import optimal_partition
+        from repro.workloads.spec import BENCHMARKS
+
+        features = [
+            FeatureVector.oracle(BENCHMARKS[name], 2e8)
+            for name in ("mcf", "art", "twolf")
+        ]
+        for objective in ("misses", "throughput", "weighted_speedup"):
+            plan = optimal_partition(features, ways=16, objective=objective)
+            assert sum(plan.allocation) == 16
+            assert all(s >= 1 for s in plan.allocation)
+
+    def test_every_process_needs_a_way(self):
+        from repro.core.feature import FeatureVector
+        from repro.core.partitioning import optimal_partition
+        from repro.workloads.spec import BENCHMARKS
+
+        features = [FeatureVector.oracle(BENCHMARKS["mcf"], 2e8)] * 5
+        with pytest.raises(ConfigurationError):
+            optimal_partition(features, ways=4)
+
+    def test_unknown_objective(self):
+        from repro.core.feature import FeatureVector
+        from repro.core.partitioning import optimal_partition
+        from repro.workloads.spec import BENCHMARKS
+
+        features = [FeatureVector.oracle(BENCHMARKS["mcf"], 2e8)] * 2
+        with pytest.raises(ConfigurationError):
+            optimal_partition(features, ways=8, objective="vibes")

@@ -1,0 +1,107 @@
+"""Unit tests for replacement policies."""
+
+import pytest
+
+from repro.cache.replacement import (
+    FifoPolicy,
+    LruPolicy,
+    RandomPolicy,
+    TreePlruPolicy,
+    make_policy,
+)
+
+
+class TestLru:
+    def test_victim_is_least_recent(self):
+        policy = LruPolicy()
+        state = policy.make_state(4)
+        for way in (0, 1, 2, 3):
+            policy.on_fill(state, way)
+        assert policy.victim(state) == 0
+
+    def test_hit_refreshes_recency(self):
+        policy = LruPolicy()
+        state = policy.make_state(4)
+        for way in (0, 1, 2, 3):
+            policy.on_fill(state, way)
+        policy.on_hit(state, 0)
+        assert policy.victim(state) == 1
+
+    def test_sequence_matches_reference(self):
+        """Cross-check against a brute-force recency list."""
+        policy = LruPolicy()
+        ways = 8
+        state = policy.make_state(ways)
+        reference = []
+        for way in range(ways):  # fill all ways in order
+            policy.on_fill(state, way)
+            reference.append(way)
+        for way in (0, 3, 5, 3, 7):
+            policy.on_hit(state, way)
+            reference.remove(way)
+            reference.append(way)
+        assert policy.victim(state) == reference[0]
+
+
+class TestFifo:
+    def test_hits_do_not_refresh(self):
+        policy = FifoPolicy()
+        state = policy.make_state(4)
+        for way in (0, 1, 2, 3):
+            policy.on_fill(state, way)
+        policy.on_hit(state, 0)
+        assert policy.victim(state) == 0  # still first in
+
+    def test_fill_order_respected(self):
+        policy = FifoPolicy()
+        state = policy.make_state(3)
+        for way in (2, 0, 1):
+            policy.on_fill(state, way)
+        assert policy.victim(state) == 2
+
+
+class TestRandom:
+    def test_victims_in_range_and_deterministic(self):
+        a = RandomPolicy(seed=7)
+        b = RandomPolicy(seed=7)
+        state_a = a.make_state(8)
+        state_b = b.make_state(8)
+        seq_a = [a.victim(state_a) for _ in range(50)]
+        seq_b = [b.victim(state_b) for _ in range(50)]
+        assert seq_a == seq_b
+        assert all(0 <= v < 8 for v in seq_a)
+        assert len(set(seq_a)) > 1  # actually random
+
+
+class TestTreePlru:
+    def test_requires_power_of_two(self):
+        with pytest.raises(ValueError):
+            TreePlruPolicy().make_state(6)
+
+    def test_never_evicts_most_recent(self):
+        policy = TreePlruPolicy()
+        state = policy.make_state(8)
+        for way in range(8):
+            policy.on_fill(state, way)
+            assert policy.victim(state) != way
+
+    def test_cycles_through_all_ways(self):
+        """Filling the victim repeatedly must touch every way."""
+        policy = TreePlruPolicy()
+        state = policy.make_state(8)
+        seen = set()
+        for _ in range(16):
+            victim = policy.victim(state)
+            seen.add(victim)
+            policy.on_fill(state, victim)
+        assert seen == set(range(8))
+
+
+class TestFactory:
+    @pytest.mark.parametrize("name", ["lru", "fifo", "random", "tree-plru"])
+    def test_known_names(self, name):
+        assert make_policy(name).name == name
+
+    def test_unknown_name(self):
+        with pytest.raises(ValueError, match="unknown replacement policy"):
+            make_policy("plru-ish")

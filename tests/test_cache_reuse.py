@@ -1,0 +1,97 @@
+"""Unit tests for the reuse-distance profilers."""
+
+import math
+
+import pytest
+
+from repro.cache.reuse import GlobalStackProfiler, SetReuseProfiler
+
+
+class TestSetReuseProfiler:
+    def test_first_access_is_cold(self):
+        profiler = SetReuseProfiler(sets=4)
+        assert profiler.record(0) is None
+        assert profiler.cold_count == 1
+
+    def test_immediate_reuse_distance_zero(self):
+        profiler = SetReuseProfiler(sets=4)
+        profiler.record(0)
+        assert profiler.record(0) == 0
+
+    def test_distance_counts_distinct_same_set_lines(self):
+        profiler = SetReuseProfiler(sets=4)
+        # Lines 0, 4, 8 all map to set 0; line 1 maps to set 1.
+        profiler.record(0)
+        profiler.record(4)
+        profiler.record(1)  # different set: must not count
+        profiler.record(8)
+        assert profiler.record(0) == 2
+
+    def test_repeats_do_not_inflate_distance(self):
+        profiler = SetReuseProfiler(sets=1)
+        profiler.record(0)
+        profiler.record(1)
+        profiler.record(1)
+        profiler.record(1)
+        assert profiler.record(0) == 1  # only one distinct line between
+
+    def test_cyclic_pattern_distance(self):
+        """A cyclic sweep over w lines has distance w-1 (stressmark)."""
+        profiler = SetReuseProfiler(sets=1)
+        w = 5
+        for _ in range(4):
+            for tag in range(w):
+                profiler.record(tag)
+        hist = profiler.histogram(include_cold=False)
+        assert hist.probability(w - 1) == pytest.approx(1.0)
+
+    def test_max_tracked_folds_to_cold(self):
+        profiler = SetReuseProfiler(sets=1, max_tracked=2)
+        for line in range(4):
+            profiler.record(line)
+        assert profiler.record(0) is None  # deeper than 2: treated cold
+
+    def test_histogram_normalised(self):
+        profiler = SetReuseProfiler(sets=2)
+        for line in range(10):
+            profiler.record(line % 4)
+        hist = profiler.histogram()
+        total = float(hist.probs.sum()) + hist.inf_mass
+        assert total == pytest.approx(1.0)
+
+    def test_reset_keeps_stacks(self):
+        profiler = SetReuseProfiler(sets=1)
+        profiler.record(0)
+        profiler.reset()
+        # Stack survived: this is a distance-0 reuse, not cold.
+        assert profiler.record(0) == 0
+        assert profiler.cold_count == 0
+
+    def test_requires_power_of_two_sets(self):
+        with pytest.raises(ValueError):
+            SetReuseProfiler(sets=3)
+
+    def test_empty_histogram_raises(self):
+        with pytest.raises(ValueError):
+            SetReuseProfiler(sets=2).histogram()
+
+
+class TestGlobalStackProfiler:
+    def test_counts_all_distinct_lines(self):
+        profiler = GlobalStackProfiler()
+        profiler.record(0)
+        profiler.record(1)
+        profiler.record(2)
+        assert profiler.record(0) == 2
+
+    def test_record_many(self):
+        profiler = GlobalStackProfiler()
+        profiler.record_many([0, 1, 0, 1])
+        assert profiler.counts == {1: 2}
+        assert profiler.cold_count == 2
+
+    def test_histogram_includes_cold_mass(self):
+        profiler = GlobalStackProfiler()
+        profiler.record_many([0, 1, 0])
+        hist = profiler.histogram(include_cold=True)
+        assert hist.inf_mass == pytest.approx(2 / 3)

@@ -1,0 +1,120 @@
+"""Unit tests for the set-associative cache simulator."""
+
+import pytest
+
+from repro.cache.replacement import FifoPolicy
+from repro.cache.set_associative import SetAssociativeCache
+from repro.config import CacheGeometry
+
+
+@pytest.fixture
+def cache():
+    return SetAssociativeCache(CacheGeometry(sets=4, ways=2))
+
+
+class TestBasicBehaviour:
+    def test_first_access_misses(self, cache):
+        assert cache.access(0) is False
+
+    def test_second_access_hits(self, cache):
+        cache.access(0)
+        assert cache.access(0) is True
+
+    def test_distinct_sets_do_not_conflict(self, cache):
+        # Lines 0..3 map to sets 0..3.
+        for line in range(4):
+            cache.access(line)
+        for line in range(4):
+            assert cache.access(line) is True
+
+    def test_lru_eviction_within_set(self, cache):
+        # Three lines in set 0 of a 2-way cache: first one evicted.
+        cache.access(0)
+        cache.access(4)
+        cache.access(8)  # evicts line 0
+        assert cache.access(0) is False
+
+    def test_hit_refreshes_lru(self, cache):
+        cache.access(0)
+        cache.access(4)
+        cache.access(0)  # refresh
+        cache.access(8)  # evicts 4, not 0
+        assert cache.access(0) is True
+        assert cache.contains(4) is False
+
+
+class TestStatsAndOccupancy:
+    def test_per_owner_stats(self, cache):
+        cache.access(0, owner=1)
+        cache.access(0, owner=1)
+        cache.access(1, owner=2)
+        assert cache.stats.owner(1).accesses == 2
+        assert cache.stats.owner(1).hits == 1
+        assert cache.stats.owner(2).misses == 1
+
+    def test_occupancy_by_owner(self, cache):
+        for line in range(4):
+            cache.access(line, owner=5)
+        assert cache.resident_lines(5) == 4
+        assert cache.occupancy_ways(5) == pytest.approx(1.0)
+
+    def test_eviction_counters(self, cache):
+        cache.access(0, owner=1)
+        cache.access(4, owner=2)
+        cache.access(8, owner=2)  # evicts owner 1's line
+        assert cache.stats.owner(1).evictions_suffered == 1
+        assert cache.stats.owner(2).evictions_inflicted == 1
+
+    def test_occupancy_conserved_when_full(self, cache):
+        for line in range(100):
+            cache.access(line, owner=line % 3)
+        assert cache.resident_lines() == cache.geometry.lines
+
+    def test_miss_rate_aggregate(self, cache):
+        for line in range(8):
+            cache.access(line)
+        for line in range(8):
+            cache.access(line)
+        assert cache.stats.miss_rate == pytest.approx(0.5)
+
+
+class TestInvalidateAndFlush:
+    def test_invalidate_resident(self, cache):
+        cache.access(0, owner=1)
+        assert cache.invalidate(0) is True
+        assert cache.contains(0) is False
+        assert cache.resident_lines(1) == 0
+
+    def test_invalidate_absent(self, cache):
+        assert cache.invalidate(12345) is False
+
+    def test_invalidated_way_reused_before_eviction(self, cache):
+        cache.access(0, owner=1)
+        cache.access(4, owner=1)
+        cache.invalidate(0)
+        cache.access(8, owner=2)  # should use the free way, not evict 4
+        assert cache.contains(4) is True
+
+    def test_flush_empties_but_keeps_stats(self, cache):
+        cache.access(0)
+        cache.access(0)
+        cache.flush()
+        assert cache.resident_lines() == 0
+        assert cache.stats.accesses == 2
+        assert cache.access(0) is False  # cold again
+
+
+class TestAlternatePolicies:
+    def test_fifo_policy_plugs_in(self):
+        cache = SetAssociativeCache(CacheGeometry(sets=1, ways=2), FifoPolicy())
+        cache.access(0)
+        cache.access(1)
+        cache.access(0)  # hit, but FIFO ignores it
+        cache.access(2)  # evicts 0 (first in), not 1
+        assert cache.contains(0) is False
+        assert cache.contains(1) is True
+
+    def test_set_contents(self, cache):
+        cache.access(0, owner=3)
+        contents = cache.set_contents(0)
+        assert contents == [(0, 3)]

@@ -1,0 +1,64 @@
+"""Unit tests for the shared-cache contention monitor."""
+
+import pytest
+
+from repro.cache.set_associative import SetAssociativeCache
+from repro.cache.shared import ContentionMonitor
+from repro.config import CacheGeometry
+
+
+@pytest.fixture
+def monitor():
+    cache = SetAssociativeCache(CacheGeometry(sets=4, ways=4))
+    return ContentionMonitor(cache, sample_every=4)
+
+
+class TestContentionMonitor:
+    def test_forwarding(self, monitor):
+        assert monitor.access(0, owner=1) is False
+        assert monitor.access(0, owner=1) is True
+
+    def test_occupancy_sampling(self, monitor):
+        for line in range(8):
+            monitor.access(line, owner=1)
+        occ = monitor.mean_occupancy_ways(1)
+        assert occ > 0
+
+    def test_start_measurement_resets_window(self, monitor):
+        for line in range(8):
+            monitor.access(line, owner=1)
+        monitor.start_measurement()
+        stats = monitor.window_stats(1)
+        assert stats.accesses == 0
+        monitor.access(0, owner=1)
+        assert monitor.window_stats(1).accesses == 1
+
+    def test_summary_fields(self, monitor):
+        for line in range(16):
+            monitor.access(line % 8, owner=2)
+        summary = monitor.summary(2)
+        assert summary.accesses == 16
+        assert summary.misses == 8
+        assert summary.mpa == pytest.approx(0.5)
+        assert summary.occupancy_ways > 0
+
+    def test_summaries_cover_all_owners(self, monitor):
+        monitor.access(0, owner=1)
+        monitor.access(1, owner=2)
+        assert set(monitor.summaries()) == {1, 2}
+
+    def test_two_owners_split_occupancy(self):
+        cache = SetAssociativeCache(CacheGeometry(sets=1, ways=4))
+        monitor = ContentionMonitor(cache, sample_every=1)
+        monitor.start_measurement()
+        # Alternate two owners, each cycling 2 private lines.
+        for _ in range(100):
+            for tag, owner in ((0, 1), (100, 2), (1, 1), (101, 2)):
+                monitor.access(tag, owner=owner)
+        assert monitor.mean_occupancy_ways(1) == pytest.approx(2.0, abs=0.3)
+        assert monitor.mean_occupancy_ways(2) == pytest.approx(2.0, abs=0.3)
+
+    def test_rejects_bad_sample_interval(self):
+        cache = SetAssociativeCache(CacheGeometry(sets=1, ways=2))
+        with pytest.raises(ValueError):
+            ContentionMonitor(cache, sample_every=0)

@@ -1,0 +1,75 @@
+"""Tests for the command-line interface."""
+
+import json
+
+import pytest
+
+from repro.cli import _parse_assignment, build_parser, main
+
+
+class TestParsing:
+    def test_parse_assignment(self):
+        parsed = _parse_assignment(["0=mcf", "1=gzip,art"])
+        assert parsed == {0: ("mcf",), 1: ("gzip", "art")}
+
+    def test_parse_assignment_rejects_bad_fragment(self):
+        with pytest.raises(ValueError):
+            _parse_assignment(["0"])
+
+    def test_parse_assignment_rejects_unknown_benchmark(self):
+        with pytest.raises(ValueError):
+            _parse_assignment(["0=linpack"])
+
+    def test_parser_builds(self):
+        parser = build_parser()
+        args = parser.parse_args(["machines"])
+        assert args.command == "machines"
+
+
+class TestListingCommands:
+    def test_machines(self, capsys):
+        assert main(["machines"]) == 0
+        out = capsys.readouterr().out
+        assert "4-core-server" in out
+        assert "2-core-workstation" in out
+
+    def test_benchmarks(self, capsys):
+        assert main(["benchmarks"]) == 0
+        out = capsys.readouterr().out
+        assert "mcf" in out
+        assert "equake" in out
+
+
+class TestRunCommand:
+    def test_run_small(self, capsys):
+        code = main(["--sets", "32", "run", "--machine", "2-core-workstation",
+                     "0=gzip", "1=gzip"])
+        assert code == 0
+        out = capsys.readouterr().out
+        assert "Measured steady state" in out
+        assert "gzip" in out
+
+    def test_run_error_path(self, capsys):
+        code = main(["run", "--machine", "2-core-workstation", "0=nosuch"])
+        assert code == 2
+        assert "error:" in capsys.readouterr().err
+
+
+class TestProfilePredictFlow:
+    def test_profile_then_predict(self, tmp_path, capsys):
+        suite = tmp_path / "suite.json"
+        code = main(
+            ["--sets", "32", "profile", "--machine", "2-core-workstation",
+             "--out", str(suite), "gzip"]
+        )
+        assert code == 0
+        assert suite.exists()
+        data = json.loads(suite.read_text())
+        assert data["kind"] == "profile_suite"
+
+        capsys.readouterr()
+        code = main(["predict", "--suite", str(suite), "--ways", "4",
+                     "gzip", "gzip"])
+        assert code == 0
+        out = capsys.readouterr().out
+        assert "Co-run prediction" in out

@@ -1,0 +1,104 @@
+"""Unit tests for configuration dataclasses."""
+
+import pytest
+
+from repro.config import (
+    BENCH_SCALE,
+    CacheGeometry,
+    PROFILE_SCALE,
+    RandomSeeds,
+    SimulationScale,
+    TEST_SCALE,
+)
+from repro.errors import ConfigurationError
+
+
+class TestCacheGeometry:
+    def test_basic_properties(self):
+        geometry = CacheGeometry(sets=256, ways=16, line_bytes=64)
+        assert geometry.lines == 4096
+        assert geometry.capacity_bytes == 4096 * 64
+
+    def test_set_index_and_tag_roundtrip(self):
+        geometry = CacheGeometry(sets=64, ways=4)
+        line = (123 << 6) | 17
+        assert geometry.set_index(line) == 17
+        assert geometry.tag(line) == 123
+
+    def test_set_index_covers_all_sets(self):
+        geometry = CacheGeometry(sets=8, ways=2)
+        indices = {geometry.set_index(line) for line in range(64)}
+        assert indices == set(range(8))
+
+    def test_rejects_non_power_of_two_sets(self):
+        with pytest.raises(ConfigurationError):
+            CacheGeometry(sets=100, ways=4)
+
+    def test_rejects_zero_sets(self):
+        with pytest.raises(ConfigurationError):
+            CacheGeometry(sets=0, ways=4)
+
+    def test_rejects_zero_ways(self):
+        with pytest.raises(ConfigurationError):
+            CacheGeometry(sets=16, ways=0)
+
+    def test_rejects_odd_line_size(self):
+        with pytest.raises(ConfigurationError):
+            CacheGeometry(sets=16, ways=2, line_bytes=48)
+
+    def test_scaled_preserves_ways(self):
+        geometry = CacheGeometry(sets=8192, ways=16)
+        scaled = geometry.scaled(1 / 64)
+        assert scaled.ways == 16
+        assert scaled.sets == 128
+
+    def test_scaled_rounds_to_power_of_two(self):
+        geometry = CacheGeometry(sets=1024, ways=8)
+        scaled = geometry.scaled(0.3)  # 307.2 -> 256
+        assert scaled.sets == 256
+
+    def test_scaled_minimum_one_set(self):
+        geometry = CacheGeometry(sets=4, ways=2)
+        assert geometry.scaled(0.001).sets == 1
+
+    def test_scaled_rejects_nonpositive(self):
+        with pytest.raises(ConfigurationError):
+            CacheGeometry(sets=4, ways=2).scaled(0)
+
+
+class TestSimulationScale:
+    def test_defaults_are_valid(self):
+        for scale in (BENCH_SCALE, TEST_SCALE, PROFILE_SCALE):
+            assert scale.warmup_accesses > 0
+            assert scale.measure_s > 0
+
+    @pytest.mark.parametrize(
+        "field",
+        [
+            "warmup_accesses",
+            "measure_accesses",
+            "warmup_s",
+            "measure_s",
+            "hpc_period_s",
+            "timeslice_s",
+        ],
+    )
+    def test_rejects_nonpositive_fields(self, field):
+        kwargs = {field: 0}
+        with pytest.raises(ConfigurationError):
+            SimulationScale(**kwargs)
+
+    def test_frozen(self):
+        with pytest.raises(AttributeError):
+            TEST_SCALE.warmup_accesses = 1  # type: ignore[misc]
+
+
+class TestRandomSeeds:
+    def test_child_seeds_differ(self):
+        seeds = RandomSeeds()
+        children = [seeds.child(i) for i in range(5)]
+        traces = {c.trace for c in children}
+        assert len(traces) == 5
+
+    def test_child_is_deterministic(self):
+        assert RandomSeeds().child(3) == RandomSeeds().child(3)

@@ -1,0 +1,124 @@
+"""Unit tests for the power-aware assignment searchers."""
+
+import numpy as np
+import pytest
+
+from repro.core.assignment import (
+    OBJECTIVES,
+    exhaustive_assignment,
+    greedy_assignment,
+)
+from repro.core.combined import CombinedModel
+from repro.core.feature import FeatureVector, ProfileVector
+from repro.core.performance_model import PerformanceModel
+from repro.core.power_model import CorePowerModel, PowerTrainingSet
+from repro.errors import ConfigurationError
+from repro.events import RATE_EVENTS
+from repro.machine.topology import four_core_server
+from repro.workloads.spec import BENCHMARKS
+
+FREQ = 2e8
+
+
+@pytest.fixture(scope="module")
+def combined():
+    rng = np.random.default_rng(1)
+    training = PowerTrainingSet()
+    for _ in range(60):
+        rates = {event: rng.uniform(0, 1e8) for event in RATE_EVENTS}
+        power = 10.0 + sum(1e-7 * r for r in rates.values())
+        training.add(rates, power)
+    power_model = CorePowerModel().fit(training)
+    perf = PerformanceModel(ways=16)
+    profiles = {}
+    for name in ("mcf", "art", "gzip"):
+        benchmark = BENCHMARKS[name]
+        perf.register(FeatureVector.oracle(benchmark, FREQ))
+        profiles[name] = ProfileVector(
+            name=name,
+            p_alone=25.0,
+            l1rpi=benchmark.mix.l1rpi,
+            l2rpi=benchmark.mix.l2rpi,
+            brpi=benchmark.mix.brpi,
+            fppi=benchmark.mix.fppi,
+        )
+    return CombinedModel(
+        topology=four_core_server(sets=64),
+        performance_models=[perf],
+        power_model=power_model,
+        profiles=profiles,
+    )
+
+
+class TestExhaustive:
+    def test_finds_valid_assignment(self, combined):
+        decision = exhaustive_assignment(combined, ["mcf", "art"], objective="power")
+        placed = [n for names in decision.assignment.values() for n in names]
+        assert sorted(placed) == ["art", "mcf"]
+        assert decision.predicted_watts > 0
+        assert decision.candidates_evaluated > 1
+
+    def test_throughput_objective_separates_contenders(self, combined):
+        decision = exhaustive_assignment(
+            combined, ["mcf", "art"], objective="throughput"
+        )
+        cores = sorted(decision.assignment)
+        # Best throughput puts the two memory hogs on different dies.
+        domains = {0: 0, 1: 0, 2: 1, 3: 1}
+        used_domains = {domains[c] for c in cores}
+        assert used_domains == {0, 1}
+
+    def test_max_per_core_respected(self, combined):
+        decision = exhaustive_assignment(
+            combined, ["mcf", "art", "gzip"], objective="power", max_per_core=1
+        )
+        assert all(len(names) == 1 for names in decision.assignment.values())
+
+    def test_infeasible_constraints_raise(self, combined):
+        with pytest.raises(ConfigurationError):
+            exhaustive_assignment(
+                combined, ["mcf"] * 5, objective="power", max_per_core=1
+            )
+
+    def test_unknown_objective(self, combined):
+        with pytest.raises(ConfigurationError):
+            exhaustive_assignment(combined, ["mcf"], objective="vibes")
+
+    def test_empty_processes(self, combined):
+        with pytest.raises(ConfigurationError):
+            exhaustive_assignment(combined, [])
+
+    def test_energy_objective(self, combined):
+        decision = exhaustive_assignment(
+            combined, ["mcf", "gzip"], objective="energy_per_instruction"
+        )
+        assert decision.score == pytest.approx(
+            decision.predicted_watts / decision.predicted_ips
+        )
+
+
+class TestGreedy:
+    def test_greedy_close_to_exhaustive(self, combined):
+        processes = ["mcf", "art", "gzip"]
+        best = exhaustive_assignment(combined, processes, objective="power")
+        greedy = greedy_assignment(combined, processes, objective="power")
+        assert greedy.predicted_watts <= best.predicted_watts * 1.15
+
+    def test_greedy_evaluates_linearly(self, combined):
+        decision = greedy_assignment(combined, ["mcf", "art"], objective="power")
+        # k processes x N cores queries.
+        assert decision.candidates_evaluated == 2 * 4
+
+    def test_greedy_respects_cap(self, combined):
+        decision = greedy_assignment(
+            combined, ["mcf", "art", "gzip"], objective="power", max_per_core=1
+        )
+        assert all(len(names) == 1 for names in decision.assignment.values())
+
+
+class TestObjectives:
+    def test_registry(self):
+        assert set(OBJECTIVES) == {"power", "throughput", "energy_per_instruction"}
+        assert OBJECTIVES["power"](10.0, 5.0) == 10.0
+        assert OBJECTIVES["throughput"](10.0, 5.0) == -5.0
+        assert OBJECTIVES["energy_per_instruction"](10.0, 0.0) == float("inf")

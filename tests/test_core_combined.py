@@ -1,0 +1,203 @@
+"""Unit tests for the combined model (Section 5, Figure 1)."""
+
+import numpy as np
+import pytest
+
+from repro.core.combined import CombinedModel, classify_scenario
+from repro.core.feature import FeatureVector, ProfileVector
+from repro.core.performance_model import PerformanceModel
+from repro.core.power_model import CorePowerModel, PowerTrainingSet
+from repro.errors import ConfigurationError
+from repro.events import Event, RATE_EVENTS
+from repro.machine.topology import four_core_server
+from repro.workloads.spec import BENCHMARKS
+
+FREQ = 2e8
+NAMES = ("mcf", "art", "gzip", "twolf")
+
+# A transparent linear power truth for exact assertions.
+COEFFS = {
+    Event.L1_REFS: 8e-8,
+    Event.L2_REFS: 1.2e-7,
+    Event.L2_MISSES: -5e-7,
+    Event.BRANCHES: 7e-8,
+    Event.FP_OPS: 9e-8,
+}
+P_IDLE = 12.0
+
+
+def linear_power(rates):
+    return P_IDLE + sum(COEFFS[event] * rates.get(event, 0.0) for event in RATE_EVENTS)
+
+
+#: Physically plausible rate ranges: misses are a small share of refs.
+_RANGES = {
+    Event.L1_REFS: 1e8,
+    Event.L2_REFS: 1.5e7,
+    Event.L2_MISSES: 5e6,
+    Event.BRANCHES: 5e7,
+    Event.FP_OPS: 6e7,
+}
+
+
+@pytest.fixture(scope="module")
+def power_model():
+    rng = np.random.default_rng(0)
+    training = PowerTrainingSet()
+    for _ in range(60):
+        rates = {event: rng.uniform(0, _RANGES[event]) for event in RATE_EVENTS}
+        training.add(rates, linear_power(rates))
+    return CorePowerModel().fit(training)
+
+
+@pytest.fixture(scope="module")
+def combined(power_model):
+    topology = four_core_server(sets=64)
+    perf = PerformanceModel(ways=16)
+    profiles = {}
+    for name in NAMES:
+        benchmark = BENCHMARKS[name]
+        perf.register(FeatureVector.oracle(benchmark, FREQ))
+        profiles[name] = ProfileVector(
+            name=name,
+            p_alone=20.0 + len(name),  # distinct, recognisable values
+            l1rpi=benchmark.mix.l1rpi,
+            l2rpi=benchmark.mix.l2rpi,
+            brpi=benchmark.mix.brpi,
+            fppi=benchmark.mix.fppi,
+        )
+    return CombinedModel(
+        topology=topology,
+        performance_models=[perf],
+        power_model=power_model,
+        profiles=profiles,
+    )
+
+
+class TestProcessPower:
+    def test_matches_eq9_at_operating_point(self, combined):
+        benchmark = BENCHMARKS["mcf"]
+        spi, l2mpr = 5e-9, 0.4
+        expected = linear_power(
+            {
+                Event.L1_REFS: benchmark.mix.l1rpi / spi,
+                Event.L2_REFS: benchmark.mix.l2rpi / spi,
+                Event.L2_MISSES: benchmark.mix.l2rpi * l2mpr / spi,
+                Event.BRANCHES: benchmark.mix.brpi / spi,
+                Event.FP_OPS: benchmark.mix.fppi / spi,
+            }
+        )
+        assert combined.process_power("mcf", spi, l2mpr) == pytest.approx(
+            expected, rel=1e-6
+        )
+
+    def test_power_split_sums_to_total(self, combined):
+        split = combined.power_split("art", spi=4e-9, l2mpr=0.5)
+        total = combined.process_power("art", 4e-9, 0.5)
+        assert split.total == pytest.approx(total, rel=1e-6)
+        assert split.p_idle == pytest.approx(P_IDLE, rel=1e-3)
+
+    def test_more_misses_less_power(self, combined):
+        """c3 < 0: higher L2MPR at fixed SPI means lower power."""
+        low = combined.process_power("mcf", 5e-9, 0.1)
+        high = combined.process_power("mcf", 5e-9, 0.9)
+        assert high < low
+
+    def test_unknown_process(self, combined):
+        with pytest.raises(KeyError):
+            combined.process_power("nosuch", 1e-9, 0.1)
+
+    def test_bad_spi(self, combined):
+        with pytest.raises(ConfigurationError):
+            combined.process_power("mcf", 0.0, 0.1)
+
+
+class TestScenarioClassification:
+    def test_four_scenarios(self):
+        topology = four_core_server(sets=64)
+        empty = {}
+        assert classify_scenario(topology, empty, 0) == 1
+        assert classify_scenario(topology, {0: ("mcf",)}, 0) == 2
+        assert classify_scenario(topology, {1: ("mcf",)}, 0) == 3
+        assert classify_scenario(topology, {0: ("mcf",), 1: ("art",)}, 0) == 4
+
+
+class TestAssignmentPower:
+    def test_empty_machine_is_all_idle(self, combined, power_model):
+        estimate = combined.estimate_assignment_power({})
+        assert estimate.watts == pytest.approx(4 * power_model.p_idle, rel=1e-6)
+
+    def test_single_process_uses_p_alone(self, combined, power_model):
+        estimate = combined.estimate_assignment_power({0: ("mcf",)})
+        expected = combined.profiles["mcf"].p_alone + 3 * power_model.p_idle
+        assert estimate.watts == pytest.approx(expected, rel=1e-6)
+        assert estimate.combinations_evaluated == 0
+
+    def test_time_shared_single_core_averages_p_alone(self, combined, power_model):
+        estimate = combined.estimate_assignment_power({0: ("mcf", "gzip")})
+        p_alone = (
+            combined.profiles["mcf"].p_alone + combined.profiles["gzip"].p_alone
+        ) / 2
+        assert estimate.watts == pytest.approx(
+            p_alone + 3 * power_model.p_idle, rel=1e-6
+        )
+
+    def test_contending_pair_uses_model(self, combined):
+        estimate = combined.estimate_assignment_power({0: ("mcf",), 1: ("art",)})
+        assert estimate.combinations_evaluated == 1
+        # Idle domain contributes 2 idle cores.
+        assert estimate.per_domain_watts[1] == pytest.approx(
+            2 * combined.power_model.p_idle, rel=1e-6
+        )
+
+    def test_combination_counting(self, combined):
+        estimate = combined.estimate_assignment_power(
+            {0: ("mcf", "gzip"), 1: ("art", "twolf")}
+        )
+        assert estimate.combinations_evaluated == 4
+
+    def test_domains_sum(self, combined):
+        estimate = combined.estimate_assignment_power(
+            {0: ("mcf",), 1: ("art",), 2: ("gzip",), 3: ("twolf",)}
+        )
+        assert estimate.watts == pytest.approx(sum(estimate.per_domain_watts))
+
+    def test_core_out_of_range(self, combined):
+        with pytest.raises(ConfigurationError):
+            combined.estimate_assignment_power({7: ("mcf",)})
+
+    def test_incremental_assignment(self, combined):
+        base = {0: ("mcf",)}
+        estimate, scenario = combined.estimate_after_assigning(base, "art", 1)
+        assert scenario == 3  # core 1 idle, partner core 0 busy
+        direct = combined.estimate_assignment_power({0: ("mcf",), 1: ("art",)})
+        assert estimate.watts == pytest.approx(direct.watts)
+
+
+class TestThroughput:
+    def test_solo_throughput_positive(self, combined):
+        ips = combined.estimate_assignment_throughput({0: ("gzip",)})
+        assert ips > 0
+
+    def test_contention_lowers_throughput(self, combined):
+        solo = combined.estimate_assignment_throughput({0: ("mcf",)})
+        pair = combined.estimate_assignment_throughput({0: ("mcf",), 1: ("mcf",)})
+        # Two contending instances give less than 2x one instance.
+        assert pair < 2 * solo
+
+    def test_time_sharing_halves_share(self, combined):
+        one = combined.estimate_assignment_throughput({0: ("gzip",)})
+        two = combined.estimate_assignment_throughput({0: ("gzip", "gzip")})
+        assert two == pytest.approx(one, rel=0.01)  # same core, split in two
+
+
+class TestConstruction:
+    def test_ways_mismatch_rejected(self, power_model, combined):
+        perf = PerformanceModel(ways=8)
+        with pytest.raises(ConfigurationError):
+            CombinedModel(
+                topology=four_core_server(sets=64),
+                performance_models=[perf],
+                power_model=power_model,
+                profiles={},
+            )

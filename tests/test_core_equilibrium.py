@@ -1,0 +1,137 @@
+"""Unit tests for the equilibrium solvers (Section 3.3)."""
+
+import pytest
+
+from repro.core.equilibrium import (
+    BisectionSolver,
+    EquilibriumProcess,
+    NewtonSolver,
+    solve_equilibrium,
+)
+from repro.core.histogram import ReuseDistanceHistogram
+from repro.core.occupancy import OccupancyModel
+from repro.errors import ConfigurationError
+
+
+def make_process(probs, inf_mass, ways, api=0.05, alpha=5e-8, beta=2e-9):
+    hist = ReuseDistanceHistogram(probs, inf_mass)
+    return EquilibriumProcess(
+        occupancy=OccupancyModel(hist, max_ways=ways),
+        mpa=hist.mpa,
+        api=api,
+        alpha=alpha,
+        beta=beta,
+    )
+
+
+WAYS = 16
+
+
+@pytest.fixture
+def heavy():
+    """Memory-hungry process: wide reuse + streaming."""
+    return make_process([0.05] * 12, 0.4, WAYS, api=0.06)
+
+
+@pytest.fixture
+def light():
+    """Small-footprint process: mostly short distances."""
+    return make_process([0.5, 0.3, 0.15], 0.05, WAYS, api=0.01, alpha=8e-9)
+
+
+class TestCapacityConstraint:
+    @pytest.mark.parametrize("strategy", ["newton", "bisection"])
+    def test_contended_sizes_sum_to_ways(self, heavy, strategy, light):
+        result = solve_equilibrium([heavy, heavy, light], WAYS, strategy=strategy)
+        assert result.contended
+        assert result.total_size == pytest.approx(WAYS, abs=1e-2)
+
+    def test_uncontended_keeps_footprints(self):
+        # Finite footprints (no streaming mass) that fit together: the
+        # cache never fills and each process keeps its working set.
+        finite = make_process([0.5, 0.3, 0.2], 0.0, WAYS, api=0.01)
+        result = solve_equilibrium([finite, finite], WAYS)
+        assert not result.contended
+        assert result.total_size < WAYS
+        for size in result.sizes:
+            assert size == pytest.approx(
+                finite.occupancy.saturation_size, abs=1e-6
+            )
+
+    def test_single_process_gets_saturation(self, heavy):
+        result = solve_equilibrium([heavy], WAYS)
+        assert result.sizes[0] == pytest.approx(WAYS, abs=1e-6)
+
+
+class TestSymmetryAndOrdering:
+    @pytest.mark.parametrize("strategy", ["newton", "bisection"])
+    def test_identical_processes_split_evenly(self, heavy, strategy):
+        result = solve_equilibrium([heavy, heavy], WAYS, strategy=strategy)
+        assert result.sizes[0] == pytest.approx(result.sizes[1], abs=0.05)
+        assert result.sizes[0] == pytest.approx(WAYS / 2, abs=0.1)
+
+    def test_permutation_consistency(self, heavy, light):
+        both = solve_equilibrium([heavy, light], WAYS)
+        swapped = solve_equilibrium([light, heavy], WAYS)
+        assert both.sizes[0] == pytest.approx(swapped.sizes[1], abs=0.05)
+        assert both.sizes[1] == pytest.approx(swapped.sizes[0], abs=0.05)
+
+    def test_hungrier_process_gets_more(self, heavy, light):
+        # Make contention real by tripling the heavy process.
+        result = solve_equilibrium([heavy, heavy, light], WAYS)
+        heavy_size, light_size = result.sizes[0], result.sizes[2]
+        assert heavy_size > light_size
+
+
+class TestSolverAgreement:
+    def test_newton_and_bisection_agree(self, heavy, light):
+        newton = NewtonSolver().solve([heavy, heavy, light], WAYS)
+        bisection = BisectionSolver().solve([heavy, heavy, light], WAYS)
+        for a, b in zip(newton.sizes, bisection.sizes):
+            assert a == pytest.approx(b, abs=0.1)
+
+    def test_auto_strategy_produces_result(self, heavy, light):
+        result = solve_equilibrium([heavy, light], WAYS, strategy="auto")
+        assert result.solver in ("newton", "bisection")
+
+
+class TestOutputs:
+    def test_mpa_and_spi_consistent_with_sizes(self, heavy, light):
+        result = solve_equilibrium([heavy, light], WAYS)
+        for process, size, mpa, spi in zip(
+            (heavy, light), result.sizes, result.mpas, result.spis
+        ):
+            assert mpa == pytest.approx(process.mpa(size))
+            assert spi == pytest.approx(process.alpha * mpa + process.beta)
+
+    def test_faster_equilibrium_for_lower_alpha(self, heavy):
+        """A miss-insensitive competitor keeps accessing fast and wins ways."""
+        tolerant = make_process([0.05] * 12, 0.4, WAYS, api=0.06, alpha=5e-9)
+        result = solve_equilibrium([heavy, tolerant], WAYS)
+        assert result.sizes[1] > result.sizes[0]
+
+
+class TestValidation:
+    def test_empty_processes_rejected(self):
+        with pytest.raises(ConfigurationError):
+            solve_equilibrium([], WAYS)
+
+    def test_more_processes_than_ways_rejected(self, light):
+        with pytest.raises(ConfigurationError):
+            solve_equilibrium([light] * (WAYS + 1), WAYS)
+
+    def test_unknown_strategy_rejected(self, light):
+        with pytest.raises(ConfigurationError):
+            solve_equilibrium([light], WAYS, strategy="gradient")
+
+    def test_equilibrium_process_validation(self):
+        hist = ReuseDistanceHistogram([1.0])
+        occupancy = OccupancyModel(hist, max_ways=4)
+        with pytest.raises(ConfigurationError):
+            EquilibriumProcess(
+                occupancy=occupancy, mpa=hist.mpa, api=0.0, alpha=1e-8, beta=1e-9
+            )
+        with pytest.raises(ConfigurationError):
+            EquilibriumProcess(
+                occupancy=occupancy, mpa=hist.mpa, api=0.01, alpha=1e-8, beta=0.0
+            )

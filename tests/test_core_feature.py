@@ -1,0 +1,59 @@
+"""Unit tests for feature and profile vectors."""
+
+import pytest
+
+from repro.core.feature import FeatureVector, ProfileVector
+from repro.core.histogram import ReuseDistanceHistogram
+from repro.core.spi import SpiModel
+from repro.errors import ConfigurationError
+from repro.workloads.spec import BENCHMARKS
+
+
+class TestFeatureVector:
+    def test_oracle_matches_benchmark(self):
+        benchmark = BENCHMARKS["mcf"]
+        frequency = 2e8
+        feature = FeatureVector.oracle(benchmark, frequency)
+        alpha, beta = benchmark.alpha_beta(frequency)
+        assert feature.alpha == pytest.approx(alpha)
+        assert feature.beta == pytest.approx(beta)
+        assert feature.api == benchmark.api
+        assert feature.histogram.close_to(benchmark.intrinsic_histogram())
+
+    def test_occupancy_model_uses_ways(self):
+        feature = FeatureVector.oracle(BENCHMARKS["gzip"], 2e8)
+        model = feature.occupancy_model(max_ways=8)
+        assert model.max_ways == 8
+
+    def test_rejects_bad_api(self):
+        hist = ReuseDistanceHistogram([1.0])
+        with pytest.raises(ConfigurationError):
+            FeatureVector(
+                name="x", histogram=hist, api=0.0, spi_model=SpiModel(1e-8, 1e-9)
+            )
+
+
+class TestProfileVector:
+    def test_valid_roundtrip(self):
+        profile = ProfileVector(
+            name="mcf", p_alone=25.0, l1rpi=0.4, l2rpi=0.05, brpi=0.2, fppi=0.0
+        )
+        assert profile.p_alone == 25.0
+
+    @pytest.mark.parametrize(
+        "field,value",
+        [
+            ("p_alone", -1.0),
+            ("l1rpi", -0.1),
+            ("l2rpi", -0.1),
+            ("brpi", -0.1),
+            ("fppi", -0.1),
+        ],
+    )
+    def test_rejects_negative_fields(self, field, value):
+        kwargs = dict(
+            name="x", p_alone=10.0, l1rpi=0.4, l2rpi=0.05, brpi=0.2, fppi=0.1
+        )
+        kwargs[field] = value
+        with pytest.raises(ConfigurationError):
+            ProfileVector(**kwargs)

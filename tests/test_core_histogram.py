@@ -1,0 +1,133 @@
+"""Unit tests for ReuseDistanceHistogram (Eq. 2)."""
+
+import math
+
+import numpy as np
+import pytest
+
+from repro.core.histogram import ReuseDistanceHistogram
+from repro.errors import ConfigurationError
+
+
+class TestConstruction:
+    def test_normalisation(self):
+        hist = ReuseDistanceHistogram([2.0, 2.0], inf_mass=1.0)
+        assert hist.probs[0] == pytest.approx(0.4)
+        assert hist.inf_mass == pytest.approx(0.2)
+
+    def test_from_counts_with_inf(self):
+        hist = ReuseDistanceHistogram.from_counts({0: 3, 2: 1, math.inf: 1})
+        assert hist.probability(0) == pytest.approx(0.6)
+        assert hist.probability(1) == 0.0
+        assert hist.inf_mass == pytest.approx(0.2)
+
+    def test_from_pairs(self):
+        hist = ReuseDistanceHistogram.from_pairs([(0, 0.5), (3, 0.5)])
+        assert hist.max_distance == 3
+
+    def test_point_mass(self):
+        hist = ReuseDistanceHistogram.point_mass(4)
+        assert hist.probability(4) == 1.0
+        assert hist.mpa(4) == pytest.approx(1.0)
+        assert hist.mpa(5) == pytest.approx(0.0)
+
+    def test_rejects_negative_mass(self):
+        with pytest.raises(ConfigurationError):
+            ReuseDistanceHistogram([-0.1, 1.0])
+
+    def test_rejects_empty_mass(self):
+        with pytest.raises(ConfigurationError):
+            ReuseDistanceHistogram([0.0, 0.0], inf_mass=0.0)
+
+    def test_rejects_negative_distances(self):
+        with pytest.raises(ConfigurationError):
+            ReuseDistanceHistogram.from_counts({-1: 1.0})
+
+
+class TestMpa:
+    """The Eq. 2 tail: MPA(S) = P(distance >= S)."""
+
+    def test_mpa_at_zero_is_one(self):
+        hist = ReuseDistanceHistogram([0.5, 0.5])
+        assert hist.mpa(0) == pytest.approx(1.0)
+
+    def test_mpa_is_tail_probability(self):
+        hist = ReuseDistanceHistogram([0.5, 0.3, 0.2])
+        assert hist.mpa(1) == pytest.approx(0.5)
+        assert hist.mpa(2) == pytest.approx(0.2)
+        assert hist.mpa(3) == pytest.approx(0.0)
+
+    def test_mpa_flattens_at_inf_mass(self):
+        hist = ReuseDistanceHistogram([0.7], inf_mass=0.3)
+        assert hist.mpa(1) == pytest.approx(0.3)
+        assert hist.mpa(100) == pytest.approx(0.3)
+
+    def test_mpa_interpolates_between_integers(self):
+        hist = ReuseDistanceHistogram([0.5, 0.5])
+        assert hist.mpa(0.5) == pytest.approx(0.75)
+
+    def test_mpa_monotone_non_increasing(self):
+        hist = ReuseDistanceHistogram([0.2, 0.1, 0.4, 0.05], inf_mass=0.25)
+        sizes = np.linspace(0, 6, 40)
+        values = [hist.mpa(s) for s in sizes]
+        assert all(a >= b - 1e-12 for a, b in zip(values, values[1:]))
+
+    def test_mpa_curve_vector(self):
+        hist = ReuseDistanceHistogram([0.5, 0.5])
+        curve = hist.mpa_curve(3)
+        assert curve.shape == (4,)
+        assert curve[0] == pytest.approx(1.0)
+
+    def test_rejects_negative_size(self):
+        hist = ReuseDistanceHistogram([1.0])
+        with pytest.raises(ConfigurationError):
+            hist.mpa(-1)
+
+
+class TestStatistics:
+    def test_mean_distance(self):
+        hist = ReuseDistanceHistogram([0.5, 0.0, 0.5])
+        assert hist.mean_distance() == pytest.approx(1.0)
+
+    def test_mean_distance_all_inf(self):
+        hist = ReuseDistanceHistogram([0.0], inf_mass=1.0)
+        assert hist.mean_distance() == math.inf
+
+    def test_percentile(self):
+        hist = ReuseDistanceHistogram([0.5, 0.3, 0.2])
+        assert hist.percentile(0.5) == pytest.approx(1.0)
+        assert hist.percentile(1.0) == pytest.approx(3.0)
+
+    def test_percentile_unreachable(self):
+        hist = ReuseDistanceHistogram([0.5], inf_mass=0.5)
+        assert hist.percentile(0.9) == math.inf
+
+    def test_footprint(self):
+        hist = ReuseDistanceHistogram([0.5, 0.3, 0.2])
+        assert hist.footprint(coverage=0.999) == 3
+
+
+class TestTransformations:
+    def test_truncation_folds_tail_to_inf(self):
+        hist = ReuseDistanceHistogram([0.25, 0.25, 0.25, 0.25])
+        truncated = hist.truncated(1)
+        assert truncated.inf_mass == pytest.approx(0.5)
+        # MPA within the kept range is unchanged.
+        assert truncated.mpa(1) == pytest.approx(hist.mpa(1))
+
+    def test_mixture(self):
+        a = ReuseDistanceHistogram([1.0])
+        b = ReuseDistanceHistogram([0.0, 1.0])
+        mixed = a.mixed_with(b, weight=0.25)
+        assert mixed.probability(0) == pytest.approx(0.25)
+        assert mixed.probability(1) == pytest.approx(0.75)
+
+    def test_close_to(self):
+        a = ReuseDistanceHistogram([0.5, 0.5])
+        b = ReuseDistanceHistogram([0.5, 0.5, 0.0])
+        assert a.close_to(b)
+
+    def test_probs_read_only(self):
+        hist = ReuseDistanceHistogram([1.0])
+        with pytest.raises(ValueError):
+            hist.probs[0] = 0.5

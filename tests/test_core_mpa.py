@@ -1,0 +1,89 @@
+"""Unit tests for MissRatioCurve and the Eq. 8 reconstruction."""
+
+import numpy as np
+import pytest
+
+from repro.core.histogram import ReuseDistanceHistogram
+from repro.core.mpa import MissRatioCurve
+from repro.errors import ConfigurationError, ProfilingError
+
+
+class TestConstruction:
+    def test_interpolation(self):
+        curve = MissRatioCurve([1, 2, 4], [0.8, 0.6, 0.2])
+        assert curve.mpa(3) == pytest.approx(0.4)
+
+    def test_clamping_outside_range(self):
+        curve = MissRatioCurve([1, 2], [0.8, 0.5])
+        assert curve.mpa(0) == pytest.approx(0.8)
+        assert curve.mpa(10) == pytest.approx(0.5)
+
+    def test_monotone_clamp_applied(self):
+        curve = MissRatioCurve([1, 2, 3], [0.5, 0.6, 0.3])
+        assert curve.mpa(2) == pytest.approx(0.5)  # isotonic running min
+
+    def test_non_monotone_rejected_when_strict(self):
+        with pytest.raises(ProfilingError):
+            MissRatioCurve([1, 2], [0.5, 0.6], enforce_monotone=False)
+
+    def test_requires_increasing_sizes(self):
+        with pytest.raises(ConfigurationError):
+            MissRatioCurve([2, 1], [0.5, 0.6])
+
+    def test_requires_two_points(self):
+        with pytest.raises(ConfigurationError):
+            MissRatioCurve([1], [0.5])
+
+    def test_rejects_out_of_range_mpa(self):
+        with pytest.raises(ConfigurationError):
+            MissRatioCurve([1, 2], [1.5, 0.2])
+
+
+class TestRoundTrip:
+    """Histogram -> curve -> histogram must preserve MPA (Eq. 8)."""
+
+    @pytest.mark.parametrize(
+        "probs,inf_mass",
+        [
+            ([0.4, 0.3, 0.2, 0.1], 0.0),
+            ([0.5, 0.2, 0.1], 0.2),
+            ([0.1] * 10, 0.0),
+        ],
+    )
+    def test_roundtrip_preserves_mpa(self, probs, inf_mass):
+        original = ReuseDistanceHistogram(probs, inf_mass)
+        curve = MissRatioCurve.from_histogram(original, max_size=16)
+        recovered = curve.to_histogram()
+        for size in range(1, 17):
+            assert recovered.mpa(size) == pytest.approx(
+                original.mpa(size), abs=1e-9
+            )
+
+    def test_roundtrip_recovers_exact_buckets(self):
+        original = ReuseDistanceHistogram([0.4, 0.3, 0.2, 0.1])
+        curve = MissRatioCurve.from_histogram(original, max_size=8)
+        recovered = curve.to_histogram()
+        assert recovered.close_to(original, atol=1e-9)
+
+    def test_truncated_tail_becomes_inf_mass(self):
+        original = ReuseDistanceHistogram([0.25, 0.25, 0.25, 0.25])
+        # Sweep only reaches size 2: distances >= 2 are unobservable.
+        curve = MissRatioCurve([0, 1, 2], [original.mpa(s) for s in range(3)])
+        recovered = curve.to_histogram()
+        assert recovered.inf_mass == pytest.approx(0.5)
+
+    def test_narrow_sweep_rejected(self):
+        curve = MissRatioCurve([1.0, 1.5], [0.5, 0.4])
+        with pytest.raises(ProfilingError):
+            curve.to_histogram()
+
+    def test_total_mass_conserved(self):
+        curve = MissRatioCurve([1, 2, 3, 4], [0.9, 0.5, 0.4, 0.15])
+        hist = curve.to_histogram()
+        assert float(hist.probs.sum()) + hist.inf_mass == pytest.approx(1.0)
+
+    def test_points_returns_copies(self):
+        curve = MissRatioCurve([1, 2], [0.5, 0.4])
+        sizes, mpas = curve.points()
+        sizes[0] = 99
+        assert curve.sizes[0] == 1

@@ -1,0 +1,80 @@
+"""Unit tests for the neural-network power model."""
+
+import numpy as np
+import pytest
+
+from repro.core.neural import NeuralPowerModel
+from repro.core.power_model import PowerTrainingSet
+from repro.errors import ConfigurationError, ModelNotFittedError
+from repro.machine.events import Event, RATE_EVENTS
+
+
+def make_training(fn, n=120, seed=0):
+    rng = np.random.default_rng(seed)
+    training = PowerTrainingSet()
+    for _ in range(n):
+        rates = {event: rng.uniform(0, 1e8) for event in RATE_EVENTS}
+        training.add(rates, fn(rates))
+    return training
+
+
+def linear_fn(rates):
+    return 10.0 + 1e-7 * rates[Event.L1_REFS] + 5e-8 * rates[Event.FP_OPS]
+
+
+def saturating_fn(rates):
+    x = rates[Event.L1_REFS] / 5e7
+    return 10.0 + 20.0 * x / (1 + x) + 3e-8 * rates[Event.BRANCHES]
+
+
+class TestTraining:
+    def test_learns_linear_function(self):
+        training = make_training(linear_fn)
+        model = NeuralPowerModel(hidden=6, epochs=2500, seed=1).fit(training)
+        assert model.accuracy(training) > 0.97
+
+    def test_learns_nonlinear_function(self):
+        training = make_training(saturating_fn)
+        model = NeuralPowerModel(hidden=8, epochs=3000, seed=1).fit(training)
+        assert model.accuracy(training) > 0.97
+
+    def test_deterministic_given_seed(self):
+        training = make_training(linear_fn, n=40)
+        a = NeuralPowerModel(epochs=300, seed=5).fit(training)
+        b = NeuralPowerModel(epochs=300, seed=5).fit(training)
+        rates = {event: 5e7 for event in RATE_EVENTS}
+        assert a.core_power(rates) == pytest.approx(b.core_power(rates))
+
+    def test_needs_enough_rows(self):
+        training = make_training(linear_fn, n=4)
+        with pytest.raises(ConfigurationError):
+            NeuralPowerModel().fit(training)
+
+    def test_final_loss_recorded(self):
+        training = make_training(linear_fn, n=40)
+        model = NeuralPowerModel(epochs=500, seed=2).fit(training)
+        assert model.final_loss is not None
+        assert model.final_loss < 0.1
+
+
+class TestPredict:
+    def test_unfitted_raises(self):
+        with pytest.raises(ModelNotFittedError):
+            NeuralPowerModel().core_power({})
+
+    def test_core_power_close_to_truth(self):
+        training = make_training(saturating_fn)
+        model = NeuralPowerModel(hidden=8, epochs=3000, seed=1).fit(training)
+        rng = np.random.default_rng(9)
+        rates = {event: rng.uniform(1e7, 9e7) for event in RATE_EVENTS}
+        assert model.core_power(rates) == pytest.approx(
+            saturating_fn(rates), rel=0.1
+        )
+
+    def test_parameter_validation(self):
+        with pytest.raises(ConfigurationError):
+            NeuralPowerModel(hidden=0)
+        with pytest.raises(ConfigurationError):
+            NeuralPowerModel(epochs=0)
+        with pytest.raises(ConfigurationError):
+            NeuralPowerModel(learning_rate=0)

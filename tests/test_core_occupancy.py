@@ -1,0 +1,109 @@
+"""Unit tests for the occupancy growth model (Eqs. 4-5)."""
+
+import numpy as np
+import pytest
+
+from repro.core.histogram import ReuseDistanceHistogram
+from repro.core.occupancy import OccupancyModel
+from repro.errors import ConfigurationError
+
+
+@pytest.fixture
+def streaming_model():
+    """Pure streaming: every access misses, growth is one way/access."""
+    hist = ReuseDistanceHistogram([0.0], inf_mass=1.0)
+    return OccupancyModel(hist, max_ways=8)
+
+
+@pytest.fixture
+def mixed_model():
+    hist = ReuseDistanceHistogram([0.4, 0.3, 0.2], inf_mass=0.1)
+    return OccupancyModel(hist, max_ways=8)
+
+
+class TestGrowth:
+    def test_first_access_occupies_one_way(self, mixed_model):
+        assert mixed_model.g(1) == pytest.approx(1.0)
+
+    def test_g_zero_is_zero(self, mixed_model):
+        assert mixed_model.g(0) == 0.0
+
+    def test_streaming_grows_one_per_access(self, streaming_model):
+        for n in range(1, 9):
+            assert streaming_model.g(n) == pytest.approx(float(n))
+
+    def test_streaming_saturates_at_ways(self, streaming_model):
+        assert streaming_model.g(100) == pytest.approx(8.0)
+        assert streaming_model.saturation_size == pytest.approx(8.0)
+
+    def test_monotone_non_decreasing(self, mixed_model):
+        values = [mixed_model.g(n) for n in np.linspace(0, 200, 80)]
+        assert all(b >= a - 1e-12 for a, b in zip(values, values[1:]))
+
+    def test_finite_footprint_saturates_below_ways(self):
+        """A process reusing only 2 lines never occupies more than 2."""
+        hist = ReuseDistanceHistogram([0.5, 0.5])  # distances 0 and 1
+        model = OccupancyModel(hist, max_ways=8)
+        assert model.saturation_size == pytest.approx(2.0, abs=1e-6)
+
+    def test_expected_growth_matches_monte_carlo(self):
+        """Eq. 4 vs direct simulation of the miss/grow chain."""
+        hist = ReuseDistanceHistogram([0.3, 0.3, 0.2], inf_mass=0.2)
+        model = OccupancyModel(hist, max_ways=6)
+        rng = np.random.default_rng(0)
+        trials = 4000
+        steps = 25
+        sizes = np.ones(trials)
+        totals = np.zeros(steps)
+        totals[0] = 1.0
+        for n in range(1, steps):
+            mpa = np.array([hist.mpa(s) for s in sizes])
+            grow = rng.random(trials) < mpa
+            sizes = np.minimum(sizes + grow, 6)
+            totals[n] = sizes.mean()
+        for n in range(steps):
+            assert model.g(n + 1) == pytest.approx(totals[n], abs=0.05)
+
+    def test_fractional_interpolation(self, streaming_model):
+        assert streaming_model.g(1.5) == pytest.approx(1.5)
+
+
+class TestInverse:
+    def test_inverse_of_growth(self, mixed_model):
+        for n in (1.0, 3.0, 10.0, 40.0):
+            size = mixed_model.g(n)
+            if size < mixed_model.saturation_size - 1e-6:
+                assert mixed_model.g_inverse(size) == pytest.approx(n, rel=0.02)
+
+    def test_inverse_at_zero(self, mixed_model):
+        assert mixed_model.g_inverse(0.0) == 0.0
+
+    def test_inverse_beyond_saturation_is_inf(self, mixed_model):
+        assert mixed_model.g_inverse(mixed_model.saturation_size) == float("inf")
+        assert mixed_model.g_inverse(100.0) == float("inf")
+
+    def test_inverse_monotone(self, mixed_model):
+        sizes = np.linspace(0.1, mixed_model.saturation_size - 0.05, 30)
+        values = [mixed_model.g_inverse(s) for s in sizes]
+        assert all(b >= a - 1e-9 for a, b in zip(values, values[1:]))
+
+    def test_inverse_rejects_negative(self, mixed_model):
+        with pytest.raises(ConfigurationError):
+            mixed_model.g_inverse(-1.0)
+
+
+class TestValidation:
+    def test_rejects_bad_ways(self):
+        hist = ReuseDistanceHistogram([1.0])
+        with pytest.raises(ConfigurationError):
+            OccupancyModel(hist, max_ways=0)
+
+    def test_table_length_bounded(self):
+        hist = ReuseDistanceHistogram([0.0], inf_mass=1.0)
+        model = OccupancyModel(hist, max_ways=4, max_accesses=100)
+        assert model.table_length <= 100
+
+    def test_mpa_at_passthrough(self, mixed_model):
+        assert mixed_model.mpa_at(1) == pytest.approx(
+            mixed_model.histogram.mpa(1)
+        )

@@ -1,0 +1,137 @@
+"""Tests for the on-line Eq. 3 recalibrator."""
+
+import numpy as np
+import pytest
+
+from repro.core.online import OnlineSpiCalibrator, windows_to_observations
+from repro.core.spi import SpiModel
+from repro.errors import ConfigurationError
+
+
+def make_observations(alpha, beta, n=200, noise=0.0, seed=0):
+    rng = np.random.default_rng(seed)
+    mpas = rng.uniform(0.05, 0.95, n)
+    spis = alpha * mpas + beta
+    if noise:
+        spis = spis * (1.0 + rng.normal(0, noise, n))
+    return list(zip(mpas, spis))
+
+
+class TestCalibration:
+    def test_good_prior_stays_put(self):
+        prior = SpiModel(alpha=4e-8, beta=2e-9)
+        calibrator = OnlineSpiCalibrator(prior)
+        calibrator.observe_many(make_observations(4e-8, 2e-9, noise=0.01))
+        model = calibrator.model
+        assert model.alpha == pytest.approx(4e-8, rel=0.05)
+        assert model.beta == pytest.approx(2e-9, rel=0.15)
+
+    def test_wrong_prior_converges_to_truth(self):
+        prior = SpiModel(alpha=1e-8, beta=5e-9)  # badly off
+        calibrator = OnlineSpiCalibrator(prior, prior_weight=20.0)
+        calibrator.observe_many(make_observations(4e-8, 2e-9, n=500, noise=0.01))
+        model = calibrator.model
+        assert model.alpha == pytest.approx(4e-8, rel=0.1)
+        assert model.beta == pytest.approx(2e-9, rel=0.3)
+
+    def test_forgetting_tracks_drift(self):
+        prior = SpiModel(alpha=4e-8, beta=2e-9)
+        calibrator = OnlineSpiCalibrator(prior, forgetting=0.95)
+        calibrator.observe_many(make_observations(4e-8, 2e-9, n=100))
+        # Behaviour shifts: alpha doubles.
+        calibrator.observe_many(make_observations(8e-8, 2e-9, n=400, seed=1))
+        assert calibrator.model.alpha == pytest.approx(8e-8, rel=0.15)
+
+    def test_drift_score_flags_change(self):
+        prior = SpiModel(alpha=4e-8, beta=2e-9)
+        stable = OnlineSpiCalibrator(prior, forgetting=1.0)
+        stable.observe_many(make_observations(4e-8, 2e-9, n=64, noise=0.01))
+        calm = stable.drift_score()
+        shifted = OnlineSpiCalibrator(prior, forgetting=1.0, prior_weight=500.0)
+        shifted.observe_many(make_observations(4e-8, 2e-9, n=32, noise=0.01))
+        shifted.observe_many(make_observations(1.2e-7, 6e-9, n=32, noise=0.01, seed=2))
+        assert shifted.drift_score() > calm
+
+    def test_validation(self):
+        prior = SpiModel(alpha=1e-8, beta=1e-9)
+        with pytest.raises(ConfigurationError):
+            OnlineSpiCalibrator(prior, prior_weight=0)
+        with pytest.raises(ConfigurationError):
+            OnlineSpiCalibrator(prior, forgetting=1.5)
+        calibrator = OnlineSpiCalibrator(prior)
+        with pytest.raises(ConfigurationError):
+            calibrator.observe(1.5, 1e-9)
+        with pytest.raises(ConfigurationError):
+            calibrator.observe(0.5, 0.0)
+
+
+class TestWindowExtraction:
+    def test_extracts_from_simulated_run(self, small_server, tiny_scale, power_env):
+        from repro.machine.simulator import MachineSimulation
+        from repro.workloads.spec import BENCHMARKS
+
+        sim = MachineSimulation(
+            small_server,
+            {0: [BENCHMARKS["mcf"]]},
+            scale=tiny_scale,
+            seed=4,
+            power_env=power_env,
+        )
+        result = sim.run_duration()
+        observations = windows_to_observations(result.hpc_by_core[0])
+        assert len(observations) >= 5
+        benchmark = BENCHMARKS["mcf"]
+        for mpa, spi in observations:
+            expected = benchmark.spi(mpa, small_server.frequency_hz)
+            assert spi == pytest.approx(expected, rel=0.05)
+
+    def test_idle_windows_skipped(self, small_server, tiny_scale, power_env):
+        from repro.machine.simulator import MachineSimulation
+        from repro.workloads.spec import BENCHMARKS
+
+        sim = MachineSimulation(
+            small_server,
+            {0: [BENCHMARKS["gzip"]]},
+            scale=tiny_scale,
+            seed=4,
+            power_env=power_env,
+        )
+        result = sim.run_duration()
+        # Core 3 never ran anything: no observations.
+        assert windows_to_observations(result.hpc_by_core[3]) == []
+
+    def test_online_calibration_from_simulation(
+        self, small_server, tiny_scale, power_env
+    ):
+        """End to end: runtime windows recover the true alpha/beta."""
+        from repro.core.spi import SpiModel
+        from repro.machine.simulator import MachineSimulation
+        from repro.workloads.spec import BENCHMARKS
+
+        benchmark = BENCHMARKS["mcf"]
+        sim = MachineSimulation(
+            small_server,
+            {0: [benchmark], 1: [BENCHMARKS["art"]]},  # contention varies MPA
+            scale=tiny_scale,
+            seed=9,
+            power_env=power_env,
+        )
+        result = sim.run_duration()
+        observations = windows_to_observations(result.hpc_by_core[0])
+        alpha_true, beta_true = benchmark.alpha_beta(small_server.frequency_hz)
+        # Deliberately wrong prior; runtime data must pull the model in
+        # *at the observed operating point*.  (Runtime windows cluster
+        # around one MPA, so the full line is not identifiable — only
+        # predictions near the cluster must be corrected.)
+        calibrator = OnlineSpiCalibrator(
+            SpiModel(alpha_true * 2, beta_true * 2),
+            prior_weight=5.0,
+            forgetting=0.98,
+        )
+        calibrator.observe_many(observations * 20)
+        operating_mpa = float(
+            sum(mpa for mpa, _ in observations) / len(observations)
+        )
+        assert calibrator.model.spi(operating_mpa) == pytest.approx(
+            alpha_true * operating_mpa + beta_true, rel=0.05
+        )

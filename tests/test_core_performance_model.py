@@ -1,0 +1,97 @@
+"""Unit tests for the PerformanceModel façade."""
+
+import pytest
+
+from repro.core.feature import FeatureVector
+from repro.core.performance_model import PerformanceModel
+from repro.errors import ConfigurationError
+from repro.workloads.spec import BENCHMARKS
+
+FREQ = 2e8
+
+
+@pytest.fixture
+def model():
+    model = PerformanceModel(ways=16)
+    for name in ("mcf", "art", "gzip", "twolf"):
+        model.register(FeatureVector.oracle(BENCHMARKS[name], FREQ))
+    return model
+
+
+class TestRegistration:
+    def test_known_processes_sorted(self, model):
+        assert model.known_processes == ["art", "gzip", "mcf", "twolf"]
+
+    def test_unknown_process_raises(self, model):
+        with pytest.raises(KeyError, match="no feature vector"):
+            model.predict(["mcf", "nosuch"])
+
+    def test_reregistration_replaces(self, model):
+        replacement = FeatureVector.oracle(BENCHMARKS["vpr"], FREQ)
+        renamed = FeatureVector(
+            name="mcf",
+            histogram=replacement.histogram,
+            api=replacement.api,
+            spi_model=replacement.spi_model,
+        )
+        model.register(renamed)
+        assert model.feature("mcf").api == pytest.approx(BENCHMARKS["vpr"].api)
+
+
+class TestPrediction:
+    def test_solo_prediction_uncontended(self, model):
+        solo = model.predict_solo("gzip")
+        # gzip's footprint fits easily in 16 ways: low MPA.
+        assert solo.mpa < 0.1
+        assert solo.spi > 0
+
+    def test_pair_prediction_capacity(self, model):
+        prediction = model.predict(["mcf", "art"])
+        assert prediction.contended
+        assert prediction.total_size == pytest.approx(16.0, abs=0.05)
+
+    def test_contention_raises_mpa(self, model):
+        solo = model.predict_solo("mcf")
+        pair = model.predict(["mcf", "art"])
+        assert pair[0].mpa > solo.mpa
+
+    def test_duplicate_names_symmetric(self, model):
+        prediction = model.predict(["mcf", "mcf"])
+        assert prediction[0].effective_size == pytest.approx(
+            prediction[1].effective_size, abs=0.05
+        )
+
+    def test_l2mpr_equals_mpa(self, model):
+        prediction = model.predict(["mcf", "gzip"])
+        assert prediction[0].l2mpr == prediction[0].mpa
+
+    def test_ips_is_inverse_spi(self, model):
+        solo = model.predict_solo("twolf")
+        assert solo.ips == pytest.approx(1.0 / solo.spi)
+
+    def test_too_many_processes(self, model):
+        with pytest.raises(ConfigurationError):
+            model.predict(["mcf"] * 17)
+
+    def test_empty_prediction(self, model):
+        with pytest.raises(ConfigurationError):
+            model.predict([])
+
+    def test_len_and_getitem(self, model):
+        prediction = model.predict(["mcf", "gzip"])
+        assert len(prediction) == 2
+        assert prediction[1].name == "gzip"
+
+
+class TestStrategies:
+    def test_explicit_strategies_agree(self):
+        features = [
+            FeatureVector.oracle(BENCHMARKS[name], FREQ) for name in ("mcf", "art")
+        ]
+        newton = PerformanceModel(ways=16, strategy="newton")
+        bisect = PerformanceModel(ways=16, strategy="bisection")
+        newton.register_all(features)
+        bisect.register_all(features)
+        a = newton.predict(["mcf", "art"])
+        b = bisect.predict(["mcf", "art"])
+        assert a[0].effective_size == pytest.approx(b[0].effective_size, abs=0.1)

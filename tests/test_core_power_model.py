@@ -1,0 +1,122 @@
+"""Unit tests for the Eq. 9 MVLR power model."""
+
+import numpy as np
+import pytest
+
+from repro.core.power_model import CorePowerModel, PowerTrainingSet, rate_vector
+from repro.errors import ConfigurationError, ModelNotFittedError
+from repro.machine.events import Event, RATE_EVENTS
+
+TRUE = {
+    "idle": 11.0,
+    Event.L1_REFS: 9e-8,
+    Event.L2_REFS: 1.5e-7,
+    Event.L2_MISSES: -6e-7,
+    Event.BRANCHES: 8e-8,
+    Event.FP_OPS: 9e-8,
+}
+
+
+def linear_power(rates):
+    return TRUE["idle"] + sum(TRUE[event] * rates.get(event, 0.0) for event in RATE_EVENTS)
+
+
+@pytest.fixture
+def training():
+    rng = np.random.default_rng(0)
+    training = PowerTrainingSet()
+    for _ in range(80):
+        rates = {
+            Event.L1_REFS: rng.uniform(0, 1e8),
+            Event.L2_REFS: rng.uniform(0, 2e7),
+            Event.L2_MISSES: rng.uniform(0, 8e6),
+            Event.BRANCHES: rng.uniform(0, 5e7),
+            Event.FP_OPS: rng.uniform(0, 6e7),
+        }
+        training.add(rates, linear_power(rates))
+    return training
+
+
+class TestTrainingSet:
+    def test_rate_vector_ordering(self):
+        rates = {event: float(i) for i, event in enumerate(RATE_EVENTS)}
+        assert rate_vector(rates) == (0.0, 1.0, 2.0, 3.0, 4.0)
+
+    def test_add_uniform_run_splits_power(self):
+        training = PowerTrainingSet()
+        rates = {event: 1.0 for event in RATE_EVENTS}
+        training.add_uniform_run([rates, rates], processor_power_watts=30.0)
+        assert len(training) == 2
+        assert training.targets == [15.0, 15.0]
+
+    def test_rejects_negative_power(self):
+        training = PowerTrainingSet()
+        with pytest.raises(ConfigurationError):
+            training.add({}, -1.0)
+
+    def test_rejects_empty_uniform_run(self):
+        with pytest.raises(ConfigurationError):
+            PowerTrainingSet().add_uniform_run([], 10.0)
+
+
+class TestFit:
+    def test_recovers_linear_truth(self, training):
+        model = CorePowerModel().fit(training)
+        coefficients = model.coefficients
+        assert model.p_idle == pytest.approx(TRUE["idle"], rel=1e-6)
+        assert coefficients["L1RPS"] == pytest.approx(TRUE[Event.L1_REFS], rel=1e-6)
+        assert coefficients["L2MPS"] == pytest.approx(TRUE[Event.L2_MISSES], rel=1e-6)
+        assert model.r_squared == pytest.approx(1.0)
+
+    def test_negative_l2mps_coefficient_learned(self, training):
+        """The paper's observation: c3 is negative (stalls burn less)."""
+        model = CorePowerModel().fit(training)
+        assert model.coefficients["L2MPS"] < 0
+
+    def test_fixed_idle_anchor(self, training):
+        model = CorePowerModel().fit(training, idle_core_watts=11.0)
+        assert model.p_idle == 11.0
+
+    def test_accuracy_metric(self, training):
+        model = CorePowerModel().fit(training)
+        assert model.accuracy(training) == pytest.approx(1.0)
+
+    def test_too_few_rows(self):
+        training = PowerTrainingSet()
+        for _ in range(5):
+            training.add({event: 1.0 for event in RATE_EVENTS}, 10.0)
+        with pytest.raises(ConfigurationError):
+            CorePowerModel().fit(training)
+
+
+class TestPredict:
+    def test_unfitted_raises(self):
+        with pytest.raises(ModelNotFittedError):
+            CorePowerModel().core_power({})
+
+    def test_core_power(self, training):
+        model = CorePowerModel().fit(training)
+        rates = {event: 1e6 for event in RATE_EVENTS}
+        assert model.core_power(rates) == pytest.approx(linear_power(rates), rel=1e-6)
+
+    def test_idle_core_power_is_intercept(self, training):
+        model = CorePowerModel().fit(training)
+        assert model.idle_core_power() == pytest.approx(model.p_idle)
+
+    def test_processor_power_sums_cores(self, training):
+        model = CorePowerModel().fit(training)
+        rates = {event: 1e6 for event in RATE_EVENTS}
+        zero = {event: 0.0 for event in RATE_EVENTS}
+        total = model.processor_power([rates, zero])
+        assert total == pytest.approx(model.core_power(rates) + model.p_idle)
+
+    def test_processor_power_padded(self, training):
+        model = CorePowerModel().fit(training)
+        rates = {event: 1e6 for event in RATE_EVENTS}
+        padded = model.processor_power_padded([rates], total_cores=4)
+        assert padded == pytest.approx(model.core_power(rates) + 3 * model.p_idle)
+
+    def test_padding_validation(self, training):
+        model = CorePowerModel().fit(training)
+        with pytest.raises(ConfigurationError):
+            model.processor_power_padded([{}, {}], total_cores=1)

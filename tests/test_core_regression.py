@@ -1,0 +1,86 @@
+"""Unit tests for the MVLR implementation."""
+
+import numpy as np
+import pytest
+
+from repro.core.regression import LinearRegression
+from repro.errors import ConfigurationError, ModelNotFittedError
+
+
+@pytest.fixture
+def data():
+    rng = np.random.default_rng(1)
+    x = rng.random((60, 3))
+    coefficients = np.array([2.0, -1.0, 0.5])
+    y = x @ coefficients + 4.0
+    return x, y, coefficients
+
+
+class TestFit:
+    def test_exact_recovery(self, data):
+        x, y, coefficients = data
+        model = LinearRegression().fit(x, y)
+        assert model.intercept == pytest.approx(4.0)
+        assert np.allclose(model.coefficients, coefficients)
+        assert model.r_squared == pytest.approx(1.0)
+
+    def test_fixed_intercept(self, data):
+        x, y, coefficients = data
+        model = LinearRegression().fit(x, y, fixed_intercept=4.0)
+        assert model.intercept == 4.0
+        assert np.allclose(model.coefficients, coefficients)
+
+    def test_fixed_intercept_constrains(self, data):
+        x, y, _ = data
+        model = LinearRegression().fit(x, y, fixed_intercept=10.0)
+        assert model.intercept == 10.0
+        assert model.r_squared < 1.0  # wrong anchor costs fit quality
+
+    def test_needs_more_rows_than_features(self):
+        with pytest.raises(ConfigurationError):
+            LinearRegression().fit([[1.0, 2.0]], [1.0])
+
+    def test_shape_validation(self):
+        with pytest.raises(ConfigurationError):
+            LinearRegression().fit([[1.0], [2.0]], [1.0])
+        with pytest.raises(ConfigurationError):
+            LinearRegression().fit([1.0, 2.0], [1.0, 2.0])
+
+
+class TestPredict:
+    def test_predict_batch(self, data):
+        x, y, _ = data
+        model = LinearRegression().fit(x, y)
+        assert np.allclose(model.predict(x), y)
+
+    def test_predict_one(self, data):
+        x, y, _ = data
+        model = LinearRegression().fit(x, y)
+        assert model.predict_one(x[0]) == pytest.approx(y[0])
+
+    def test_unfitted_raises(self):
+        with pytest.raises(ModelNotFittedError):
+            LinearRegression().predict([[1.0, 2.0, 3.0]])
+
+
+class TestAccuracy:
+    def test_perfect_accuracy(self, data):
+        x, y, _ = data
+        model = LinearRegression().fit(x, y)
+        assert model.accuracy(x, y) == pytest.approx(1.0)
+
+    def test_noisy_accuracy_below_one(self, data):
+        x, y, _ = data
+        rng = np.random.default_rng(2)
+        noisy = y + rng.normal(0, 0.5, y.size)
+        model = LinearRegression().fit(x, noisy)
+        accuracy = model.accuracy(x, noisy)
+        assert 0.5 < accuracy < 1.0
+
+    def test_zero_target_rejected(self, data):
+        x, y, _ = data
+        model = LinearRegression().fit(x, y)
+        y0 = y.copy()
+        y0[0] = 0.0
+        with pytest.raises(ConfigurationError):
+            model.accuracy(x, y0)

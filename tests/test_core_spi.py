@@ -1,0 +1,78 @@
+"""Unit tests for the Eq. 3 SPI model and its fit."""
+
+import numpy as np
+import pytest
+
+from repro.core.spi import SpiModel, fit_spi_model
+from repro.errors import ConfigurationError, ProfilingError
+
+
+class TestSpiModel:
+    def test_linear_relation(self):
+        model = SpiModel(alpha=2e-8, beta=1e-9)
+        assert model.spi(0.0) == pytest.approx(1e-9)
+        assert model.spi(0.5) == pytest.approx(1.1e-8)
+
+    def test_inversion(self):
+        model = SpiModel(alpha=2e-8, beta=1e-9)
+        spi = model.spi(0.37)
+        assert model.mpa_for_spi(spi) == pytest.approx(0.37)
+
+    def test_inversion_clamped(self):
+        model = SpiModel(alpha=1e-8, beta=1e-9)
+        assert model.mpa_for_spi(0.0) == 0.0
+        assert model.mpa_for_spi(1.0) == 1.0
+
+    def test_inversion_requires_slope(self):
+        model = SpiModel(alpha=0.0, beta=1e-9)
+        with pytest.raises(ConfigurationError):
+            model.mpa_for_spi(1e-9)
+
+    def test_rejects_unphysical(self):
+        with pytest.raises(ConfigurationError):
+            SpiModel(alpha=-1.0, beta=1e-9)
+        with pytest.raises(ConfigurationError):
+            SpiModel(alpha=1e-8, beta=0.0)
+
+    def test_rejects_mpa_out_of_range(self):
+        with pytest.raises(ConfigurationError):
+            SpiModel(alpha=1e-8, beta=1e-9).spi(1.5)
+
+
+class TestFit:
+    def test_exact_recovery(self):
+        alpha, beta = 3.3e-8, 2.1e-9
+        mpas = np.linspace(0.05, 0.9, 10)
+        spis = alpha * mpas + beta
+        model = fit_spi_model(mpas, spis)
+        assert model.alpha == pytest.approx(alpha, rel=1e-9)
+        assert model.beta == pytest.approx(beta, rel=1e-9)
+        assert model.r_squared == pytest.approx(1.0)
+
+    def test_noisy_recovery(self):
+        rng = np.random.default_rng(0)
+        alpha, beta = 5e-8, 2e-9
+        mpas = np.linspace(0.1, 0.8, 16)
+        spis = alpha * mpas + beta
+        spis = spis * (1 + rng.normal(0, 0.01, mpas.size))
+        model = fit_spi_model(mpas, spis)
+        assert model.alpha == pytest.approx(alpha, rel=0.1)
+        assert model.r_squared > 0.98
+
+    def test_degenerate_mpa_range(self):
+        model = fit_spi_model([0.3, 0.3, 0.3], [1e-9, 1.1e-9, 0.9e-9])
+        assert model.alpha == 0.0
+        assert model.beta == pytest.approx(1e-9)
+
+    def test_requires_two_points(self):
+        with pytest.raises(ProfilingError):
+            fit_spi_model([0.5], [1e-9])
+
+    def test_unphysical_fit_rejected(self):
+        # Negative slope: SPI decreasing with MPA is broken profiling.
+        with pytest.raises(ProfilingError):
+            fit_spi_model([0.1, 0.9], [2e-9, 1e-9])
+
+    def test_shape_mismatch(self):
+        with pytest.raises(ConfigurationError):
+            fit_spi_model([0.1, 0.2], [1e-9])

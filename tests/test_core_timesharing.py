@@ -1,0 +1,78 @@
+"""Unit tests for time-sharing power composition (Section 4.2)."""
+
+import pytest
+
+from repro.core.timesharing import (
+    core_power_time_shared,
+    core_set_power,
+    process_combinations,
+)
+from repro.errors import ConfigurationError
+
+
+class TestTimeShared:
+    def test_equal_weights_mean(self):
+        assert core_power_time_shared([10.0, 20.0]) == pytest.approx(15.0)
+
+    def test_single_process(self):
+        assert core_power_time_shared([12.5]) == 12.5
+
+    def test_custom_weights(self):
+        power = core_power_time_shared([10.0, 20.0], weights=[3.0, 1.0])
+        assert power == pytest.approx(12.5)
+
+    def test_rejects_empty(self):
+        with pytest.raises(ConfigurationError):
+            core_power_time_shared([])
+
+    def test_rejects_negative_power(self):
+        with pytest.raises(ConfigurationError):
+            core_power_time_shared([-1.0])
+
+    def test_rejects_weight_mismatch(self):
+        with pytest.raises(ConfigurationError):
+            core_power_time_shared([1.0], weights=[1.0, 2.0])
+
+    def test_rejects_zero_weight_sum(self):
+        with pytest.raises(ConfigurationError):
+            core_power_time_shared([1.0, 2.0], weights=[0.0, 0.0])
+
+
+class TestCombinations:
+    def test_product_shape(self):
+        combos = process_combinations([["a", "b"], ["x"], ["p", "q", "r"]])
+        assert len(combos) == 6
+        assert ("a", "x", "p") in combos
+        assert ("b", "x", "r") in combos
+
+    def test_single_core(self):
+        assert process_combinations([["a", "b"]]) == (("a",), ("b",))
+
+    def test_rejects_empty_core(self):
+        with pytest.raises(ConfigurationError):
+            process_combinations([["a"], []])
+
+    def test_rejects_no_cores(self):
+        with pytest.raises(ConfigurationError):
+            process_combinations([])
+
+
+class TestCoreSetPower:
+    def test_eq10_average(self):
+        """Eq. 10: mean over all cross-core combinations."""
+        powers = {
+            ("a", "x"): 10.0,
+            ("a", "y"): 20.0,
+            ("b", "x"): 30.0,
+            ("b", "y"): 40.0,
+        }
+        value = core_set_power([["a", "b"], ["x", "y"]], powers.__getitem__)
+        assert value == pytest.approx(25.0)
+
+    def test_one_process_per_core(self):
+        value = core_set_power([["a"], ["x"]], lambda combo: 42.0)
+        assert value == 42.0
+
+    def test_rejects_negative_combination_power(self):
+        with pytest.raises(ConfigurationError):
+            core_set_power([["a"]], lambda combo: -5.0)

@@ -1,0 +1,125 @@
+"""Fast unit tests for experiment-layer aggregation logic.
+
+These test the bookkeeping around the drivers (error aggregation,
+scenario shaping, table rendering) with fabricated data — no
+simulation involved.
+"""
+
+import pytest
+
+from repro.analysis.errors import ErrorSummary
+from repro.experiments.power_validation import (
+    AssignmentValidation,
+    ScenarioResult,
+    render_power_table,
+)
+from repro.experiments.table1 import BenchmarkRow, PairCase, Table1Result
+from repro.experiments.table4 import CombinedCase
+
+
+def make_case(name, pair, measured_mpa, predicted_mpa, measured_spi, predicted_spi):
+    return PairCase(
+        pair=pair,
+        name=name,
+        measured_mpa=measured_mpa,
+        predicted_mpa=predicted_mpa,
+        measured_spi=measured_spi,
+        predicted_spi=predicted_spi,
+        measured_occupancy=8.0,
+        predicted_occupancy=8.0,
+    )
+
+
+class TestTable1Aggregation:
+    def test_case_errors(self):
+        case = make_case("a", ("a", "b"), 0.50, 0.45, 1e-9, 1.1e-9)
+        assert case.mpa_error_pct == pytest.approx(5.0)
+        assert case.spi_error_pct == pytest.approx(10.0)
+
+    def test_average_row(self):
+        rows = [
+            BenchmarkRow("a", 1.0, 0.0, 2.0, 0.0, cases=4),
+            BenchmarkRow("b", 3.0, 50.0, 6.0, 25.0, cases=4),
+        ]
+        result = Table1Result(rows=rows, cases=[])
+        average = result.average
+        assert average.mpa_error_pct == pytest.approx(2.0)
+        assert average.spi_error_pct == pytest.approx(4.0)
+        assert average.spi_over_5pct == pytest.approx(12.5)
+        assert average.cases == 8
+
+    def test_render_contains_all_rows(self):
+        rows = [BenchmarkRow("mcf", 1.0, 0.0, 2.0, 0.0, cases=8)]
+        text = Table1Result(rows=rows, cases=[]).render()
+        assert "mcf" in text
+        assert "Avg." in text
+
+
+class TestPowerValidationAggregation:
+    def test_assignment_avg_error(self):
+        validation = AssignmentValidation(
+            assignment={0: ("mcf",)},
+            sample_errors_pct=(1.0, 2.0, 3.0),
+            measured_avg_watts=50.0,
+            estimated_avg_watts=52.5,
+        )
+        assert validation.avg_error_pct == pytest.approx(5.0)
+
+    def test_render_power_table_layout(self):
+        scenario = ScenarioResult(
+            label="1 proc./core",
+            assignments=3,
+            sample_error=ErrorSummary(count=30, mean=4.0, maximum=9.0, over_5pct=20.0),
+            avg_error=ErrorSummary(count=3, mean=2.0, maximum=3.0, over_5pct=0.0),
+            details=(),
+        )
+        text = render_power_table("Table X", [scenario])
+        assert "1 proc./core" in text
+        assert "4.00 / 9.00" in text
+        assert "2.00 / 3.00" in text
+
+
+class TestTable4Cases:
+    def test_combined_case_error(self):
+        case = CombinedCase(
+            assignment={0: ("mcf",)}, estimated_watts=55.0, measured_watts=50.0
+        )
+        assert case.error_pct == pytest.approx(10.0)
+
+
+class TestTable3Shapes:
+    def test_unused_core_assignments_shapes(self):
+        from repro.config import TEST_SCALE
+        from repro.experiments.context import ExperimentContext
+        from repro.experiments.table3 import unused_core_assignments
+
+        context = ExperimentContext(
+            sets=32,
+            seed=1,
+            benchmark_names=("gzip", "mcf"),
+            profile_scale=TEST_SCALE,
+            run_scale=TEST_SCALE,
+        )
+        assignments = unused_core_assignments(context, count=6)
+        assert len(assignments) == 6
+        for assignment in assignments:
+            total = sum(len(names) for names in assignment.values())
+            assert total == 4
+            # 2 or 3 cores used, so 1 or 2 cores unused.
+            assert len(assignment) in (2, 3)
+
+
+class TestFigure2Selection:
+    def test_trace_errors(self):
+        from repro.experiments.figure2 import PowerTraceComparison
+
+        panel = PowerTraceComparison(
+            label="test",
+            assignment={0: ("mcf",)},
+            times_s=(0.1, 0.2),
+            measured_watts=(50.0, 50.0),
+            estimated_watts=(55.0, 45.0),
+        )
+        assert panel.avg_error_pct == pytest.approx(10.0)
+        assert panel.mean_measured_watts == pytest.approx(50.0)
+        assert "estimated" in panel.render()

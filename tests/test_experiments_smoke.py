@@ -1,0 +1,146 @@
+"""Smoke tests for every experiment driver at miniature scale.
+
+These make sure each paper-table driver runs end to end and produces
+structurally sane output; the real numbers come from the benchmark
+harness at full scale.
+"""
+
+import pytest
+
+from repro.config import SimulationScale
+from repro.experiments.context import ExperimentContext
+
+TINY_PROFILE = SimulationScale(
+    warmup_accesses=1_500,
+    measure_accesses=5_000,
+    warmup_s=0.003,
+    measure_s=0.008,
+    hpc_period_s=0.001,
+    timeslice_s=0.0008,
+)
+TINY_RUN = SimulationScale(
+    warmup_accesses=2_500,
+    measure_accesses=8_000,
+    warmup_s=0.004,
+    measure_s=0.012,
+    hpc_period_s=0.001,
+    timeslice_s=0.0008,
+)
+
+
+@pytest.fixture(scope="module")
+def context():
+    return ExperimentContext(
+        machine="4-core-server",
+        sets=64,
+        seed=7,
+        benchmark_names=("gzip", "mcf", "art", "twolf"),
+        profile_scale=TINY_PROFILE,
+        run_scale=TINY_RUN,
+    )
+
+
+class TestContextCaching:
+    def test_profiles_cached(self, context):
+        first = context.profiles()
+        second = context.profiles()
+        assert first is second
+        assert set(first) == {"gzip", "mcf", "art", "twolf"}
+
+    def test_models_build(self, context):
+        assert context.performance_model().known_processes
+        assert context.power_model().fitted
+        assert context.combined_model() is context.combined_model()
+
+    def test_get_context_memoised(self):
+        from repro.experiments.context import get_context
+
+        a = get_context(sets=32, seed=1, profile_scale=TINY_PROFILE, run_scale=TINY_RUN)
+        b = get_context(sets=32, seed=1, profile_scale=TINY_PROFILE, run_scale=TINY_RUN)
+        assert a is b
+
+
+class TestTable1Driver:
+    def test_runs_and_renders(self, context):
+        from repro.experiments.table1 import run_pairwise_validation
+
+        result = run_pairwise_validation(
+            context, pairs=[("mcf", "art"), ("gzip", "gzip")]
+        )
+        assert {c.name for c in result.cases} <= {"mcf", "art", "gzip"}
+        text = result.render()
+        assert "SPI E(%)" in text
+        # Self-pair collapses to one case.
+        gzip_cases = [c for c in result.cases if c.name == "gzip"]
+        assert len(gzip_cases) == 1
+
+
+class TestPowerDrivers:
+    def test_model_choice(self, context):
+        from repro.experiments.power_training import run_model_choice
+
+        result = run_model_choice(context)
+        assert 80.0 < result.mvlr_accuracy_pct < 100.0
+        assert result.nn_accuracy_pct >= result.mvlr_accuracy_pct - 2.0
+        assert result.coefficients["L2MPS"] < 0  # the paper's negative c3
+
+    def test_power_validation_scenario(self, context):
+        from repro.experiments.power_validation import validate_scenario
+
+        result = validate_scenario(
+            context, "smoke", [{0: ("mcf",), 1: ("gzip",)}]
+        )
+        assert result.assignments == 1
+        assert result.sample_error.mean < 25.0
+        assert result.avg_error.mean < 15.0
+
+    def test_figure2(self, context):
+        from repro.experiments.figure2 import run_figure2
+
+        result = run_figure2(context, pool=3)
+        assert result.maximum.mean_measured_watts >= result.minimum.mean_measured_watts
+        assert len(result.maximum.measured_watts) > 3
+        assert "measured" in result.maximum.render()
+
+    def test_table4_scenario(self, context):
+        from repro.experiments.table4 import run_table4, render_table4
+
+        scenarios = run_table4(context, limits=[2, 1, 1, 1, 1])
+        assert len(scenarios) == 5
+        text = render_table4(scenarios)
+        assert "1 proc./core" in text
+
+
+class TestAblationDrivers:
+    def test_prefetch(self, context):
+        from repro.experiments.prefetch_ablation import run_prefetch_ablation
+
+        result = run_prefetch_ablation(context, names=("gzip", "equake"))
+        assert result.best.name == "equake"
+        assert result.best.improvement_pct > 2.0
+
+    def test_context_switch(self, context):
+        from repro.experiments.context_switch import run_context_switch
+
+        result = run_context_switch(
+            context, pair=("gzip", "bzip2"), timeslice_s=0.004, min_slices=6
+        )
+        assert result.slices_measured >= 4
+        assert 0.0 <= result.mean_refill_fraction < 1.0
+
+    def test_solver_ablation(self, context):
+        from repro.experiments.ablations import run_solver_ablation
+
+        result = run_solver_ablation(context, pairs=[("mcf", "art"), ("gzip", "mcf")])
+        assert result.convergence_rate > 0.4
+        assert result.mean_disagreement < 0.5
+
+    def test_replacement_policy_ablation(self, context):
+        from repro.experiments.ablations import run_replacement_policy
+
+        cases = run_replacement_policy(
+            context, pairs=[("mcf", "art")], policies=("lru", "random")
+        )
+        lru = next(c for c in cases if c.policy == "lru")
+        rnd = next(c for c in cases if c.policy == "random")
+        assert lru.mean_spi_error_pct <= rnd.mean_spi_error_pct + 1.0

@@ -1,0 +1,123 @@
+"""Tests for the extension experiments (phases, partitioning, hetero)."""
+
+import pytest
+
+from repro.config import SimulationScale
+from repro.errors import ConfigurationError
+from repro.experiments.context import ExperimentContext
+from repro.machine.topology import heterogeneous_server
+
+SMALL_PROFILE = SimulationScale(
+    warmup_accesses=2_000,
+    measure_accesses=6_000,
+    warmup_s=0.004,
+    measure_s=0.010,
+    hpc_period_s=0.001,
+    timeslice_s=0.0008,
+)
+SMALL_RUN = SimulationScale(
+    warmup_accesses=4_000,
+    measure_accesses=12_000,
+    warmup_s=0.006,
+    measure_s=0.018,
+    hpc_period_s=0.001,
+    timeslice_s=0.0008,
+)
+
+
+@pytest.fixture(scope="module")
+def context():
+    return ExperimentContext(
+        machine="4-core-server",
+        sets=64,
+        seed=5,
+        benchmark_names=("twolf", "mcf", "art"),
+        profile_scale=SMALL_PROFILE,
+        run_scale=SMALL_RUN,
+    )
+
+
+class TestHeterogeneousTopology:
+    def test_core_frequencies(self):
+        topo = heterogeneous_server(sets=64, slow_scale=0.5)
+        assert topo.heterogeneous
+        assert topo.core_frequency(0) == pytest.approx(topo.frequency_hz)
+        assert topo.core_frequency(1) == pytest.approx(topo.frequency_hz / 2)
+
+    def test_homogeneous_default(self):
+        from repro.machine.topology import four_core_server
+
+        topo = four_core_server(sets=64)
+        assert not topo.heterogeneous
+        assert topo.core_frequency(3) == topo.frequency_hz
+
+    def test_scale_validation(self):
+        from repro.machine.topology import MachineTopology, four_core_server
+
+        base = four_core_server(sets=64)
+        with pytest.raises(ConfigurationError):
+            MachineTopology(
+                name="bad",
+                frequency_hz=base.frequency_hz,
+                domains=base.domains,
+                nominal_power_watts=100,
+                core_frequency_scales=(1.0, 0.5),  # wrong arity
+            )
+
+    def test_feature_rescale(self):
+        from repro.core.feature import FeatureVector
+        from repro.workloads.spec import BENCHMARKS
+
+        feature = FeatureVector.oracle(BENCHMARKS["mcf"], 2e8)
+        fast = feature.with_frequency_ratio(2.0)
+        assert fast.alpha == pytest.approx(feature.alpha / 2)
+        assert fast.beta == pytest.approx(feature.beta / 2)
+        assert fast.api == feature.api
+        with pytest.raises(ConfigurationError):
+            feature.with_frequency_ratio(0.0)
+
+    def test_fast_core_wins_cache(self, context):
+        from repro.experiments.heterogeneity_extension import (
+            run_heterogeneity_extension,
+        )
+
+        result = run_heterogeneity_extension(
+            context, pairs=(("mcf", "mcf"),), slow_scale=0.5
+        )
+        case = result.cases[0]
+        # Identical programs: the clock alone decides the partition.
+        assert case.measured_occupancies[0] > case.measured_occupancies[1] + 1.0
+        assert case.max_spi_error_pct < 10.0
+
+
+class TestPhasesExtension:
+    def test_phase_aware_beats_naive(self, context):
+        from repro.experiments.phases_extension import run_phases_extension
+
+        result = run_phases_extension(context, partner="twolf")
+        assert result.phase_aware_wins
+        assert result.detected_phases >= 2
+        assert result.phase_aware_spi_error_pct < result.naive_spi_error_pct
+
+
+class TestPartitioningExtension:
+    def test_partition_predictions_validated(self, context):
+        from repro.experiments.partitioning_extension import (
+            run_partitioning_extension,
+        )
+
+        result = run_partitioning_extension(context, names=("mcf", "twolf"))
+        assert result.optimal.max_mpa_error_pts < 6.0
+        assert sum(result.optimal.plan.allocation) == 16
+        assert (
+            result.optimal.predicted_total_ips
+            >= result.even.predicted_total_ips - 1e-9
+        )
+
+    def test_needs_two_processes(self, context):
+        from repro.experiments.partitioning_extension import (
+            run_partitioning_extension,
+        )
+
+        with pytest.raises(ConfigurationError):
+            run_partitioning_extension(context, names=("mcf",))

@@ -1,0 +1,194 @@
+"""Failure-injection and edge-case tests across the stack.
+
+Each test feeds a component degenerate or adversarial input and checks
+it fails loudly (the library's contract: errors never pass silently).
+"""
+
+import math
+
+import numpy as np
+import pytest
+
+from repro.core.equilibrium import BisectionSolver, EquilibriumProcess, NewtonSolver
+from repro.core.histogram import ReuseDistanceHistogram
+from repro.core.mpa import MissRatioCurve
+from repro.core.occupancy import OccupancyModel
+from repro.core.spi import fit_spi_model
+from repro.errors import (
+    ConfigurationError,
+    ConvergenceError,
+    ProfilingError,
+    SimulationError,
+)
+
+
+class TestProfilingFailures:
+    def test_noisy_non_monotone_sweep_is_clamped(self):
+        """Raw measurement noise must not produce negative buckets."""
+        sizes = list(range(1, 9))
+        mpas = [0.8, 0.82, 0.6, 0.63, 0.4, 0.38, 0.2, 0.22]  # zig-zag
+        curve = MissRatioCurve(sizes, mpas, enforce_monotone=True)
+        hist = curve.to_histogram()
+        assert np.all(hist.probs >= 0)
+        assert float(hist.probs.sum()) + hist.inf_mass == pytest.approx(1.0)
+
+    def test_flat_zero_sweep_unusable_for_alpha(self):
+        """An all-zero MPA sweep means alpha is unidentifiable."""
+        model = fit_spi_model([0.0, 0.0, 0.0], [1e-9, 1e-9, 1e-9])
+        assert model.alpha == 0.0  # degrades gracefully to miss-insensitive
+
+    def test_decreasing_spi_with_mpa_rejected(self):
+        with pytest.raises(ProfilingError):
+            fit_spi_model([0.1, 0.5, 0.9], [3e-9, 2e-9, 1e-9])
+
+    def test_single_way_machine_cannot_sweep(self):
+        from repro.config import TEST_SCALE
+        from repro.machine.topology import CacheDomain, MachineTopology
+        from repro.config import CacheGeometry
+        from repro.profiling.profiler import profile_process
+        from repro.workloads.spec import BENCHMARKS
+
+        tiny = MachineTopology(
+            name="tiny",
+            frequency_hz=2e8,
+            domains=(
+                CacheDomain(core_ids=(0, 1), geometry=CacheGeometry(sets=16, ways=1)),
+            ),
+            nominal_power_watts=10,
+        )
+        with pytest.raises(ProfilingError):
+            profile_process(BENCHMARKS["gzip"], tiny, scale=TEST_SCALE)
+
+
+class TestSolverFailures:
+    def test_newton_reports_convergence_error_fields(self):
+        # Two *different* processes: the symmetric initial guess is not
+        # the solution, so a one-iteration budget cannot converge.
+        hist_a = ReuseDistanceHistogram([0.2] * 4, 0.2)
+        hist_b = ReuseDistanceHistogram([0.05] * 12, 0.4)
+        processes = [
+            EquilibriumProcess(
+                occupancy=OccupancyModel(hist_a, max_ways=8),
+                mpa=hist_a.mpa,
+                api=0.01,
+                alpha=8e-9,
+                beta=3e-9,
+            ),
+            EquilibriumProcess(
+                occupancy=OccupancyModel(hist_b, max_ways=8),
+                mpa=hist_b.mpa,
+                api=0.08,
+                alpha=6e-8,
+                beta=2e-9,
+            ),
+        ]
+        solver = NewtonSolver(max_iterations=1, tol=1e-30)
+        with pytest.raises(ConvergenceError) as exc_info:
+            solver.solve(processes, 8)
+        assert exc_info.value.iterations >= 1
+
+    def test_bisection_handles_extreme_rate_imbalance(self):
+        """One process 10^6x faster than the other must still solve."""
+        hungry = ReuseDistanceHistogram([0.05] * 10, 0.5)
+        processes = [
+            EquilibriumProcess(
+                occupancy=OccupancyModel(hungry, max_ways=8),
+                mpa=hungry.mpa,
+                api=0.1,
+                alpha=1e-12,
+                beta=1e-12,
+            ),
+            EquilibriumProcess(
+                occupancy=OccupancyModel(hungry, max_ways=8),
+                mpa=hungry.mpa,
+                api=0.001,
+                alpha=1e-6,
+                beta=1e-6,
+            ),
+        ]
+        result = BisectionSolver().solve(processes, 8)
+        assert result.total_size == pytest.approx(8.0, abs=0.05)
+        # The fast process dominates the cache.
+        assert result.sizes[0] > result.sizes[1]
+
+
+class TestSimulatorEdgeCases:
+    def test_zero_process_access_mode_fails(self, small_server, tiny_scale):
+        from repro.machine.simulator import MachineSimulation
+
+        with pytest.raises(SimulationError):
+            MachineSimulation(small_server, {}, scale=tiny_scale).run_accesses()
+
+    def test_max_processes_per_domain(self, small_server, tiny_scale):
+        """Eight processes time-sharing two cores still runs."""
+        from repro.machine.simulator import MachineSimulation
+        from repro.workloads.spec import BENCHMARKS
+
+        names = ["gzip", "mcf", "art", "twolf"]
+        sim = MachineSimulation(
+            small_server,
+            {
+                0: [BENCHMARKS[n] for n in names],
+                1: [BENCHMARKS[n] for n in names],
+            },
+            scale=tiny_scale,
+            seed=3,
+        )
+        result = sim.run_accesses(warmup_accesses=500, measure_accesses=1_500)
+        assert len(result.processes) == 8
+        assert all(p.l2_refs >= 1_500 for p in result.processes)
+        assert result.context_switches > 10
+
+    def test_negative_prefetch_cost_rejected(self, small_server, tiny_scale):
+        from repro.machine.simulator import MachineSimulation
+        from repro.workloads.spec import BENCHMARKS
+
+        with pytest.raises(ConfigurationError):
+            MachineSimulation(
+                small_server,
+                {0: [BENCHMARKS["gzip"]]},
+                scale=tiny_scale,
+                prefetch="stride",
+                prefetch_cost_fraction=-0.5,
+            )
+
+
+class TestMeterEdgeCases:
+    def test_zero_power_window(self):
+        from repro.power.meter import PowerMeter
+
+        meter = PowerMeter(seed=1)
+        reading = meter.measure_window(0.0, 0.01)
+        assert reading >= 0.0  # clamped, never negative
+
+    def test_tiny_window_still_has_one_sample(self):
+        from repro.power.meter import PowerMeter
+
+        meter = PowerMeter(seed=2)
+        reading = meter.measure_window(50.0, 1e-6)
+        assert reading > 0.0
+
+
+class TestHistogramEdgeCases:
+    def test_all_inf_histogram_equilibrium(self):
+        """A pure-streaming process: MPA 1 everywhere, still solvable."""
+        from repro.core.equilibrium import solve_equilibrium
+
+        hist = ReuseDistanceHistogram([0.0], inf_mass=1.0)
+        process = EquilibriumProcess(
+            occupancy=OccupancyModel(hist, max_ways=8),
+            mpa=hist.mpa,
+            api=0.05,
+            alpha=5e-8,
+            beta=2e-9,
+        )
+        result = solve_equilibrium([process, process], 8)
+        assert result.total_size == pytest.approx(8.0, abs=0.05)
+        assert all(m == pytest.approx(1.0) for m in result.mpas)
+
+    def test_point_mass_at_zero(self):
+        """Perfect temporal locality: one line hit forever."""
+        hist = ReuseDistanceHistogram.point_mass(0)
+        model = OccupancyModel(hist, max_ways=8)
+        assert model.saturation_size == pytest.approx(1.0)
+        assert hist.mpa(1) == pytest.approx(0.0)

@@ -1,0 +1,157 @@
+"""End-to-end integration tests: the paper's full pipelines at small scale.
+
+These tie everything together: profiling through stressmark co-runs,
+equilibrium prediction vs emergent simulator behaviour, power-model
+training vs meter readings, and the combined profiles-only estimate vs
+a measured run.
+"""
+
+import pytest
+
+from repro.config import SimulationScale
+from repro.core.feature import FeatureVector
+from repro.core.performance_model import PerformanceModel
+from repro.machine.simulator import MachineSimulation, PowerEnvironment
+from repro.machine.topology import four_core_server
+from repro.workloads.spec import BENCHMARKS
+
+SCALE = SimulationScale(
+    warmup_accesses=3_000,
+    measure_accesses=10_000,
+    warmup_s=0.004,
+    measure_s=0.012,
+    hpc_period_s=0.001,
+    timeslice_s=0.0008,
+)
+
+
+@pytest.fixture(scope="module")
+def topology():
+    return four_core_server(sets=64)
+
+
+@pytest.fixture(scope="module")
+def oracle_model(topology):
+    model = PerformanceModel(ways=16)
+    for name in ("mcf", "art", "gzip", "twolf"):
+        model.register(FeatureVector.oracle(BENCHMARKS[name], topology.frequency_hz))
+    return model
+
+
+class TestPerformancePredictionVsSimulator:
+    """The equilibrium model must predict the emergent steady state."""
+
+    @pytest.mark.parametrize(
+        "pair", [("mcf", "art"), ("mcf", "mcf"), ("gzip", "twolf"), ("art", "twolf")]
+    )
+    def test_occupancy_within_one_way(self, topology, oracle_model, pair):
+        sim = MachineSimulation(
+            topology,
+            {0: [BENCHMARKS[pair[0]]], 1: [BENCHMARKS[pair[1]]]},
+            scale=SCALE,
+            seed=5,
+        )
+        result = sim.run_accesses()
+        prediction = oracle_model.predict(list(pair))
+        for slot in range(2):
+            measured = result.processes[slot].occupancy_ways
+            predicted = prediction[slot].effective_size
+            assert predicted == pytest.approx(measured, abs=1.0)
+
+    @pytest.mark.parametrize("pair", [("mcf", "art"), ("gzip", "mcf")])
+    def test_spi_within_ten_percent(self, topology, oracle_model, pair):
+        sim = MachineSimulation(
+            topology,
+            {0: [BENCHMARKS[pair[0]]], 1: [BENCHMARKS[pair[1]]]},
+            scale=SCALE,
+            seed=6,
+        )
+        result = sim.run_accesses()
+        prediction = oracle_model.predict(list(pair))
+        for slot in range(2):
+            measured = result.processes[slot].spi
+            predicted = prediction[slot].spi
+            assert abs(predicted - measured) / measured < 0.10
+
+
+class TestProfiledPipeline:
+    """Stressmark profiling then prediction, all from measurements."""
+
+    def test_profiled_prediction_close_to_truth(self, topology):
+        from repro.profiling.profiler import profile_process
+
+        model = PerformanceModel(ways=16)
+        for index, name in enumerate(("mcf", "twolf")):
+            profile = profile_process(
+                BENCHMARKS[name],
+                topology,
+                scale=SCALE,
+                seed=31 + index,
+                sweep_ways=[14, 12, 10, 8, 6, 4, 2],
+            )
+            model.register(profile.feature)
+        sim = MachineSimulation(
+            topology,
+            {0: [BENCHMARKS["mcf"]], 1: [BENCHMARKS["twolf"]]},
+            scale=SCALE,
+            seed=77,
+        )
+        result = sim.run_accesses()
+        prediction = model.predict(["mcf", "twolf"])
+        for slot in range(2):
+            measured = result.processes[slot]
+            predicted = prediction[slot]
+            assert abs(predicted.mpa - measured.mpa) < 0.08
+            assert abs(predicted.spi - measured.spi) / measured.spi < 0.15
+
+
+class TestPowerPipeline:
+    """Train Eq. 9 on uniform runs, validate on a mixed assignment."""
+
+    def test_power_estimate_tracks_meter(self, topology):
+        env = PowerEnvironment.for_topology(topology, seed=11)
+        from repro.core.power_model import CorePowerModel, PowerTrainingSet
+
+        training = PowerTrainingSet()
+        cores = list(range(topology.num_cores))
+        for index, name in enumerate(("gzip", "mcf", "art", "twolf")):
+            sim = MachineSimulation(
+                topology,
+                {core: [BENCHMARKS[name]] for core in cores},
+                scale=SCALE,
+                seed=100 + index,
+                power_env=env,
+            )
+            result = sim.run_duration()
+            windows = min(
+                len(result.power), *(len(result.hpc_by_core[c]) for c in cores)
+            )
+            for w in range(windows):
+                per_core = [result.hpc_by_core[c][w].rates for c in cores]
+                training.add_uniform_run(per_core, result.power.measured_watts[w])
+        idle = MachineSimulation(
+            topology, {}, scale=SCALE, seed=200, power_env=env
+        ).run_duration()
+        model = CorePowerModel().fit(
+            training, idle_core_watts=idle.power.mean_measured / 4
+        )
+
+        mixed = MachineSimulation(
+            topology,
+            {0: [BENCHMARKS["mcf"]], 1: [BENCHMARKS["gzip"]], 2: [BENCHMARKS["art"]]},
+            scale=SCALE,
+            seed=300,
+            power_env=env,
+        ).run_duration()
+        windows = min(
+            len(mixed.power), *(len(mixed.hpc_by_core[c]) for c in cores)
+        )
+        estimates = [
+            model.processor_power(
+                [mixed.hpc_by_core[c][w].rates for c in cores]
+            )
+            for w in range(windows)
+        ]
+        measured_mean = sum(mixed.power.measured_watts[:windows]) / windows
+        estimated_mean = sum(estimates) / windows
+        assert abs(estimated_mean - measured_mean) / measured_mean < 0.10

@@ -1,0 +1,133 @@
+"""Unit tests for JSON persistence of profiles and models."""
+
+import numpy as np
+import pytest
+
+from repro.core.feature import FeatureVector, ProfileVector
+from repro.core.power_model import CorePowerModel, PowerTrainingSet
+from repro.errors import ConfigurationError
+from repro.events import Event, RATE_EVENTS
+from repro.io import (
+    feature_from_dict,
+    feature_to_dict,
+    load_feature,
+    load_power_model,
+    load_profile_suite,
+    power_model_from_dict,
+    power_model_to_dict,
+    profile_from_dict,
+    profile_to_dict,
+    save_feature,
+    save_power_model,
+    save_profile_suite,
+)
+from repro.workloads.spec import BENCHMARKS
+
+
+@pytest.fixture
+def feature():
+    return FeatureVector.oracle(BENCHMARKS["mcf"], 2e8)
+
+
+@pytest.fixture
+def profile():
+    return ProfileVector(
+        name="mcf", p_alone=23.5, l1rpi=0.42, l2rpi=0.055, brpi=0.19, fppi=0.0
+    )
+
+
+@pytest.fixture
+def power_model():
+    rng = np.random.default_rng(0)
+    training = PowerTrainingSet()
+    ranges = {
+        Event.L1_REFS: 1e8,
+        Event.L2_REFS: 1.5e7,
+        Event.L2_MISSES: 5e6,
+        Event.BRANCHES: 5e7,
+        Event.FP_OPS: 6e7,
+    }
+    for _ in range(40):
+        rates = {event: rng.uniform(0, ranges[event]) for event in RATE_EVENTS}
+        power = 11.0 + 8e-8 * rates[Event.L1_REFS] - 4e-7 * rates[Event.L2_MISSES]
+        training.add(rates, power)
+    return CorePowerModel().fit(training, idle_core_watts=11.0)
+
+
+class TestFeatureRoundtrip:
+    def test_dict_roundtrip(self, feature):
+        recovered = feature_from_dict(feature_to_dict(feature))
+        assert recovered.name == feature.name
+        assert recovered.api == pytest.approx(feature.api)
+        assert recovered.alpha == pytest.approx(feature.alpha)
+        assert recovered.beta == pytest.approx(feature.beta)
+        assert recovered.histogram.close_to(feature.histogram, atol=1e-12)
+
+    def test_file_roundtrip(self, feature, tmp_path):
+        path = tmp_path / "mcf.json"
+        save_feature(feature, path)
+        recovered = load_feature(path)
+        assert recovered.histogram.mpa(8) == pytest.approx(feature.histogram.mpa(8))
+
+    def test_wrong_kind_rejected(self, feature, profile):
+        data = profile_to_dict(profile)
+        with pytest.raises(ConfigurationError, match="expected kind"):
+            feature_from_dict(data)
+
+    def test_bad_version_rejected(self, feature):
+        data = feature_to_dict(feature)
+        data["version"] = 999
+        with pytest.raises(ConfigurationError, match="version"):
+            feature_from_dict(data)
+
+    def test_missing_field_rejected(self, feature):
+        data = feature_to_dict(feature)
+        del data["api"]
+        with pytest.raises(ConfigurationError, match="missing"):
+            feature_from_dict(data)
+
+
+class TestProfileRoundtrip:
+    def test_dict_roundtrip(self, profile):
+        recovered = profile_from_dict(profile_to_dict(profile))
+        assert recovered == profile
+
+
+class TestSuiteRoundtrip:
+    def test_suite_roundtrip(self, feature, profile, tmp_path):
+        path = tmp_path / "suite.json"
+        save_profile_suite({"mcf": feature}, {"mcf": profile}, path)
+        features, profiles = load_profile_suite(path)
+        assert set(features) == {"mcf"}
+        assert profiles["mcf"].p_alone == profile.p_alone
+
+    def test_mismatched_names_rejected(self, feature, profile, tmp_path):
+        with pytest.raises(ConfigurationError):
+            save_profile_suite({"mcf": feature}, {}, tmp_path / "x.json")
+
+    def test_loaded_features_usable_by_model(self, feature, profile, tmp_path):
+        from repro.core.performance_model import PerformanceModel
+
+        path = tmp_path / "suite.json"
+        save_profile_suite({"mcf": feature}, {"mcf": profile}, path)
+        features, _ = load_profile_suite(path)
+        model = PerformanceModel(ways=16)
+        model.register(features["mcf"])
+        assert model.predict(["mcf", "mcf"]).total_size == pytest.approx(16, abs=0.1)
+
+
+class TestPowerModelRoundtrip:
+    def test_dict_roundtrip_exact(self, power_model):
+        recovered = power_model_from_dict(power_model_to_dict(power_model))
+        assert recovered.p_idle == pytest.approx(power_model.p_idle)
+        for key, value in power_model.coefficients.items():
+            assert recovered.coefficients[key] == pytest.approx(value, rel=1e-6)
+
+    def test_predictions_preserved(self, power_model, tmp_path):
+        path = tmp_path / "model.json"
+        save_power_model(power_model, path)
+        recovered = load_power_model(path)
+        rates = {event: 1e6 for event in RATE_EVENTS}
+        assert recovered.core_power(rates) == pytest.approx(
+            power_model.core_power(rates), rel=1e-6
+        )

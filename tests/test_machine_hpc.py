@@ -1,0 +1,86 @@
+"""Unit tests for HPC counter banks and the sampler."""
+
+import pytest
+
+from repro.errors import ConfigurationError
+from repro.machine.events import Event, PAPER_NAMES, RATE_EVENTS
+from repro.machine.hpc import CounterBank, HpcSampler
+
+
+class TestEvents:
+    def test_rate_events_order_matches_paper(self):
+        assert [PAPER_NAMES[e] for e in RATE_EVENTS] == [
+            "L1RPS",
+            "L2RPS",
+            "L2MPS",
+            "BRPS",
+            "FPPS",
+        ]
+
+
+class TestCounterBank:
+    def test_add_and_read(self):
+        bank = CounterBank()
+        bank.add(Event.L2_REFS, 3.0)
+        bank.add(Event.L2_REFS, 2.0)
+        assert bank.read(Event.L2_REFS) == 5.0
+
+    def test_counts_property_is_copy(self):
+        bank = CounterBank()
+        counts = bank.counts
+        counts[Event.L2_REFS] = 99.0
+        assert bank.read(Event.L2_REFS) == 0.0
+
+    def test_delta_since(self):
+        bank = CounterBank()
+        bank.add(Event.INSTRUCTIONS, 10.0)
+        snap = bank.snapshot()
+        bank.add(Event.INSTRUCTIONS, 5.0)
+        assert bank.delta_since(snap)[Event.INSTRUCTIONS] == 5.0
+
+
+class TestSampler:
+    def test_windows_closed_on_advance(self):
+        banks = [CounterBank(), CounterBank()]
+        sampler = HpcSampler(banks, period_s=0.01)
+        banks[0].add(Event.L2_REFS, 100.0)
+        closed = sampler.advance(0.025)
+        assert len(closed) == 2  # two full windows by t=0.025
+        first_window = closed[0]
+        assert len(first_window) == 2  # one sample per core
+        assert first_window[0].rates[Event.L2_REFS] == pytest.approx(10_000.0)
+        # Second window saw no further increments.
+        assert closed[1][0].rates[Event.L2_REFS] == 0.0
+
+    def test_no_window_before_boundary(self):
+        sampler = HpcSampler([CounterBank()], period_s=0.01)
+        assert sampler.advance(0.009) == []
+
+    def test_start_offset(self):
+        sampler = HpcSampler([CounterBank()], period_s=0.01, start_s=0.5)
+        assert sampler.advance(0.509) == []
+        assert len(sampler.advance(0.51)) == 1
+
+    def test_samples_for_core(self):
+        banks = [CounterBank(), CounterBank()]
+        sampler = HpcSampler(banks, period_s=0.01)
+        sampler.advance(0.03)
+        core1 = sampler.samples_for_core(1)
+        assert len(core1) == 3
+        assert all(s.core == 1 for s in core1)
+
+    def test_rate_vector_shape(self):
+        sampler = HpcSampler([CounterBank()], period_s=0.01)
+        (window,) = sampler.advance(0.01)
+        assert len(window[0].rate_vector()) == 5
+
+    def test_duration(self):
+        sampler = HpcSampler([CounterBank()], period_s=0.02)
+        (window,) = sampler.advance(0.02)
+        assert window[0].duration == pytest.approx(0.02)
+
+    def test_validation(self):
+        with pytest.raises(ConfigurationError):
+            HpcSampler([], period_s=0.01)
+        with pytest.raises(ConfigurationError):
+            HpcSampler([CounterBank()], period_s=0)

@@ -1,0 +1,120 @@
+"""Unit tests for Process accounting and the round-robin scheduler."""
+
+import pytest
+
+from repro.errors import ConfigurationError
+from repro.machine.process import Process, ProcessCounters
+from repro.machine.scheduler import CoreSchedule
+from repro.workloads.spec import BENCHMARKS
+
+FREQ = 2e8
+
+
+def make_process(name="mcf", pid=0):
+    return Process(
+        pid=pid,
+        workload=BENCHMARKS[name],
+        core=0,
+        frequency_hz=FREQ,
+        seed=1,
+        sets=16,
+    )
+
+
+class TestProcess:
+    def test_quantum_durations(self):
+        process = make_process()
+        benchmark = BENCHMARKS["mcf"]
+        hit_dt = process.execute_access(hit=True)
+        miss_dt = process.execute_access(hit=False)
+        assert hit_dt == pytest.approx(benchmark.base_cpi / (benchmark.api * FREQ))
+        assert miss_dt - hit_dt == pytest.approx(benchmark.penalty_cycles / FREQ)
+
+    def test_average_spi_matches_eq3(self):
+        """Mechanistic execution must realise SPI = alpha*MPA + beta."""
+        process = make_process("art")
+        benchmark = BENCHMARKS["art"]
+        mpa = 0.4
+        n = 10_000
+        for i in range(n):
+            process.execute_access(hit=(i % 10) >= 4)  # 40% misses
+        counters = process.counters
+        alpha, beta = benchmark.alpha_beta(FREQ)
+        assert counters.spi == pytest.approx(alpha * mpa + beta, rel=1e-9)
+        assert counters.mpa == pytest.approx(mpa)
+
+    def test_instruction_accounting(self):
+        process = make_process("gzip")
+        process.execute_access(hit=True)
+        assert process.counters.instructions == pytest.approx(
+            1.0 / BENCHMARKS["gzip"].api
+        )
+
+    def test_measurement_mark(self):
+        process = make_process()
+        process.execute_access(hit=True)
+        process.mark_measurement_start()
+        process.execute_access(hit=False)
+        measured = process.measured()
+        assert measured.l2_refs == 1
+        assert measured.l2_misses == 1
+
+    def test_charge_stall(self):
+        process = make_process()
+        process.execute_access(hit=True)
+        before = process.counters.time_running
+        process.charge_stall(1e-6)
+        assert process.counters.time_running == pytest.approx(before + 1e-6)
+        with pytest.raises(ConfigurationError):
+            process.charge_stall(-1.0)
+
+    def test_counters_delta(self):
+        a = ProcessCounters(instructions=10, l2_refs=5, l2_misses=2, time_running=1.0)
+        b = ProcessCounters(instructions=4, l2_refs=2, l2_misses=1, time_running=0.5)
+        delta = a.delta_since(b)
+        assert delta.instructions == 6
+        assert delta.mpa == pytest.approx(1 / 3)
+
+    def test_empty_counters_edge_cases(self):
+        counters = ProcessCounters()
+        assert counters.mpa == 0.0
+        assert counters.spi == float("inf")
+
+
+class TestCoreSchedule:
+    def test_single_process_never_switches(self):
+        schedule = CoreSchedule(0, [make_process()], timeslice_s=0.01, seed=1)
+        for step in range(100):
+            schedule.maybe_switch(step * 0.001)
+        assert schedule.context_switches == 0
+
+    def test_round_robin_rotation(self):
+        processes = [make_process(pid=0), make_process("gzip", pid=1)]
+        schedule = CoreSchedule(0, processes, timeslice_s=0.01, seed=1, jitter=0.0)
+        seen = [schedule.current().pid]
+        for step in range(1, 60):
+            schedule.maybe_switch(step * 0.001)
+            seen.append(schedule.current().pid)
+        assert set(seen) == {0, 1}
+        assert schedule.context_switches >= 4
+
+    def test_switch_only_after_slice(self):
+        processes = [make_process(pid=0), make_process("gzip", pid=1)]
+        schedule = CoreSchedule(0, processes, timeslice_s=1.0, seed=1)
+        assert schedule.maybe_switch(0.0001) is False
+
+    def test_idle_core(self):
+        schedule = CoreSchedule(0, [], timeslice_s=0.01)
+        assert schedule.idle
+        assert schedule.current() is None
+
+    def test_slice_jitter_bounds(self):
+        schedule = CoreSchedule(0, [make_process()], timeslice_s=0.01, seed=7, jitter=0.15)
+        lengths = [schedule._slice_length() for _ in range(200)]
+        assert all(0.0085 - 1e-12 <= l <= 0.0115 + 1e-12 for l in lengths)
+
+    def test_validation(self):
+        with pytest.raises(ConfigurationError):
+            CoreSchedule(0, [], timeslice_s=0)
+        with pytest.raises(ConfigurationError):
+            CoreSchedule(0, [], timeslice_s=0.01, jitter=1.5)

@@ -1,0 +1,194 @@
+"""Integration-grade tests for the closed-loop machine simulator."""
+
+import pytest
+
+from repro.errors import ConfigurationError, SimulationError
+from repro.machine.simulator import MachineSimulation, PowerEnvironment
+from repro.workloads.spec import BENCHMARKS
+from repro.workloads.stressmark import make_stressmark
+
+from conftest import run_pair
+
+
+class TestAccessMode:
+    def test_budgets_met(self, small_server, tiny_scale):
+        result = run_pair(small_server, tiny_scale, "mcf", "art")
+        for process in result.processes:
+            assert process.l2_refs >= tiny_scale.measure_accesses
+
+    def test_occupancies_fill_contended_cache(self, small_server, tiny_scale):
+        result = run_pair(small_server, tiny_scale, "mcf", "art")
+        total = sum(p.occupancy_ways for p in result.processes)
+        assert total == pytest.approx(16.0, abs=0.2)
+
+    def test_contention_raises_miss_rate(self, small_server, tiny_scale):
+        solo = MachineSimulation(
+            small_server, {0: [BENCHMARKS["mcf"]]}, scale=tiny_scale, seed=2
+        ).run_accesses()
+        pair = run_pair(small_server, tiny_scale, "mcf", "art", seed=2)
+        assert pair.processes[0].mpa > solo.processes[0].mpa + 0.05
+
+    def test_spi_respects_eq3(self, small_server, tiny_scale):
+        result = run_pair(small_server, tiny_scale, "mcf", "art")
+        process = result.processes[0]
+        benchmark = BENCHMARKS["mcf"]
+        expected = benchmark.spi(process.mpa, small_server.frequency_hz)
+        assert process.spi == pytest.approx(expected, rel=1e-6)
+
+    def test_separate_domains_do_not_contend(self, small_server, tiny_scale):
+        # Cores 0 and 2 are on different dies: no shared cache.
+        sim = MachineSimulation(
+            small_server,
+            {0: [BENCHMARKS["mcf"]], 2: [BENCHMARKS["art"]]},
+            scale=tiny_scale,
+            seed=3,
+        )
+        result = sim.run_accesses()
+        solo = MachineSimulation(
+            small_server, {0: [BENCHMARKS["mcf"]]}, scale=tiny_scale, seed=3
+        ).run_accesses()
+        assert result.processes[0].mpa == pytest.approx(
+            solo.processes[0].mpa, abs=0.03
+        )
+
+    def test_stressmark_pins_occupancy(self, small_server, tiny_scale):
+        sim = MachineSimulation(
+            small_server,
+            {0: [BENCHMARKS["vpr"]], 1: [make_stressmark(10)]},
+            scale=tiny_scale,
+            seed=4,
+        )
+        result = sim.run_accesses()
+        stress = next(p for p in result.processes if "stressmark" in p.name)
+        assert stress.occupancy_ways == pytest.approx(10.0, abs=0.3)
+
+    def test_deterministic_given_seed(self, small_server, tiny_scale):
+        a = run_pair(small_server, tiny_scale, "mcf", "gzip", seed=9)
+        b = run_pair(small_server, tiny_scale, "mcf", "gzip", seed=9)
+        assert a.processes[0].mpa == b.processes[0].mpa
+        assert a.processes[0].spi == b.processes[0].spi
+
+    def test_empty_assignment_rejected(self, small_server, tiny_scale):
+        sim = MachineSimulation(small_server, {}, scale=tiny_scale)
+        with pytest.raises(SimulationError):
+            sim.run_accesses()
+
+    def test_core_out_of_range(self, small_server, tiny_scale):
+        with pytest.raises(ConfigurationError):
+            MachineSimulation(
+                small_server, {9: [BENCHMARKS["mcf"]]}, scale=tiny_scale
+            )
+
+
+class TestDurationMode:
+    def test_power_trace_collected(self, small_server, tiny_scale, power_env):
+        sim = MachineSimulation(
+            small_server,
+            {0: [BENCHMARKS["mcf"]]},
+            scale=tiny_scale,
+            seed=5,
+            power_env=power_env,
+        )
+        result = sim.run_duration()
+        expected_windows = int(tiny_scale.measure_s / tiny_scale.hpc_period_s)
+        assert len(result.power) == expected_windows
+        assert result.power.mean_measured > 0
+
+    def test_hpc_samples_cover_all_cores(self, small_server, tiny_scale, power_env):
+        sim = MachineSimulation(
+            small_server,
+            {0: [BENCHMARKS["gzip"]]},
+            scale=tiny_scale,
+            power_env=power_env,
+        )
+        result = sim.run_duration()
+        assert set(result.hpc_by_core) == {0, 1, 2, 3}
+        # Idle cores report zero rates.
+        for sample in result.hpc_by_core[3]:
+            assert all(rate == 0.0 for rate in sample.rates.values())
+
+    def test_idle_machine_reports_idle_power(self, small_server, tiny_scale, power_env):
+        sim = MachineSimulation(
+            small_server, {}, scale=tiny_scale, power_env=power_env
+        )
+        result = sim.run_duration()
+        expected = power_env.reference.idle_processor_power(4)
+        assert result.power.mean_measured == pytest.approx(expected, rel=0.1)
+
+    def test_busier_machine_uses_more_power(self, small_server, tiny_scale, power_env):
+        idle = MachineSimulation(
+            small_server, {}, scale=tiny_scale, power_env=power_env
+        ).run_duration()
+        busy = MachineSimulation(
+            small_server,
+            {c: [BENCHMARKS["gzip"]] for c in range(4)},
+            scale=tiny_scale,
+            seed=6,
+            power_env=power_env,
+        ).run_duration()
+        assert busy.power.mean_true > idle.power.mean_true + 5.0
+
+    def test_time_sharing_counts_switches(self, small_server, tiny_scale, power_env):
+        sim = MachineSimulation(
+            small_server,
+            {0: [BENCHMARKS["gzip"], BENCHMARKS["mcf"]]},
+            scale=tiny_scale,
+            seed=7,
+            power_env=power_env,
+        )
+        result = sim.run_duration()
+        assert result.context_switches > 2
+
+    def test_collect_power_requires_env(self, small_server, tiny_scale):
+        sim = MachineSimulation(
+            small_server, {0: [BENCHMARKS["gzip"]]}, scale=tiny_scale
+        )
+        with pytest.raises(ConfigurationError):
+            sim.run_duration(collect_power=True)
+
+
+class TestHooksAndOptions:
+    def test_access_hook_called(self, small_server, tiny_scale):
+        seen = []
+        sim = MachineSimulation(
+            small_server,
+            {0: [BENCHMARKS["gzip"]]},
+            scale=tiny_scale,
+            seed=8,
+            access_hook=lambda t, pid, hit: seen.append((t, pid, hit)),
+        )
+        sim.run_accesses()
+        assert len(seen) > tiny_scale.measure_accesses
+        assert all(pid == 0 for _, pid, _ in seen)
+
+    def test_alternate_policy_runs(self, small_server, tiny_scale):
+        result = run_pair(
+            small_server, tiny_scale, "mcf", "art", policy="tree-plru"
+        )
+        assert result.processes[0].l2_refs > 0
+
+    def test_unknown_prefetcher_rejected(self, small_server, tiny_scale):
+        with pytest.raises(ConfigurationError):
+            MachineSimulation(
+                small_server,
+                {0: [BENCHMARKS["gzip"]]},
+                scale=tiny_scale,
+                prefetch="psychic",
+            )
+
+    def test_prefetcher_attached_per_domain(self, small_server, tiny_scale):
+        sim = MachineSimulation(
+            small_server,
+            {0: [BENCHMARKS["equake"]]},
+            scale=tiny_scale,
+            prefetch="stride",
+        )
+        sim.run_accesses()
+        assert sim.prefetchers is not None
+        assert sim.prefetchers[0].stats.issued > 0
+
+    def test_result_lookup_by_pid(self, small_server, tiny_scale):
+        result = run_pair(small_server, tiny_scale, "mcf", "gzip")
+        assert result.process_by_pid(1).name == "gzip"
+        with pytest.raises(KeyError):
+            result.process_by_pid(99)

@@ -1,0 +1,106 @@
+"""Unit tests for machine topologies."""
+
+import pytest
+
+from repro.config import CacheGeometry
+from repro.errors import ConfigurationError
+from repro.machine.topology import (
+    CacheDomain,
+    MachineTopology,
+    STANDARD_MACHINES,
+    four_core_server,
+    two_core_laptop,
+    two_core_workstation,
+)
+
+
+class TestStandardMachines:
+    def test_four_core_server_shape(self):
+        topo = four_core_server()
+        assert topo.num_cores == 4
+        assert len(topo.domains) == 2
+        assert all(d.geometry.ways == 16 for d in topo.domains)
+
+    def test_workstation_shape(self):
+        topo = two_core_workstation()
+        assert topo.num_cores == 2
+        assert len(topo.domains) == 1
+        assert topo.domains[0].geometry.ways == 4
+
+    def test_laptop_shape(self):
+        topo = two_core_laptop()
+        assert topo.domains[0].geometry.ways == 12
+
+    def test_registry_complete(self):
+        assert set(STANDARD_MACHINES) == {
+            "4-core-server",
+            "2-core-workstation",
+            "2-core-laptop",
+            "hetero-server",
+        }
+        for factory in STANDARD_MACHINES.values():
+            assert factory(sets=32).num_cores >= 2
+
+    def test_set_scaling(self):
+        assert four_core_server(sets=64).domains[0].geometry.sets == 64
+
+    def test_distinct_nominal_powers(self):
+        powers = {f(sets=32).nominal_power_watts for f in STANDARD_MACHINES.values()}
+        assert len(powers) == 3
+
+
+class TestTopologyQueries:
+    def test_domain_of(self):
+        topo = four_core_server()
+        assert topo.domain_of(0) is topo.domains[0]
+        assert topo.domain_of(3) is topo.domains[1]
+
+    def test_domain_index_of(self):
+        topo = four_core_server()
+        assert topo.domain_index_of(1) == 0
+        assert topo.domain_index_of(2) == 1
+
+    def test_partners_of(self):
+        topo = four_core_server()
+        assert topo.partners_of(0) == (1,)
+        assert topo.partners_of(2) == (3,)
+
+    def test_core_out_of_range(self):
+        topo = two_core_workstation()
+        with pytest.raises(ConfigurationError):
+            topo.domain_of(5)
+
+
+class TestValidation:
+    def test_rejects_overlapping_domains(self):
+        geometry = CacheGeometry(sets=16, ways=4)
+        with pytest.raises(ConfigurationError):
+            MachineTopology(
+                name="bad",
+                frequency_hz=1e8,
+                domains=(
+                    CacheDomain(core_ids=(0, 1), geometry=geometry),
+                    CacheDomain(core_ids=(1, 2), geometry=geometry),
+                ),
+                nominal_power_watts=50,
+            )
+
+    def test_rejects_non_contiguous_core_ids(self):
+        geometry = CacheGeometry(sets=16, ways=4)
+        with pytest.raises(ConfigurationError):
+            MachineTopology(
+                name="bad",
+                frequency_hz=1e8,
+                domains=(CacheDomain(core_ids=(0, 2), geometry=geometry),),
+                nominal_power_watts=50,
+            )
+
+    def test_rejects_empty_domain(self):
+        geometry = CacheGeometry(sets=16, ways=4)
+        with pytest.raises(ConfigurationError):
+            CacheDomain(core_ids=(), geometry=geometry)
+
+    def test_rejects_duplicate_cores_in_domain(self):
+        geometry = CacheGeometry(sets=16, ways=4)
+        with pytest.raises(ConfigurationError):
+            CacheDomain(core_ids=(0, 0), geometry=geometry)

@@ -1,0 +1,109 @@
+"""Unit tests for the regulator, meter and power traces."""
+
+import numpy as np
+import pytest
+
+from repro.errors import ConfigurationError
+from repro.power.meter import MeterSpec, PowerMeter
+from repro.power.regulator import Regulator
+from repro.power.sampling import PowerTrace
+
+
+class TestRegulator:
+    def test_papers_conversion_factor(self):
+        assert Regulator().watts_per_amp == pytest.approx(10.8)
+
+    def test_roundtrip(self):
+        regulator = Regulator()
+        current = regulator.line_current(54.0)
+        assert current == pytest.approx(5.0)
+        assert regulator.reported_power(current) == pytest.approx(54.0)
+
+    def test_validation(self):
+        with pytest.raises(ConfigurationError):
+            Regulator(supply_volts=0)
+        with pytest.raises(ConfigurationError):
+            Regulator(efficiency=1.2)
+        with pytest.raises(ConfigurationError):
+            Regulator().line_current(-1.0)
+
+
+class TestMeterSpec:
+    def test_defaults_valid(self):
+        spec = MeterSpec()
+        assert spec.sample_rate_hz == 10_000.0
+
+    def test_validation(self):
+        with pytest.raises(ConfigurationError):
+            MeterSpec(sample_rate_hz=0)
+        with pytest.raises(ConfigurationError):
+            MeterSpec(clamp_noise_amps=-1)
+        with pytest.raises(ConfigurationError):
+            MeterSpec(wander_rho=1.0)
+
+
+class TestPowerMeter:
+    def test_unbiased_up_to_gain_error(self):
+        meter = PowerMeter(seed=1)
+        readings = [meter.measure_window(50.0, 0.01) for _ in range(200)]
+        mean = float(np.mean(readings))
+        # Within gain error + wander of the truth.
+        assert mean == pytest.approx(50.0, rel=0.05)
+
+    def test_noise_present(self):
+        meter = PowerMeter(seed=2)
+        readings = [meter.measure_window(50.0, 0.002) for _ in range(50)]
+        assert float(np.std(readings)) > 0.1
+
+    def test_longer_windows_average_white_noise(self):
+        quiet_spec = MeterSpec(wander_fraction=0.0, clamp_gain_error=0.0)
+        short = PowerMeter(quiet_spec, seed=3)
+        long = PowerMeter(quiet_spec, seed=3)
+        short_readings = [short.measure_window(50.0, 0.0005) for _ in range(80)]
+        long_readings = [long.measure_window(50.0, 0.05) for _ in range(80)]
+        assert np.std(long_readings) < np.std(short_readings)
+
+    def test_deterministic_given_seed(self):
+        a = PowerMeter(seed=9).measure_window(42.0, 0.01)
+        b = PowerMeter(seed=9).measure_window(42.0, 0.01)
+        assert a == b
+
+    def test_measure_trace(self):
+        meter = PowerMeter(seed=4)
+        trace = meter.measure_trace(np.array([10.0, 20.0, 30.0]), 0.01)
+        assert trace.shape == (3,)
+        assert trace[2] > trace[0]
+
+    def test_validation(self):
+        meter = PowerMeter()
+        with pytest.raises(ConfigurationError):
+            meter.measure_window(-1.0, 0.01)
+        with pytest.raises(ConfigurationError):
+            meter.measure_window(1.0, 0.0)
+
+
+class TestPowerTrace:
+    def test_append_and_means(self):
+        trace = PowerTrace(window_s=0.01)
+        trace.append(10.0, 11.0)
+        trace.append(20.0, 19.0)
+        assert len(trace) == 2
+        assert trace.mean_true == pytest.approx(15.0)
+        assert trace.mean_measured == pytest.approx(15.0)
+
+    def test_times_are_window_centres(self):
+        trace = PowerTrace(window_s=0.01, start_s=1.0)
+        trace.append(1.0, 1.0)
+        trace.append(1.0, 1.0)
+        assert trace.times[0] == pytest.approx(1.005)
+        assert trace.times[1] == pytest.approx(1.015)
+
+    def test_empty_trace_mean_raises(self):
+        with pytest.raises(ConfigurationError):
+            PowerTrace(window_s=0.01).mean_measured
+
+    def test_as_arrays(self):
+        trace = PowerTrace(window_s=0.01)
+        trace.append(5.0, 6.0)
+        times, true, measured = trace.as_arrays()
+        assert times.shape == true.shape == measured.shape == (1,)

@@ -1,0 +1,115 @@
+"""Unit tests for the hidden reference power model."""
+
+import pytest
+
+from repro.errors import ConfigurationError
+from repro.machine.events import Event, RATE_EVENTS
+from repro.power.reference import ComponentResponse, ReferencePowerModel, reference_for
+
+FREQ = 2e8
+
+
+@pytest.fixture
+def reference():
+    return reference_for(nominal_watts=105.0, cores=4, frequency_hz=FREQ)
+
+
+#: Physically plausible peak rates per event (fractions of the clock):
+#: misses are a small share of references, which filter through L1.
+_PEAKS = {
+    Event.L1_REFS: 0.5,
+    Event.L2_REFS: 0.05,
+    Event.L2_MISSES: 0.01,
+    Event.BRANCHES: 0.2,
+    Event.FP_OPS: 0.3,
+}
+
+
+def rates(fraction: float):
+    return {event: fraction * _PEAKS[event] * FREQ for event in RATE_EVENTS}
+
+
+class TestComponentResponse:
+    def test_linear_at_low_rates(self):
+        response = ComponentResponse(peak=10.0, sat_rate=1e8)
+        slope = response.watts(1e5) / 1e5
+        assert slope == pytest.approx(10.0 / 1e8, rel=0.01)
+
+    def test_saturates_at_peak(self):
+        response = ComponentResponse(peak=10.0, sat_rate=1e6)
+        assert response.watts(1e12) == pytest.approx(10.0, rel=0.01)
+
+    def test_negative_peak_bounded(self):
+        response = ComponentResponse(peak=-5.0, sat_rate=1e6)
+        assert response.watts(1e12) == pytest.approx(-5.0, rel=0.01)
+        assert response.watts(0.0) == 0.0
+
+    def test_rejects_bad_saturation(self):
+        with pytest.raises(ConfigurationError):
+            ComponentResponse(peak=1.0, sat_rate=0.0)
+
+    def test_rejects_negative_rate(self):
+        with pytest.raises(ConfigurationError):
+            ComponentResponse(peak=1.0, sat_rate=1e6).watts(-1.0)
+
+
+class TestReferenceModel:
+    def test_idle_power(self, reference):
+        assert reference.core_power({}) == pytest.approx(reference.core_idle_watts)
+        idle4 = reference.idle_processor_power(4)
+        assert idle4 == pytest.approx(
+            reference.uncore_watts + 4 * reference.core_idle_watts
+        )
+
+    def test_idle_fraction_plausible(self, reference):
+        idle = reference.idle_processor_power(4)
+        assert 0.25 * 105 < idle < 0.6 * 105
+
+    def test_activity_increases_power(self, reference):
+        low = reference.core_power(rates(0.1))
+        high = reference.core_power(rates(0.8))
+        assert high > low > reference.core_idle_watts
+
+    def test_l2_miss_rate_reduces_power(self, reference):
+        """Stalled pipelines burn less: the paper's negative c3."""
+        base = rates(0.5)
+        base[Event.L2_MISSES] = 0.0
+        stalled = dict(base)
+        stalled[Event.L2_MISSES] = 0.02 * FREQ
+        assert reference.core_power(stalled) < reference.core_power(base)
+
+    def test_processor_power_sums_cores(self, reference):
+        one = reference.core_power(rates(0.5))
+        total = reference.processor_power([rates(0.5)] * 4)
+        assert total == pytest.approx(reference.uncore_watts + 4 * one)
+
+    def test_concavity(self, reference):
+        """Responses saturate: the marginal watt shrinks with rate."""
+        p0 = reference.core_power(rates(0.2))
+        p1 = reference.core_power(rates(0.4))
+        p2 = reference.core_power(rates(0.6))
+        assert (p1 - p0) > (p2 - p1)
+
+    def test_distinct_machines_distinct_coefficients(self):
+        a = reference_for(105.0, 4, FREQ)
+        b = reference_for(65.0, 2, FREQ)
+        assert a.core_idle_watts != b.core_idle_watts
+        assert (
+            a.responses[Event.L1_REFS].peak != b.responses[Event.L1_REFS].peak
+        )
+
+    def test_missing_response_rejected(self):
+        with pytest.raises(ConfigurationError):
+            ReferencePowerModel(
+                uncore_watts=10.0,
+                core_idle_watts=5.0,
+                responses={},
+                interaction_watts=0.0,
+                frequency_hz=FREQ,
+            )
+
+    def test_factory_validation(self):
+        with pytest.raises(ConfigurationError):
+            reference_for(0.0, 4, FREQ)
+        with pytest.raises(ConfigurationError):
+            reference_for(100.0, 0, FREQ)

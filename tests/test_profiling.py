@@ -1,0 +1,118 @@
+"""Tests for the automated profiling pipeline (Section 3.4).
+
+These are the reproduction's key closed-loop checks: profiling a
+process through stressmark co-runs must recover the parameters that
+define it, using only observable quantities.
+"""
+
+import pytest
+
+from repro.config import SimulationScale
+from repro.errors import ProfilingError
+from repro.machine.simulator import PowerEnvironment
+from repro.machine.topology import four_core_server
+from repro.profiling.characterize import measure_alone, measure_with_stressmark
+from repro.profiling.profiler import profile_process
+from repro.workloads.spec import BENCHMARKS
+
+SCALE = SimulationScale(
+    warmup_accesses=2_500,
+    measure_accesses=8_000,
+    warmup_s=0.004,
+    measure_s=0.012,
+    hpc_period_s=0.001,
+    timeslice_s=0.0008,
+)
+
+
+@pytest.fixture(scope="module")
+def topology():
+    return four_core_server(sets=64)
+
+
+@pytest.fixture(scope="module")
+def mcf_profile(topology):
+    return profile_process(BENCHMARKS["mcf"], topology, scale=SCALE, seed=17)
+
+
+class TestMeasureAlone:
+    def test_recovers_instruction_rates(self, topology):
+        alone = measure_alone(BENCHMARKS["twolf"], topology, SCALE, seed=3)
+        mix = BENCHMARKS["twolf"].mix
+        assert alone.api == pytest.approx(mix.api, rel=1e-6)
+        assert alone.l1rpi == pytest.approx(mix.l1rpi, rel=1e-6)
+        assert alone.brpi == pytest.approx(mix.brpi, rel=1e-6)
+        assert alone.fppi == pytest.approx(mix.fppi, abs=1e-9)
+
+    def test_solo_mpa_reflects_full_cache(self, topology):
+        alone = measure_alone(BENCHMARKS["gzip"], topology, SCALE, seed=3)
+        target = BENCHMARKS["gzip"].intrinsic_histogram().mpa(16)
+        assert alone.mpa == pytest.approx(target, abs=0.03)
+
+
+class TestStressmarkSweep:
+    def test_smaller_allocation_more_misses(self, topology):
+        tight = measure_with_stressmark(
+            BENCHMARKS["twolf"], topology, stress_ways=14, scale=SCALE, seed=5
+        )
+        loose = measure_with_stressmark(
+            BENCHMARKS["twolf"], topology, stress_ways=4, scale=SCALE, seed=5
+        )
+        assert tight.target_size == 2
+        assert loose.target_size == 12
+        assert tight.mpa > loose.mpa
+
+    def test_measured_mpa_matches_truth_at_size(self, topology):
+        point = measure_with_stressmark(
+            BENCHMARKS["twolf"], topology, stress_ways=8, scale=SCALE, seed=5
+        )
+        truth = BENCHMARKS["twolf"].intrinsic_histogram().mpa(8)
+        assert point.mpa == pytest.approx(truth, abs=0.06)
+
+
+class TestProfileProcess:
+    def test_alpha_beta_recovered(self, topology, mcf_profile):
+        alpha, beta = BENCHMARKS["mcf"].alpha_beta(topology.frequency_hz)
+        assert mcf_profile.feature.alpha == pytest.approx(alpha, rel=0.05)
+        assert mcf_profile.feature.beta == pytest.approx(beta, rel=0.25)
+        assert mcf_profile.spi_fit_r2 > 0.99
+
+    def test_histogram_mpa_recovered(self, topology, mcf_profile):
+        truth = BENCHMARKS["mcf"].intrinsic_histogram()
+        recovered = mcf_profile.feature.histogram
+        for size in (2, 6, 10, 14):
+            assert recovered.mpa(size) == pytest.approx(truth.mpa(size), abs=0.08)
+
+    def test_sweep_covers_all_sizes(self, mcf_profile):
+        sizes = [p.target_size for p in mcf_profile.sweep]
+        assert sizes == list(range(1, 16))
+
+    def test_profile_vector_rates(self, mcf_profile):
+        mix = BENCHMARKS["mcf"].mix
+        assert mcf_profile.profile.l2rpi == pytest.approx(mix.l2rpi, rel=1e-6)
+        assert mcf_profile.profile.p_alone == 0.0  # no power env supplied
+
+    def test_bad_sweep_ways_rejected(self, topology):
+        with pytest.raises(ProfilingError):
+            profile_process(
+                BENCHMARKS["gzip"],
+                topology,
+                scale=SCALE,
+                sweep_ways=[0, 1],
+            )
+
+    def test_p_alone_measured_with_power_env(self, topology):
+        env = PowerEnvironment.for_topology(topology, seed=8)
+        profile = profile_process(
+            BENCHMARKS["gzip"],
+            topology,
+            scale=SCALE,
+            seed=21,
+            power_env=env,
+            sweep_ways=[12, 8, 4],
+        )
+        # A busy core must draw more than an idle one, and stay well
+        # below the whole-processor nominal power.
+        idle_share = env.reference.idle_processor_power(4) / 4
+        assert profile.profile.p_alone > idle_share
+        assert profile.profile.p_alone < topology.nominal_power_watts

@@ -1,0 +1,97 @@
+"""Property-based tests for the cache simulator.
+
+Key invariant: on a *fully associative* LRU cache of capacity C, an
+access hits iff its global stack distance is < C — the exact link
+between the simulator substrate and Eq. 2 of the paper.
+"""
+
+import pytest
+from hypothesis import given, settings
+from hypothesis import strategies as st
+
+from repro.cache.reuse import GlobalStackProfiler, SetReuseProfiler
+from repro.cache.set_associative import SetAssociativeCache
+from repro.config import CacheGeometry
+
+address_streams = st.lists(
+    st.integers(min_value=0, max_value=40), min_size=1, max_size=300
+)
+
+
+class TestLruStackProperty:
+    @given(address_streams, st.integers(min_value=1, max_value=16))
+    @settings(max_examples=60, deadline=None)
+    def test_fully_associative_hit_iff_distance_below_capacity(
+        self, stream, capacity
+    ):
+        cache = SetAssociativeCache(CacheGeometry(sets=1, ways=capacity))
+        profiler = GlobalStackProfiler()
+        for line in stream:
+            distance = profiler.record(line)
+            hit = cache.access(line)
+            if distance is None:
+                assert hit is False
+            else:
+                assert hit is (distance < capacity)
+
+    @given(address_streams, st.integers(min_value=0, max_value=2))
+    @settings(max_examples=60, deadline=None)
+    def test_set_associative_hit_iff_set_distance_below_ways(
+        self, stream, log_sets
+    ):
+        sets = 1 << log_sets
+        ways = 4
+        cache = SetAssociativeCache(CacheGeometry(sets=sets, ways=ways))
+        profiler = SetReuseProfiler(sets=sets)
+        for line in stream:
+            distance = profiler.record(line)
+            hit = cache.access(line)
+            if distance is None:
+                assert hit is False
+            else:
+                assert hit is (distance < ways)
+
+
+class TestConservationProperties:
+    @given(address_streams)
+    @settings(max_examples=60, deadline=None)
+    def test_hits_plus_misses_equals_accesses(self, stream):
+        cache = SetAssociativeCache(CacheGeometry(sets=2, ways=2))
+        for line in stream:
+            cache.access(line, owner=line % 3)
+        stats = cache.stats
+        assert stats.hits + stats.misses == stats.accesses == len(stream)
+
+    @given(address_streams)
+    @settings(max_examples=60, deadline=None)
+    def test_occupancy_never_exceeds_capacity(self, stream):
+        geometry = CacheGeometry(sets=2, ways=2)
+        cache = SetAssociativeCache(geometry)
+        for line in stream:
+            cache.access(line, owner=line % 2)
+            assert cache.resident_lines() <= geometry.lines
+
+    @given(address_streams)
+    @settings(max_examples=60, deadline=None)
+    def test_owner_line_counts_consistent(self, stream):
+        cache = SetAssociativeCache(CacheGeometry(sets=2, ways=4))
+        for line in stream:
+            cache.access(line, owner=line % 3)
+        by_owner = cache.lines_by_owner()
+        total = sum(by_owner.values())
+        assert total == cache.resident_lines()
+        # Cross-check against a direct scan of the tag arrays.
+        scanned = {}
+        for set_idx in range(2):
+            for _, owner in cache.set_contents(set_idx):
+                scanned[owner] = scanned.get(owner, 0) + 1
+        assert scanned == by_owner
+
+    @given(address_streams)
+    @settings(max_examples=40, deadline=None)
+    def test_resident_line_always_hits_next(self, stream):
+        cache = SetAssociativeCache(CacheGeometry(sets=2, ways=2))
+        for line in stream:
+            cache.access(line)
+            assert cache.contains(line)
+            assert cache.access(line) is True

@@ -1,0 +1,83 @@
+"""Property-based tests for histograms and miss-ratio curves."""
+
+import math
+
+import numpy as np
+import pytest
+from hypothesis import given, settings
+from hypothesis import strategies as st
+
+from repro.core.histogram import ReuseDistanceHistogram
+from repro.core.mpa import MissRatioCurve
+
+
+@st.composite
+def histograms(draw, max_support=24):
+    """Arbitrary normalisable reuse-distance distributions."""
+    size = draw(st.integers(min_value=1, max_value=max_support))
+    weights = draw(
+        st.lists(
+            st.floats(min_value=0.0, max_value=10.0, allow_nan=False),
+            min_size=size,
+            max_size=size,
+        )
+    )
+    inf_mass = draw(st.floats(min_value=0.0, max_value=5.0, allow_nan=False))
+    total = sum(weights) + inf_mass
+    if total <= 0:
+        weights = [1.0] + weights[1:]
+    return ReuseDistanceHistogram(weights, inf_mass)
+
+
+class TestHistogramProperties:
+    @given(histograms())
+    @settings(max_examples=60, deadline=None)
+    def test_normalised(self, hist):
+        assert float(hist.probs.sum()) + hist.inf_mass == pytest.approx(1.0)
+
+    @given(histograms())
+    @settings(max_examples=60, deadline=None)
+    def test_mpa_monotone_and_bounded(self, hist):
+        sizes = np.linspace(0.0, hist.max_distance + 3.0, 25)
+        values = [hist.mpa(float(s)) for s in sizes]
+        assert all(0.0 <= v <= 1.0 + 1e-12 for v in values)
+        assert all(a >= b - 1e-12 for a, b in zip(values, values[1:]))
+
+    @given(histograms())
+    @settings(max_examples=60, deadline=None)
+    def test_mpa_endpoints(self, hist):
+        assert hist.mpa(0) == pytest.approx(1.0)
+        assert hist.mpa(hist.max_distance + 1) == pytest.approx(hist.inf_mass)
+
+    @given(histograms(), st.integers(min_value=1, max_value=30))
+    @settings(max_examples=60, deadline=None)
+    def test_truncation_preserves_mpa_below_cut(self, hist, cut):
+        truncated = hist.truncated(cut)
+        for size in range(cut + 1):
+            assert truncated.mpa(size) == pytest.approx(hist.mpa(size), abs=1e-9)
+
+    @given(histograms(), histograms(), st.floats(min_value=0.0, max_value=1.0))
+    @settings(max_examples=40, deadline=None)
+    def test_mixture_mpa_between_parents(self, a, b, weight):
+        mixed = a.mixed_with(b, weight)
+        for size in (0, 1, 3, 8):
+            low = min(a.mpa(size), b.mpa(size))
+            high = max(a.mpa(size), b.mpa(size))
+            assert low - 1e-9 <= mixed.mpa(size) <= high + 1e-9
+
+
+class TestCurveRoundtripProperties:
+    @given(histograms(max_support=15))
+    @settings(max_examples=50, deadline=None)
+    def test_curve_roundtrip_preserves_mpa(self, hist):
+        curve = MissRatioCurve.from_histogram(hist, max_size=16)
+        recovered = curve.to_histogram()
+        for size in range(1, 17):
+            assert recovered.mpa(size) == pytest.approx(hist.mpa(size), abs=1e-9)
+
+    @given(histograms(max_support=15))
+    @settings(max_examples=50, deadline=None)
+    def test_recovered_mass_normalised(self, hist):
+        curve = MissRatioCurve.from_histogram(hist, max_size=16)
+        recovered = curve.to_histogram()
+        assert float(recovered.probs.sum()) + recovered.inf_mass == pytest.approx(1.0)

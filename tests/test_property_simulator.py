@@ -1,0 +1,124 @@
+"""Property-based tests over the machine simulator.
+
+Hypothesis draws random small assignments; each run must satisfy the
+bookkeeping invariants regardless of workload mix, core placement, or
+time sharing.
+"""
+
+import pytest
+from hypothesis import HealthCheck, given, settings
+from hypothesis import strategies as st
+
+from repro.config import SimulationScale
+from repro.events import Event
+from repro.machine.simulator import MachineSimulation
+from repro.machine.topology import four_core_server
+from repro.workloads.spec import BENCHMARKS, PAPER_EIGHT
+
+TINY = SimulationScale(
+    warmup_accesses=400,
+    measure_accesses=1_200,
+    warmup_s=0.001,
+    measure_s=0.003,
+    hpc_period_s=0.0005,
+    timeslice_s=0.0004,
+)
+
+TOPOLOGY = four_core_server(sets=32)
+
+assignments = st.dictionaries(
+    keys=st.integers(min_value=0, max_value=3),
+    values=st.lists(st.sampled_from(sorted(PAPER_EIGHT)), min_size=1, max_size=2),
+    min_size=1,
+    max_size=4,
+)
+
+
+def run(assignment, seed):
+    workloads = {
+        core: [BENCHMARKS[name] for name in names]
+        for core, names in assignment.items()
+    }
+    sim = MachineSimulation(TOPOLOGY, workloads, scale=TINY, seed=seed)
+    return sim, sim.run_accesses()
+
+
+class TestSimulatorInvariants:
+    @given(assignments, st.integers(min_value=0, max_value=50))
+    @settings(
+        max_examples=15,
+        deadline=None,
+        suppress_health_check=[HealthCheck.too_slow],
+    )
+    def test_counter_consistency(self, assignment, seed):
+        """Hits + misses = accesses; process sums match cache sums."""
+        sim, result = run(assignment, seed)
+        for process in result.processes:
+            assert process.l2_misses <= process.l2_refs
+            assert process.l2_refs >= TINY.measure_accesses
+            assert 0.0 <= process.mpa <= 1.0
+            assert process.spi > 0
+        for cache in sim.caches:
+            stats = cache.stats
+            assert stats.hits + stats.misses == stats.accesses
+
+    @given(assignments, st.integers(min_value=0, max_value=50))
+    @settings(
+        max_examples=15,
+        deadline=None,
+        suppress_health_check=[HealthCheck.too_slow],
+    )
+    def test_occupancy_bounded_by_domain_capacity(self, assignment, seed):
+        sim, result = run(assignment, seed)
+        for domain_idx, domain in enumerate(TOPOLOGY.domains):
+            domain_pids = [
+                p.pid for p in result.processes if p.core in domain.core_ids
+            ]
+            total = sum(
+                result.process_by_pid(pid).occupancy_ways for pid in domain_pids
+            )
+            assert total <= domain.geometry.ways + 1e-6
+
+    @given(assignments, st.integers(min_value=0, max_value=50))
+    @settings(
+        max_examples=10,
+        deadline=None,
+        suppress_health_check=[HealthCheck.too_slow],
+    )
+    def test_spi_is_eq3_exactly(self, assignment, seed):
+        """Every process's measured SPI obeys its own Eq. 3 constants."""
+        sim, result = run(assignment, seed)
+        for process in result.processes:
+            benchmark = BENCHMARKS[process.name]
+            expected = benchmark.spi(process.mpa, TOPOLOGY.frequency_hz)
+            assert process.spi == pytest.approx(expected, rel=1e-9)
+
+    @given(assignments, st.integers(min_value=0, max_value=50))
+    @settings(
+        max_examples=10,
+        deadline=None,
+        suppress_health_check=[HealthCheck.too_slow],
+    )
+    def test_hpc_banks_match_process_totals(self, assignment, seed):
+        """Per-core L2 counters equal the sum over the core's processes."""
+        sim, result = run(assignment, seed)
+        for core in range(TOPOLOGY.num_cores):
+            bank_refs = sim.banks[core].read(Event.L2_REFS)
+            process_refs = sum(
+                p.counters.l2_refs for p in sim.processes if p.core == core
+            )
+            assert bank_refs == pytest.approx(process_refs)
+
+    @given(assignments)
+    @settings(
+        max_examples=8,
+        deadline=None,
+        suppress_health_check=[HealthCheck.too_slow],
+    )
+    def test_determinism(self, assignment):
+        _, a = run(assignment, seed=7)
+        _, b = run(assignment, seed=7)
+        for pa, pb in zip(a.processes, b.processes):
+            assert pa.mpa == pb.mpa
+            assert pa.spi == pb.spi
+            assert pa.occupancy_ways == pb.occupancy_ways

@@ -1,0 +1,123 @@
+"""Unit tests for the trace generators.
+
+The load-bearing invariant: feeding a generated stream through the
+exact per-set reuse-distance profiler recovers the target profile.
+"""
+
+import math
+
+import numpy as np
+import pytest
+
+from repro.cache.reuse import SetReuseProfiler
+from repro.errors import ConfigurationError
+from repro.workloads.generator import (
+    StackDistanceTraceGenerator,
+    StressmarkGenerator,
+    TAG_SPACE,
+    build_generator,
+)
+from repro.workloads.spec import BENCHMARKS
+from repro.workloads.stressmark import make_stressmark
+
+SETS = 16
+
+
+class TestStackDistanceGenerator:
+    def _empirical_histogram(self, profile, n=40_000, **kwargs):
+        generator = StackDistanceTraceGenerator(profile, sets=SETS, seed=3, **kwargs)
+        profiler = SetReuseProfiler(sets=SETS)
+        # Warm up the per-set stacks, then measure.
+        for _ in range(n // 4):
+            profiler.record(generator.next_line())
+        profiler.reset()
+        for _ in range(n):
+            profiler.record(generator.next_line())
+        return profiler.histogram(include_cold=True)
+
+    def test_trace_matches_point_profile(self):
+        hist = self._empirical_histogram(((2, 1.0),))
+        assert hist.probability(2) > 0.99
+
+    def test_trace_matches_mixed_profile(self):
+        profile = ((0, 0.5), (1, 0.3), (4, 0.2))
+        hist = self._empirical_histogram(profile)
+        for distance, weight in profile:
+            assert hist.probability(int(distance)) == pytest.approx(weight, abs=0.03)
+
+    def test_streaming_mass_recovered(self):
+        profile = ((0, 0.6), (math.inf, 0.4))
+        hist = self._empirical_histogram(profile)
+        assert hist.inf_mass == pytest.approx(0.4, abs=0.03)
+
+    def test_sequential_streaming_recovered(self):
+        profile = ((0, 0.6), (math.inf, 0.4))
+        hist = self._empirical_histogram(profile, streaming_sequential=True)
+        assert hist.inf_mass == pytest.approx(0.4, abs=0.03)
+
+    def test_benchmark_profile_roundtrip(self):
+        """The mcf definition must reproduce its own histogram."""
+        benchmark = BENCHMARKS["mcf"]
+        hist = self._empirical_histogram(benchmark.rd_profile, n=60_000)
+        target = benchmark.intrinsic_histogram()
+        for size in (1, 4, 8, 16, 24):
+            assert hist.mpa(size) == pytest.approx(target.mpa(size), abs=0.02)
+
+    def test_deterministic_given_seed(self):
+        profile = ((0, 0.5), (2, 0.5))
+        a = StackDistanceTraceGenerator(profile, sets=SETS, seed=11)
+        b = StackDistanceTraceGenerator(profile, sets=SETS, seed=11)
+        assert a.take(500) == b.take(500)
+
+    def test_different_seeds_differ(self):
+        profile = ((0, 0.5), (2, 0.5))
+        a = StackDistanceTraceGenerator(profile, sets=SETS, seed=1)
+        b = StackDistanceTraceGenerator(profile, sets=SETS, seed=2)
+        assert a.take(200) != b.take(200)
+
+    def test_validation(self):
+        with pytest.raises(ConfigurationError):
+            StackDistanceTraceGenerator((), sets=SETS, seed=0)
+        with pytest.raises(ConfigurationError):
+            StackDistanceTraceGenerator(((0, 1.0),), sets=3, seed=0)
+
+
+class TestStressmarkGenerator:
+    def test_exact_distance(self):
+        ways = 5
+        generator = StressmarkGenerator(ways, sets=SETS)
+        profiler = SetReuseProfiler(sets=SETS)
+        for _ in range(SETS * ways * 10):
+            profiler.record(generator.next_line())
+        hist = profiler.histogram(include_cold=False)
+        assert hist.probability(ways - 1) == pytest.approx(1.0)
+
+    def test_touches_every_set(self):
+        generator = StressmarkGenerator(2, sets=SETS)
+        sets_touched = {generator.next_line() & (SETS - 1) for _ in range(SETS * 2)}
+        assert sets_touched == set(range(SETS))
+
+    def test_footprint_is_ways_per_set(self):
+        generator = StressmarkGenerator(3, sets=SETS)
+        lines = set(generator.take(SETS * 3 * 4))
+        assert len(lines) == SETS * 3
+
+
+class TestBuildGenerator:
+    def test_dispatches_stressmark(self):
+        generator = build_generator(make_stressmark(4), sets=SETS, seed=0)
+        assert isinstance(generator, StressmarkGenerator)
+
+    def test_dispatches_trace(self):
+        generator = build_generator(BENCHMARKS["gzip"], sets=SETS, seed=0)
+        assert isinstance(generator, StackDistanceTraceGenerator)
+
+    def test_owner_tag_spaces_disjoint(self):
+        a = build_generator(BENCHMARKS["mcf"], sets=SETS, seed=0, owner_index=0)
+        b = build_generator(BENCHMARKS["mcf"], sets=SETS, seed=0, owner_index=1)
+        lines_a = {line >> 4 for line in a.take(5_000)}
+        lines_b = {line >> 4 for line in b.take(5_000)}
+        assert not lines_a & lines_b
+
+    def test_tag_space_constant_large(self):
+        assert TAG_SPACE >= 1 << 28

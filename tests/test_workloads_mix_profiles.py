@@ -1,0 +1,105 @@
+"""Unit tests for instruction mixes and profile builders."""
+
+import math
+
+import pytest
+
+from repro.errors import ConfigurationError
+from repro.workloads.mix import InstructionMix
+from repro.workloads.profiles import (
+    bump,
+    combine,
+    geometric,
+    profile_mean,
+    streaming,
+    validate_profile,
+)
+
+
+class TestInstructionMix:
+    def test_api_alias(self):
+        mix = InstructionMix(l1rpi=0.4, l2rpi=0.05, brpi=0.2, fppi=0.1)
+        assert mix.api == 0.05
+
+    def test_rates_per_second(self):
+        mix = InstructionMix(l1rpi=0.4, l2rpi=0.05, brpi=0.2, fppi=0.1)
+        rates = mix.rates_per_second(spi=1e-9, l2mpr=0.5)
+        assert rates["l1rps"] == pytest.approx(0.4e9)
+        assert rates["l2mps"] == pytest.approx(0.025e9)
+
+    def test_l2_cannot_exceed_l1(self):
+        with pytest.raises(ConfigurationError):
+            InstructionMix(l1rpi=0.05, l2rpi=0.1, brpi=0.1, fppi=0.0)
+
+    def test_l2_must_be_positive(self):
+        with pytest.raises(ConfigurationError):
+            InstructionMix(l1rpi=0.4, l2rpi=0.0, brpi=0.1, fppi=0.0)
+
+    def test_rate_range_validation(self):
+        with pytest.raises(ConfigurationError):
+            InstructionMix(l1rpi=1.5, l2rpi=0.05, brpi=0.1, fppi=0.0)
+
+    def test_rates_validation(self):
+        mix = InstructionMix(l1rpi=0.4, l2rpi=0.05, brpi=0.2, fppi=0.1)
+        with pytest.raises(ConfigurationError):
+            mix.rates_per_second(spi=0.0, l2mpr=0.5)
+        with pytest.raises(ConfigurationError):
+            mix.rates_per_second(spi=1e-9, l2mpr=1.5)
+
+
+class TestProfileBuilders:
+    def test_geometric_mass_and_mean(self):
+        profile = geometric(mean=2.0, max_distance=50)
+        total = sum(profile.values())
+        assert total == pytest.approx(1.0)
+        observed_mean = sum(d * w for d, w in profile.items())
+        assert observed_mean == pytest.approx(2.0, abs=0.1)
+
+    def test_bump_centered(self):
+        profile = bump(center=10.0, width=2.0, max_distance=30)
+        peak = max(profile, key=profile.get)
+        assert peak == 10
+
+    def test_streaming_is_inf(self):
+        assert streaming(0.5) == {math.inf: 0.5}
+
+    def test_combine_normalises(self):
+        profile = combine(geometric(1.0, 5, weight=3.0), streaming(1.0))
+        validate_profile(profile)
+        inf_weight = dict(profile)[math.inf]
+        assert inf_weight == pytest.approx(0.25)
+
+    def test_combine_sorted_with_inf_last(self):
+        profile = combine(streaming(0.3), geometric(1.0, 4, weight=0.7))
+        distances = [d for d, _ in profile]
+        assert distances == sorted(distances)
+        assert distances[-1] == math.inf
+
+    def test_validate_rejects_unnormalised(self):
+        with pytest.raises(ConfigurationError):
+            validate_profile(((0, 0.5),))
+
+    def test_validate_rejects_fractional_distance(self):
+        with pytest.raises(ConfigurationError):
+            validate_profile(((0.5, 1.0),))
+
+    def test_profile_mean_finite_only(self):
+        profile = ((0, 0.25), (2, 0.25), (math.inf, 0.5))
+        assert profile_mean(profile) == pytest.approx(1.0)
+
+    def test_profile_mean_all_streaming(self):
+        assert profile_mean(((math.inf, 1.0),)) == math.inf
+
+
+class TestBuilderValidation:
+    def test_geometric_rejects_negative_mean(self):
+        with pytest.raises(ConfigurationError):
+            geometric(mean=-1.0, max_distance=5)
+
+    def test_bump_rejects_zero_width(self):
+        with pytest.raises(ConfigurationError):
+            bump(center=5, width=0, max_distance=10)
+
+    def test_combine_rejects_empty(self):
+        with pytest.raises(ConfigurationError):
+            combine({})

@@ -1,0 +1,111 @@
+"""Unit tests for multi-phase workloads."""
+
+import math
+
+import pytest
+
+from repro.cache.reuse import SetReuseProfiler
+from repro.errors import ConfigurationError
+from repro.workloads.generator import build_generator
+from repro.workloads.phased import (
+    PhaseSegment,
+    PhasedBenchmark,
+    PhasedTraceGenerator,
+    make_phased_benchmark,
+    phase_benchmark,
+)
+from repro.workloads.spec import BENCHMARKS
+
+SETS = 16
+
+
+@pytest.fixture
+def workload():
+    return make_phased_benchmark(
+        name="phased-test",
+        mix=BENCHMARKS["mcf"].mix,
+        phases=(
+            PhaseSegment(profile=((2, 1.0),), accesses=4_000),
+            PhaseSegment(profile=((0, 0.5), (math.inf, 0.5)), accesses=2_000),
+        ),
+        base_cpi=0.5,
+        penalty_cycles=160.0,
+    )
+
+
+class TestConstruction:
+    def test_mixture_profile(self, workload):
+        mixture = dict(workload.rd_profile)
+        # Phase weights 2/3 and 1/3.
+        assert mixture[2] == pytest.approx(2 / 3)
+        assert mixture[0] == pytest.approx(1 / 6)
+        assert mixture[math.inf] == pytest.approx(1 / 6)
+
+    def test_longest_phase_index(self, workload):
+        assert workload.longest_phase_index == 0
+
+    def test_cycle_accesses(self, workload):
+        assert workload.cycle_accesses == 6_000
+
+    def test_needs_two_phases(self):
+        with pytest.raises(ConfigurationError):
+            make_phased_benchmark(
+                name="x",
+                mix=BENCHMARKS["mcf"].mix,
+                phases=(PhaseSegment(profile=((0, 1.0),), accesses=10),),
+                base_cpi=0.5,
+                penalty_cycles=100.0,
+            )
+
+    def test_phase_segment_validation(self):
+        with pytest.raises(ConfigurationError):
+            PhaseSegment(profile=((0, 1.0),), accesses=0)
+        with pytest.raises(ConfigurationError):
+            PhaseSegment(profile=((0, 0.5),), accesses=10)  # not normalised
+
+
+class TestPhaseExtraction:
+    def test_phase_benchmark_fields(self, workload):
+        phase0 = phase_benchmark(workload, 0)
+        assert phase0.name == "phased-test#phase0"
+        assert dict(phase0.rd_profile) == {2: 1.0}
+        assert phase0.mix == workload.mix
+
+    def test_phase_index_validation(self, workload):
+        with pytest.raises(ConfigurationError):
+            phase_benchmark(workload, 5)
+
+
+class TestPhasedGenerator:
+    def test_build_generator_dispatch(self, workload):
+        generator = build_generator(workload, sets=SETS, seed=1)
+        assert isinstance(generator, PhasedTraceGenerator)
+
+    def test_phase_transitions_counted(self, workload):
+        generator = PhasedTraceGenerator(workload, sets=SETS, seed=1)
+        generator.take(workload.cycle_accesses * 2)
+        assert generator.transitions >= 3
+
+    def test_trace_matches_mixture_long_run(self, workload):
+        generator = PhasedTraceGenerator(workload, sets=SETS, seed=2)
+        profiler = SetReuseProfiler(sets=SETS)
+        for _ in range(6_000):  # warm up one full cycle
+            profiler.record(generator.next_line())
+        profiler.reset()
+        for _ in range(36_000):
+            profiler.record(generator.next_line())
+        hist = profiler.histogram()
+        mixture = workload.intrinsic_histogram()
+        for size in (1, 2, 3, 4):
+            assert hist.mpa(size) == pytest.approx(mixture.mpa(size), abs=0.05)
+
+    def test_phases_visible_in_trace(self, workload):
+        """Within one phase the per-phase distribution dominates."""
+        generator = PhasedTraceGenerator(workload, sets=SETS, seed=3)
+        generator.take(workload.cycle_accesses)  # warm up a full cycle
+        # Now at phase 0 start: sample within the phase.
+        profiler = SetReuseProfiler(sets=SETS)
+        for _ in range(3_500):
+            profiler.record(generator.next_line())
+        hist = profiler.histogram(include_cold=False)
+        assert hist.probability(2) > 0.9  # phase-0 point mass

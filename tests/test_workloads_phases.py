@@ -1,0 +1,58 @@
+"""Unit tests for program-phase detection."""
+
+import numpy as np
+import pytest
+
+from repro.errors import ConfigurationError
+from repro.workloads.phases import Phase, detect_phases, longest_phase
+
+
+class TestDetectPhases:
+    def test_constant_series_single_phase(self):
+        phases = detect_phases([1.0] * 50)
+        assert len(phases) == 1
+        assert phases[0].length == 50
+
+    def test_step_change_detected(self):
+        series = [0.0] * 40 + [10.0] * 60
+        phases = detect_phases(series, window=4, threshold=0.3)
+        assert len(phases) == 2
+        assert phases[0].end == pytest.approx(40, abs=4)
+        assert phases[1].mean == pytest.approx(10.0, abs=1.0)
+
+    def test_phases_cover_series(self):
+        rng = np.random.default_rng(0)
+        series = np.concatenate(
+            [rng.normal(0, 0.1, 30), rng.normal(5, 0.1, 50), rng.normal(1, 0.1, 20)]
+        )
+        phases = detect_phases(series, window=5, threshold=0.2)
+        assert phases[0].start == 0
+        assert phases[-1].end == 100
+        for a, b in zip(phases, phases[1:]):
+            assert a.end == b.start
+
+    def test_noise_does_not_split(self):
+        rng = np.random.default_rng(1)
+        series = 5.0 + rng.normal(0, 0.05, 200)
+        phases = detect_phases(series, window=8, threshold=0.25)
+        assert len(phases) <= 2
+
+    def test_validation(self):
+        with pytest.raises(ConfigurationError):
+            detect_phases([])
+        with pytest.raises(ConfigurationError):
+            detect_phases([1.0], window=0)
+        with pytest.raises(ConfigurationError):
+            detect_phases([1.0], threshold=0)
+
+
+class TestLongestPhase:
+    def test_picks_longest(self):
+        series = [0.0] * 20 + [10.0] * 70 + [0.0] * 10
+        phase = longest_phase(series, window=4, threshold=0.3)
+        assert phase.mean == pytest.approx(10.0, abs=1.5)
+        assert phase.length >= 60
+
+    def test_phase_dataclass(self):
+        phase = Phase(start=3, end=10, mean=1.5)
+        assert phase.length == 7

@@ -1,0 +1,114 @@
+"""Unit tests for the synthetic SPEC benchmark definitions."""
+
+import math
+
+import pytest
+
+from repro.errors import ConfigurationError
+from repro.workloads.profiles import validate_profile
+from repro.workloads.spec import (
+    BENCHMARKS,
+    PAPER_EIGHT,
+    PAPER_TEN,
+    SyntheticBenchmark,
+    get_benchmark,
+)
+
+
+class TestRoster:
+    def test_ten_benchmarks(self):
+        assert len(BENCHMARKS) == 10
+        assert set(PAPER_TEN) == set(BENCHMARKS)
+
+    def test_paper_eight_subset(self):
+        assert set(PAPER_EIGHT) <= set(PAPER_TEN)
+        assert len(PAPER_EIGHT) == 8
+
+    def test_all_profiles_valid(self):
+        for benchmark in BENCHMARKS.values():
+            validate_profile(benchmark.rd_profile)
+
+    def test_lookup(self):
+        assert get_benchmark("mcf").name == "mcf"
+
+    def test_lookup_unknown(self):
+        with pytest.raises(KeyError, match="unknown benchmark"):
+            get_benchmark("linpack")
+
+    def test_memory_vs_cpu_bound_diversity(self):
+        """The suite must span the paper's spectrum of API values."""
+        apis = [b.api for b in BENCHMARKS.values()]
+        assert min(apis) < 0.01
+        assert max(apis) > 0.05
+
+    def test_fp_benchmarks_have_fp_mix(self):
+        for name in ("art", "equake", "ammp"):
+            assert BENCHMARKS[name].mix.fppi > 0
+        for name in ("gzip", "vpr", "mcf"):
+            assert BENCHMARKS[name].mix.fppi == 0
+
+    def test_equake_is_streaming_sequential(self):
+        assert BENCHMARKS["equake"].streaming_sequential is True
+        others = [b for n, b in BENCHMARKS.items() if n != "equake"]
+        assert all(not b.streaming_sequential for b in others)
+
+
+class TestSpiParameters:
+    def test_alpha_beta_scaling(self):
+        benchmark = BENCHMARKS["mcf"]
+        alpha1, beta1 = benchmark.alpha_beta(1e8)
+        alpha2, beta2 = benchmark.alpha_beta(2e8)
+        assert alpha1 == pytest.approx(2 * alpha2)
+        assert beta1 == pytest.approx(2 * beta2)
+
+    def test_spi_at_mpa_extremes(self):
+        benchmark = BENCHMARKS["art"]
+        alpha, beta = benchmark.alpha_beta(2e8)
+        assert benchmark.spi(0.0, 2e8) == pytest.approx(beta)
+        assert benchmark.spi(1.0, 2e8) == pytest.approx(alpha + beta)
+
+    def test_spi_rejects_bad_mpa(self):
+        with pytest.raises(ConfigurationError):
+            BENCHMARKS["art"].spi(1.5, 2e8)
+
+    def test_alpha_beta_rejects_bad_frequency(self):
+        with pytest.raises(ConfigurationError):
+            BENCHMARKS["art"].alpha_beta(0)
+
+    def test_footprint_ways(self):
+        for benchmark in BENCHMARKS.values():
+            finite = [d for d, _ in benchmark.rd_profile if d != math.inf]
+            assert benchmark.footprint_ways == int(max(finite)) + 1
+
+    def test_solo_mpa_decreases_with_ways(self):
+        benchmark = BENCHMARKS["twolf"]
+        assert benchmark.solo_mpa(2) > benchmark.solo_mpa(12)
+
+    def test_memory_bound_have_large_footprints(self):
+        """mcf/art/ammp must overflow a 16-way cache to contend."""
+        for name in ("mcf", "art", "ammp"):
+            assert BENCHMARKS[name].footprint_ways > 16
+
+
+class TestValidation:
+    def test_rejects_bad_base_cpi(self):
+        good = BENCHMARKS["gzip"]
+        with pytest.raises(ConfigurationError):
+            SyntheticBenchmark(
+                name="bad",
+                mix=good.mix,
+                rd_profile=good.rd_profile,
+                base_cpi=0.0,
+                penalty_cycles=100.0,
+            )
+
+    def test_rejects_bad_penalty(self):
+        good = BENCHMARKS["gzip"]
+        with pytest.raises(ConfigurationError):
+            SyntheticBenchmark(
+                name="bad",
+                mix=good.mix,
+                rd_profile=good.rd_profile,
+                base_cpi=1.0,
+                penalty_cycles=0.0,
+            )

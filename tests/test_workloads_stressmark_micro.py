@@ -1,0 +1,85 @@
+"""Unit tests for the stressmark spec and the micro-benchmark schedule."""
+
+import pytest
+
+from repro.errors import ConfigurationError
+from repro.machine.events import Event, RATE_EVENTS
+from repro.workloads.microbenchmark import Microbenchmark
+from repro.workloads.stressmark import StressmarkSpec, make_stressmark
+
+
+class TestStressmarkSpec:
+    def test_point_mass_profile(self):
+        spec = make_stressmark(6)
+        distances = dict(spec.rd_profile)
+        assert distances == {5: 1.0}
+
+    def test_single_way(self):
+        spec = make_stressmark(1)
+        assert dict(spec.rd_profile) == {0: 1.0}
+
+    def test_high_access_rate(self):
+        """The stressmark must out-access every SPEC model."""
+        from repro.workloads.spec import BENCHMARKS
+
+        spec = make_stressmark(4)
+        assert spec.api > max(b.api for b in BENCHMARKS.values())
+
+    def test_small_miss_penalty(self):
+        """Non-blocking misses: penalty far below the SPEC models'."""
+        spec = make_stressmark(4)
+        assert spec.penalty_cycles < 20
+
+    def test_rejects_zero_ways(self):
+        with pytest.raises(ConfigurationError):
+            make_stressmark(0)
+
+    def test_is_synthetic_benchmark(self):
+        spec = make_stressmark(3)
+        assert isinstance(spec, StressmarkSpec)
+        assert spec.ways == 3
+        assert spec.name == "stressmark-3w"
+
+
+class TestMicrobenchmark:
+    def test_schedule_shape(self):
+        micro = Microbenchmark(frequency_hz=2e8, levels=8, windows_per_level=4)
+        windows = micro.all_windows()
+        # Phase 0 idle (4 windows) + 5 phases x 8 levels x 4 windows.
+        assert len(windows) == 4 + 5 * 8 * 4
+
+    def test_idle_phase_is_zero(self):
+        micro = Microbenchmark(frequency_hz=2e8)
+        first = micro.all_windows()[0]
+        assert first.phase == 0
+        assert all(rate == 0.0 for rate in first.rates.values())
+
+    def test_each_component_stressed_once(self):
+        micro = Microbenchmark(frequency_hz=2e8, windows_per_level=1)
+        windows = micro.all_windows()
+        for phase, event in enumerate(RATE_EVENTS, start=1):
+            mine = [w for w in windows if w.phase == phase]
+            assert mine, f"no windows for phase {phase}"
+            for window in mine:
+                # The stressed component has the dominant rate.
+                assert window.rates[event] == max(window.rates.values())
+
+    def test_levels_descend(self):
+        micro = Microbenchmark(frequency_hz=2e8, windows_per_level=1)
+        phase1 = [w for w in micro.all_windows() if w.phase == 1]
+        rates = [w.rates[Event.L1_REFS] for w in phase1]
+        assert rates == sorted(rates, reverse=True)
+
+    def test_l2_misses_imply_l2_refs(self):
+        """Physical consistency: misses cannot outnumber references."""
+        micro = Microbenchmark(frequency_hz=2e8)
+        for window in micro.all_windows():
+            assert window.rates[Event.L2_REFS] >= window.rates[Event.L2_MISSES] - 1e-9
+
+    def test_validation(self):
+        with pytest.raises(ConfigurationError):
+            Microbenchmark(frequency_hz=0)
+        with pytest.raises(ConfigurationError):
+            Microbenchmark(frequency_hz=1e8, levels=1)
+        with pytest.raises(ConfigurationError):
+            Microbenchmark(frequency_hz=1e8, windows_per_level=0)
