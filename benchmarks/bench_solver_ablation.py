@@ -1,13 +1,15 @@
 """Ablation: Newton-Raphson (the paper's solver) vs nested bisection.
 
 Checks that the two equilibrium solvers agree on the predicted cache
-partition, and compares their runtime.
+partition, compares their runtime, and times the predict hot path —
+analytic vs finite-difference Jacobian, cold vs cached — with the
+solver telemetry each result carries.
 """
 
 from conftest import QUICK, once, report
 
 from repro.analysis.tables import render_table
-from repro.experiments.ablations import run_solver_ablation
+from repro.experiments.ablations import run_predict_hot_path, run_solver_ablation
 
 
 def test_solver_ablation(benchmark, server_context):
@@ -24,12 +26,26 @@ def test_solver_ablation(benchmark, server_context):
             c.max_size_disagreement,
             c.newton_seconds * 1e3,
             c.bisection_seconds * 1e3,
+            c.newton_telemetry.iterations if c.newton_telemetry else "-",
+            (
+                f"{c.newton_telemetry.residual_norm:.1e}"
+                if c.newton_telemetry
+                else c.newton_failure
+            ),
         )
         for c in result.cases
     ]
     lines = [
         render_table(
-            ["Pair", "Newton ok", "Max |dS| (ways)", "Newton (ms)", "Bisection (ms)"],
+            [
+                "Pair",
+                "Newton ok",
+                "Max |dS| (ways)",
+                "Newton (ms)",
+                "Bisection (ms)",
+                "Iters",
+                "Residual",
+            ],
             rows,
             title="Equilibrium solver ablation",
         ),
@@ -37,8 +53,55 @@ def test_solver_ablation(benchmark, server_context):
         f"Newton convergence rate: {result.convergence_rate * 100:.0f} %",
         f"Mean size disagreement:  {result.mean_disagreement:.4f} ways",
         f"Bisection/Newton time:   {result.newton_speedup:.1f}x",
+        f"Mean Newton iterations:  {result.mean_newton_iterations:.1f}",
+        f"Max residual norm:       {result.max_residual_norm:.2e}",
     ]
     report("solver_ablation", "\n".join(lines))
 
     assert result.convergence_rate > 0.7
     assert result.mean_disagreement < 0.3
+
+
+def test_predict_hot_path(benchmark, server_context):
+    repeats = 10 if QUICK else 30
+    result = once(
+        benchmark, lambda: run_predict_hot_path(server_context, repeats=repeats)
+    )
+    telemetry = result.telemetry
+    lines = [
+        render_table(
+            ["Path", "Median (ms)"],
+            [
+                ("Newton solve, analytic Jacobian", result.analytic_ms),
+                ("Newton solve, FD Jacobian (pre-optimisation)", result.fd_ms),
+                ("predict(), cold (cache disabled)", result.predict_ms),
+                ("predict(), warm (cache hit)", result.warm_predict_ms),
+            ],
+            title=f"Predict hot path on {'+'.join(result.mix)}",
+        ),
+        "",
+        f"Analytic/FD Jacobian speedup: {result.jacobian_speedup:.1f}x",
+        f"Cache-hit speedup:            {result.cached_speedup:.0f}x "
+        f"(hit rate {result.cache_hit_rate * 100:.0f} %)",
+        f"Max |analytic - FD| (sizes, SPIs): {result.max_abs_diff:.2e}",
+        (
+            "Telemetry: "
+            f"solver={telemetry.solver} jacobian={telemetry.jacobian} "
+            f"iterations={telemetry.iterations} "
+            f"residual={telemetry.residual_norm:.2e} "
+            f"fallback={telemetry.fallback_reason or 'none'}"
+            if telemetry
+            else "Telemetry: none"
+        ),
+    ]
+    report("predict_hot_path", "\n".join(lines))
+
+    assert result.contended, "mix must actually contend for the cache"
+    # Both Jacobian modes must land on the same equilibrium.
+    assert result.max_abs_diff < 1e-6
+    # The analytic Jacobian is the optimisation this refactor ships;
+    # the FD path is the pre-optimisation algorithm and the floor here
+    # is deliberately conservative against CI timer noise (locally the
+    # ratio is >3x).
+    assert result.jacobian_speedup > 2.0
+    assert result.cache_hit_rate > 0.0

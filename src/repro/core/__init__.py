@@ -29,6 +29,7 @@ from repro.core.equilibrium import (
     EquilibriumProcess,
     EquilibriumResult,
     NewtonSolver,
+    SolverTelemetry,
     solve_equilibrium,
 )
 from repro.core.feature import FeatureVector, ProfileVector
@@ -49,6 +50,7 @@ from repro.core.performance_model import (
 )
 from repro.core.power_model import CorePowerModel, PowerTrainingSet, rate_vector
 from repro.core.regression import LinearRegression
+from repro.core.solver_cache import CacheStats, EquilibriumCache
 from repro.core.spi import SpiModel, fit_spi_model
 from repro.core.timesharing import (
     core_power_time_shared,
@@ -64,7 +66,10 @@ __all__ = [
     "EquilibriumResult",
     "NewtonSolver",
     "BisectionSolver",
+    "SolverTelemetry",
     "solve_equilibrium",
+    "EquilibriumCache",
+    "CacheStats",
     "SpiModel",
     "fit_spi_model",
     "FeatureVector",

@@ -20,11 +20,12 @@ domains are ``P_rest``).
 from __future__ import annotations
 
 from dataclasses import dataclass
-from typing import Dict, List, Mapping, Sequence, Tuple
+from typing import Dict, List, Mapping, Optional, Sequence, Tuple
 
 from repro.core.feature import ProfileVector
 from repro.core.performance_model import PerformanceModel
 from repro.core.power_model import CorePowerModel
+from repro.core.solver_cache import CacheStats, EquilibriumCache
 from repro.core.timesharing import core_set_power, process_combinations
 from repro.errors import ConfigurationError
 from repro.events import Event
@@ -86,6 +87,13 @@ class CombinedModel:
             all domains share a geometry.
         power_model: Fitted Eq. 9 core power model.
         profiles: Per-process profiling vectors PF_i.
+        corun_cache: Optional shared :class:`EquilibriumCache` for
+            per-combination operating points.  Assignment searches
+            revisit the same co-run combinations across candidate
+            assignments, so passing one cache to several
+            ``CombinedModel`` instances (or reusing it across
+            searches) pools that work.  Omitted, the model owns a
+            private cache.
     """
 
     def __init__(
@@ -94,6 +102,7 @@ class CombinedModel:
         performance_models: Sequence[PerformanceModel],
         power_model: CorePowerModel,
         profiles: Mapping[str, ProfileVector],
+        corun_cache: Optional[EquilibriumCache] = None,
     ):
         if len(performance_models) == 1:
             performance_models = list(performance_models) * len(topology.domains)
@@ -112,10 +121,17 @@ class CombinedModel:
         self.performance_models = list(performance_models)
         self.power_model = power_model
         self.profiles = dict(profiles)
-        # Equilibrium solutions keyed by (domain, sorted co-run multiset).
-        self._corun_cache: Dict[
-            Tuple[int, Tuple[str, ...]], Dict[str, Tuple[float, float]]
-        ] = {}
+        # Predicted operating points keyed by (domain, sorted co-run
+        # multiset); bounded LRU with hit/miss telemetry, shareable
+        # across models and assignment searches.
+        self._corun_cache = (
+            corun_cache if corun_cache is not None else EquilibriumCache()
+        )
+
+    @property
+    def corun_cache_stats(self) -> CacheStats:
+        """Hit/miss/eviction counters of the co-run operating-point cache."""
+        return self._corun_cache.stats
 
     # ------------------------------------------------------------------
     # Process power from predicted SPI / L2MPR
@@ -173,7 +189,7 @@ class CombinedModel:
             cached = {
                 p.name: (p.spi, p.l2mpr) for p in prediction.processes
             }
-            self._corun_cache[key] = cached
+            self._corun_cache.put(key, cached)
         return cached
 
     # ------------------------------------------------------------------
@@ -248,21 +264,27 @@ class CombinedModel:
             if not busy_cores:
                 continue
             per_core_lists = [list(assignment[c]) for c in busy_cores]
-            combos = process_combinations(per_core_lists)
-            share = {
-                core: 1.0 / len(names)
-                for core, names in zip(busy_cores, per_core_lists)
-            }
             if len(busy_cores) == 1:
+                # No contention: each process runs as profiled, for
+                # 1/k of the time when k processes share the core.
                 model = self.performance_models[domain_idx]
-                core = busy_cores[0]
-                for name in per_core_lists[0]:
-                    solo = model.predict_solo(name)
-                    total_ips += share[core] * solo.ips
+                names = per_core_lists[0]
+                time_share = 1.0 / len(names)
+                for name in names:
+                    total_ips += time_share * model.predict_solo(name).ips
                 continue
+            combos = process_combinations(per_core_lists)
             combo_ips = 0.0
             for combo in combos:
                 operating = self._predict_corun(domain_idx, combo)
                 combo_ips += sum(1.0 / operating[name][0] for name in combo)
+            # The uniform average over combinations already encodes
+            # the per-core time shares: a process on a core with k
+            # residents appears in exactly len(combos)/k combinations
+            # (every choice of its partners), so dividing the summed
+            # per-combination IPS by len(combos) weights its mean
+            # contended IPS by 1/k — the same weight the single-core
+            # branch applies explicitly.  No separate share factor is
+            # needed (an earlier version carried an unused one).
             total_ips += combo_ips / len(combos)
         return total_ips

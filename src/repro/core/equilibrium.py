@@ -12,7 +12,11 @@ the capacity constraint ``Σ S_i = A`` (Eq. 1).  Two solvers are
 provided:
 
 - :class:`NewtonSolver` — damped Newton–Raphson on the Eq. 7 residual
-  system, the method the paper names.
+  system, the method the paper names.  The Jacobian is analytic by
+  default — both ``G⁻¹`` and ``MPA`` are tabulated piecewise-linear
+  curves, so their derivatives are exact segment slopes — with the
+  original finite-difference Jacobian kept as a debug/verify option
+  (``jacobian="fd"``).
 - :class:`BisectionSolver` — a robust nested fixed-point/bisection
   scheme on the window length ``T``: for a trial ``T`` each process's
   occupancy is the greatest fixed point of ``S = G(T · APS(S))``
@@ -21,12 +25,16 @@ provided:
 
 Both return identical answers on well-behaved inputs (the solver
 ablation benchmark quantifies this); the default strategy tries
-Newton and falls back to bisection.
+Newton and falls back to bisection.  Every result carries a
+:class:`SolverTelemetry` record (strategy, iterations, residual norm,
+fallback reason) so callers can observe the solve without re-running
+it.
 """
 
 from __future__ import annotations
 
-from dataclasses import dataclass
+import math
+from dataclasses import dataclass, replace
 from typing import Callable, List, Optional, Sequence, Tuple
 
 import numpy as np
@@ -45,6 +53,10 @@ class EquilibriumProcess:
         api: L2 accesses per instruction.
         alpha: Eq. 3 slope (seconds per instruction per unit MPA).
         beta: Eq. 3 intercept (seconds per instruction).
+        mpa_slope: Optional derivative of ``mpa``.  When omitted, the
+            solver recovers it from the curve object behind ``mpa``
+            (histograms and miss-ratio curves expose ``mpa_slope``) or
+            falls back to a local finite difference.
     """
 
     occupancy: OccupancyModel
@@ -52,6 +64,7 @@ class EquilibriumProcess:
     api: float
     alpha: float
     beta: float
+    mpa_slope: Optional[Callable[[float], float]] = None
 
     def __post_init__(self) -> None:
         if self.api <= 0:
@@ -65,6 +78,35 @@ class EquilibriumProcess:
 
 
 @dataclass(frozen=True)
+class SolverTelemetry:
+    """Per-solve observability record.
+
+    Attributes:
+        strategy: Strategy the caller requested (``newton``,
+            ``bisection`` or ``auto``).
+        solver: Solver that actually produced the result.
+        jacobian: Jacobian mode used by Newton (``analytic`` / ``fd``),
+            ``None`` for bisection or uncontended short-circuits.
+        iterations: Iterations spent by the producing solver.
+        residual_norm: Final Eq. 1 + Eq. 7 residual norm of the
+            returned sizes (0 for uncontended short-circuits).
+        warm_started: Whether Newton started from a caller-supplied
+            initial guess instead of the proportional-demand default.
+        fallback_reason: Why ``auto`` fell back to bisection (the
+            Newton failure message), ``None`` when no fallback
+            happened.
+    """
+
+    strategy: str
+    solver: str
+    jacobian: Optional[str]
+    iterations: int
+    residual_norm: float
+    warm_started: bool = False
+    fallback_reason: Optional[str] = None
+
+
+@dataclass(frozen=True)
 class EquilibriumResult:
     """Solved steady state of co-running, cache-sharing processes."""
 
@@ -74,6 +116,7 @@ class EquilibriumResult:
     solver: str
     iterations: int
     contended: bool
+    telemetry: Optional[SolverTelemetry] = None
 
     @property
     def total_size(self) -> float:
@@ -86,6 +129,7 @@ def _finish(
     solver: str,
     iterations: int,
     contended: bool,
+    telemetry: Optional[SolverTelemetry] = None,
 ) -> EquilibriumResult:
     mpas = tuple(p.mpa(s) for p, s in zip(processes, sizes))
     spis = tuple(p.alpha * m + p.beta for p, m in zip(processes, mpas))
@@ -96,6 +140,7 @@ def _finish(
         solver=solver,
         iterations=iterations,
         contended=contended,
+        telemetry=telemetry,
     )
 
 
@@ -107,6 +152,88 @@ def _uncontended(
     if sum(saturations) <= total_ways + 1e-9:
         return saturations
     return None
+
+
+def _resolve_mpa_slope(
+    process: EquilibriumProcess,
+) -> Callable[[float], float]:
+    """Derivative of the process's MPA curve for the analytic Jacobian.
+
+    Preference order: an explicit ``mpa_slope`` on the process, the
+    ``mpa_slope`` method of the curve object the ``mpa`` callable is
+    bound to, then a local finite difference of the black-box callable.
+    """
+    if process.mpa_slope is not None:
+        return process.mpa_slope
+    owner = getattr(process.mpa, "__self__", None)
+    if owner is not None and getattr(process.mpa, "__name__", None) == "mpa":
+        slope = getattr(owner, "mpa_slope", None)
+        if callable(slope):
+            return slope
+    mpa = process.mpa
+
+    def fd_slope(size: float, _mpa=mpa, _h=1e-6) -> float:
+        lo = size - _h if size >= _h else 0.0
+        hi = size + _h
+        return (_mpa(hi) - _mpa(lo)) / (hi - lo)
+
+    return fd_slope
+
+
+def _redistribute_to_capacity(
+    sizes: Sequence[float], caps: Sequence[float], total: float
+) -> List[float]:
+    """Rescale ``sizes`` to sum exactly to ``total`` without breaching caps.
+
+    Proportional rescaling alone violates Eq. 1 whenever a process hits
+    its cap (the clipped excess simply vanished); instead the residual
+    is redistributed over the still-uncapped processes, iterating until
+    no new process saturates.  Requires ``sum(caps) >= total`` — which
+    contention guarantees, since caps are the per-process saturation
+    sizes clipped at ``total`` — otherwise everyone is left at cap.
+    """
+    k = len(sizes)
+    out = [min(float(s), float(c)) for s, c in zip(sizes, caps)]
+    if sum(caps) <= total:
+        return [float(c) for c in caps]
+    capped = [False] * k
+    for _ in range(k + 1):
+        fixed = sum(s for s, c in zip(out, capped) if c)
+        free = [i for i in range(k) if not capped[i]]
+        if not free:
+            break
+        remaining = total - fixed
+        free_sum = sum(out[i] for i in free)
+        if free_sum <= 0.0:
+            # Degenerate: spread the remainder evenly instead.
+            for i in free:
+                out[i] = remaining / len(free)
+        else:
+            scale = remaining / free_sum
+            for i in free:
+                out[i] *= scale
+        saturated = False
+        for i in free:
+            if out[i] >= caps[i]:
+                out[i] = float(caps[i])
+                capped[i] = True
+                saturated = True
+        if not saturated:
+            break
+    return out
+
+
+def _eq7_residual_norm(
+    processes: Sequence[EquilibriumProcess],
+    sizes: Sequence[float],
+    total_ways: int,
+) -> float:
+    """Norm of the Eq. 1 + Eq. 7 residual at ``sizes`` (for telemetry)."""
+    res = NewtonSolver()._residual(
+        processes, np.asarray(sizes, dtype=float), total_ways
+    )
+    finite = res[np.isfinite(res)]
+    return float(np.linalg.norm(finite)) if finite.size else float("inf")
 
 
 class BisectionSolver:
@@ -126,11 +253,17 @@ class BisectionSolver:
 
     def _size_at(self, process: EquilibriumProcess, window_t: float, cap: float) -> float:
         """Greatest fixed point of S = G(T·APS(S)) on [0, cap]."""
+        g = process.occupancy.g
+        mpa = process.mpa
+        api, alpha, beta = process.api, process.alpha, process.beta
+        inner_tol = self.size_tol * 0.1
         size = cap
         for _ in range(self.max_inner):
-            accesses = window_t * process.aps(size)
-            new_size = min(process.occupancy.g(accesses), cap)
-            if abs(new_size - size) < self.size_tol * 0.1:
+            accesses = window_t * api / (alpha * mpa(size) + beta)
+            new_size = g(accesses)
+            if new_size > cap:
+                new_size = cap
+            if abs(new_size - size) < inner_tol:
                 return new_size
             size = new_size
         return size
@@ -144,7 +277,14 @@ class BisectionSolver:
             raise ConfigurationError("fewer ways than processes")
         free = _uncontended(processes, total_ways)
         if free is not None:
-            return _finish(processes, free, self.name, 0, contended=False)
+            telemetry = SolverTelemetry(
+                strategy=self.name,
+                solver=self.name,
+                jacobian=None,
+                iterations=0,
+                residual_norm=0.0,
+            )
+            return _finish(processes, free, self.name, 0, False, telemetry)
 
         caps = [min(p.occupancy.saturation_size, float(total_ways)) for p in processes]
 
@@ -190,15 +330,39 @@ class BisectionSolver:
                 t_lo = t_mid
         t_mid = (t_lo * t_hi) ** 0.5
         sizes = [self._size_at(p, t_mid, cap) for p, cap in zip(processes, caps)]
-        # Distribute any residual rounding error proportionally so the
-        # capacity constraint holds exactly.
-        scale = total_ways / sum(sizes)
-        sizes = [min(s * scale, cap) for s, cap in zip(sizes, caps)]
-        return _finish(processes, sizes, self.name, iterations, contended=True)
+        # Close the Eq. 1 capacity constraint exactly.  A plain
+        # proportional rescale clipped at each cap loses the clipped
+        # excess whenever any process saturates; redistribute it over
+        # the uncapped processes instead (see _redistribute_to_capacity).
+        sizes = _redistribute_to_capacity(sizes, caps, float(total_ways))
+        total_now = sum(sizes)
+        assert abs(total_now - total_ways) <= 1e-9 * max(1.0, total_ways), (
+            f"capacity constraint violated: sum(sizes)={total_now!r} "
+            f"!= total_ways={total_ways!r}"
+        )
+        telemetry = SolverTelemetry(
+            strategy=self.name,
+            solver=self.name,
+            jacobian=None,
+            iterations=iterations,
+            residual_norm=_eq7_residual_norm(processes, sizes, total_ways),
+        )
+        return _finish(processes, sizes, self.name, iterations, True, telemetry)
 
 
 class NewtonSolver:
-    """Damped Newton–Raphson on the Eq. 1 + Eq. 7 residual system."""
+    """Damped Newton–Raphson on the Eq. 1 + Eq. 7 residual system.
+
+    Args:
+        tol: Convergence threshold on the residual norm.
+        max_iterations: Iteration budget.
+        fd_step: Step for the finite-difference Jacobian (debug path).
+        jacobian: ``analytic`` (default) builds the Jacobian from the
+            tabulated growth-curve and MPA-tail segment slopes and
+            solves the arrow-structured system in O(k); ``fd`` keeps
+            the original k² finite-difference evaluation for
+            verification.
+    """
 
     name = "newton"
 
@@ -207,10 +371,16 @@ class NewtonSolver:
         tol: float = 1e-7,
         max_iterations: int = 120,
         fd_step: float = 1e-4,
+        jacobian: str = "analytic",
     ):
+        if jacobian not in ("analytic", "fd"):
+            raise ConfigurationError(
+                f"unknown jacobian mode {jacobian!r}; choose analytic or fd"
+            )
         self.tol = tol
         self.max_iterations = max_iterations
         self.fd_step = fd_step
+        self.jacobian = jacobian
 
     def _residual(
         self,
@@ -220,21 +390,166 @@ class NewtonSolver:
     ) -> np.ndarray:
         k = len(processes)
         res = np.empty(k)
-        res[0] = sizes.sum() - total_ways
         p1 = processes[0]
-        n1 = p1.occupancy.g_inverse(float(sizes[0]))
-        rate1 = p1.api / (p1.alpha * p1.mpa(float(sizes[0])) + p1.beta)
+        s1 = float(sizes[0])
+        n1 = p1.occupancy.g_inverse(s1)
+        rate1 = p1.api / (p1.alpha * p1.mpa(s1) + p1.beta)
+        total = s1
+        n1_finite = math.isfinite(n1)
         for i in range(1, k):
             pi = processes[i]
-            ni = pi.occupancy.g_inverse(float(sizes[i]))
-            ratei = pi.api / (pi.alpha * pi.mpa(float(sizes[i])) + pi.beta)
+            si = float(sizes[i])
+            total += si
+            ni = pi.occupancy.g_inverse(si)
+            ratei = pi.api / (pi.alpha * pi.mpa(si) + pi.beta)
             # Eq. 7 rearranged as n1 * rate_i ... / (n_i * rate_1) - 1,
             # numerically kinder than the raw difference of ratios.
-            if not np.isfinite(ni) or not np.isfinite(n1):
+            if not n1_finite or not math.isfinite(ni):
                 res[i] = np.inf
             else:
                 res[i] = (n1 * ratei) / (ni * rate1) - 1.0
+        res[0] = total - total_ways
         return res
+
+    def _evaluate(
+        self,
+        processes: Sequence[EquilibriumProcess],
+        slopes: Sequence[Callable[[float], float]],
+        sizes: np.ndarray,
+        total_ways: int,
+    ) -> Tuple[np.ndarray, np.ndarray, np.ndarray, np.ndarray]:
+        """Residual and analytic-Jacobian ingredients in one pass.
+
+        Returns ``(res, q, nlog, rlog)`` where ``q[i]`` is the Eq. 7
+        ratio term (``res[i] = q[i] - 1``), and ``nlog``/``rlog`` are
+        the logarithmic derivatives d ln G⁻¹/dS and d ln rate/dS read
+        off the tabulated segment slopes.
+        """
+        k = len(processes)
+        ns = np.empty(k)
+        rates = np.empty(k)
+        nlog = np.empty(k)
+        rlog = np.empty(k)
+        total = 0.0
+        for i, p in enumerate(processes):
+            s = float(sizes[i])
+            total += s
+            occ = p.occupancy
+            n = occ.g_inverse(s)
+            m = p.mpa(s)
+            spi = p.alpha * m + p.beta
+            ns[i] = n
+            rates[i] = p.api / spi
+            n_slope = occ.g_inverse_slope(s)
+            nlog[i] = n_slope / n if n > 0 and math.isfinite(n) else np.inf
+            rlog[i] = -p.alpha * slopes[i](s) / spi
+        res = np.empty(k)
+        q = np.empty(k)
+        res[0] = total - total_ways
+        q[0] = np.nan  # unused; row 0 is the capacity constraint
+        n1, rate1 = ns[0], rates[0]
+        for i in range(1, k):
+            if not (math.isfinite(ns[i]) and math.isfinite(n1)):
+                res[i] = np.inf
+                q[i] = np.inf
+            else:
+                q[i] = (n1 * rates[i]) / (ns[i] * rate1)
+                res[i] = q[i] - 1.0
+        return res, q, nlog, rlog
+
+    def _arrow_delta(
+        self,
+        res: np.ndarray,
+        q: np.ndarray,
+        nlog: np.ndarray,
+        rlog: np.ndarray,
+        iteration: int,
+        norm: float,
+    ) -> np.ndarray:
+        """Solve J·Δ = -res exploiting the arrow structure of J.
+
+        Row 0 of J is all ones (capacity constraint); row i has only
+        two nonzeros, ``a_i = ∂F_i/∂S_1`` and ``b_i = ∂F_i/∂S_i``.
+        Eliminating the ``Δ_i`` against row 0 solves the system in
+        O(k) with no matrix assembly.
+        """
+        a = q * (nlog[0] - rlog[0])
+        b = q * (rlog - nlog)
+        with np.errstate(divide="ignore", invalid="ignore"):
+            inv_b = 1.0 / b[1:]
+        if not np.all(np.isfinite(inv_b)):
+            raise ConvergenceError(
+                "singular Jacobian", iterations=iteration, residual=norm
+            )
+        denom = 1.0 - float(a[1:] @ inv_b)
+        num = -float(res[0]) + float(res[1:] @ inv_b)
+        if not math.isfinite(denom) or denom == 0.0 or not math.isfinite(num):
+            raise ConvergenceError(
+                "singular Jacobian", iterations=iteration, residual=norm
+            )
+        delta = np.empty(res.shape)
+        delta[0] = num / denom
+        delta[1:] = (-res[1:] - a[1:] * delta[0]) * inv_b
+        if not np.all(np.isfinite(delta)):
+            raise ConvergenceError(
+                "singular Jacobian", iterations=iteration, residual=norm
+            )
+        return delta
+
+    def _caps(
+        self, processes: Sequence[EquilibriumProcess], total_ways: int, lo: float
+    ) -> np.ndarray:
+        # Keep strictly inside the domain: g_inverse is infinite at
+        # saturation, so cap each size just below it.
+        k = len(processes)
+        return np.array(
+            [
+                min(p.occupancy.saturation_size - 1e-3, total_ways - lo * (k - 1))
+                for p in processes
+            ]
+        )
+
+    # ------------------------------------------------------------------
+    # Debug / verification Jacobians
+    # ------------------------------------------------------------------
+    def jacobian_fd(
+        self,
+        processes: Sequence[EquilibriumProcess],
+        sizes: np.ndarray,
+        total_ways: int,
+    ) -> np.ndarray:
+        """Finite-difference Jacobian of the residual at ``sizes``."""
+        k = len(processes)
+        x = np.asarray(sizes, dtype=float)
+        caps = self._caps(processes, total_ways, 0.05)
+        res = self._residual(processes, x, total_ways)
+        jac = np.empty((k, k))
+        h = self.fd_step
+        for j in range(k):
+            xh = x.copy()
+            step = h if x[j] + h <= caps[j] else -h
+            xh[j] += step
+            res_h = self._residual(processes, xh, total_ways)
+            jac[:, j] = (res_h - res) / step
+        return jac
+
+    def jacobian_analytic(
+        self,
+        processes: Sequence[EquilibriumProcess],
+        sizes: np.ndarray,
+        total_ways: int,
+    ) -> np.ndarray:
+        """Analytic Jacobian of the residual at ``sizes`` (assembled)."""
+        k = len(processes)
+        slopes = [_resolve_mpa_slope(p) for p in processes]
+        x = np.asarray(sizes, dtype=float)
+        _, q, nlog, rlog = self._evaluate(processes, slopes, x, total_ways)
+        jac = np.zeros((k, k))
+        jac[0, :] = 1.0
+        for i in range(1, k):
+            jac[i, 0] = q[i] * (nlog[0] - rlog[0])
+            jac[i, i] = q[i] * (rlog[i] - nlog[i])
+        return jac
 
     def solve(
         self,
@@ -248,27 +563,223 @@ class NewtonSolver:
             raise ConfigurationError("fewer ways than processes")
         free = _uncontended(processes, total_ways)
         if free is not None:
-            return _finish(processes, free, self.name, 0, contended=False)
+            telemetry = SolverTelemetry(
+                strategy=self.name,
+                solver=self.name,
+                jacobian=None,
+                iterations=0,
+                residual_norm=0.0,
+            )
+            return _finish(processes, free, self.name, 0, False, telemetry)
 
         k = len(processes)
-        # Keep strictly inside the domain: g_inverse is infinite at
-        # saturation, so cap each size just below it.
         lo = 0.05
-        caps = np.array(
-            [
-                min(p.occupancy.saturation_size - 1e-3, total_ways - lo * (k - 1))
+        caps_arr = self._caps(processes, total_ways, lo)
+        caps = caps_arr.tolist()
+        warm_started = initial is not None
+        if initial is not None:
+            start = [float(v) for v in initial]
+            if len(start) != k:
+                raise ConfigurationError(
+                    "initial guess must have one size per process"
+                )
+        else:
+            demand = [
+                min(p.occupancy.saturation_size, float(total_ways))
                 for p in processes
             ]
-        )
-        if initial is not None:
-            x = np.asarray(initial, dtype=float).copy()
-        else:
-            demand = np.array(
-                [min(p.occupancy.saturation_size, total_ways) for p in processes]
-            )
-            x = demand * (total_ways / demand.sum())
-        x = np.clip(x, lo, caps)
+            scale = total_ways / sum(demand)
+            start = [d * scale for d in demand]
+        x = [min(max(s, lo), c) for s, c in zip(start, caps)]
 
+        if self.jacobian == "analytic":
+            return self._solve_analytic(
+                processes, total_ways, x, caps, lo, warm_started
+            )
+        return self._solve_fd(
+            processes, total_ways, np.asarray(x), caps_arr, lo, warm_started
+        )
+
+    def _converged(
+        self,
+        processes: Sequence[EquilibriumProcess],
+        total_ways: int,
+        x: List[float],
+        caps: List[float],
+        iteration: int,
+        warm_started: bool,
+    ) -> EquilibriumResult:
+        # Newton stops at ||res|| < tol, which leaves an O(tol)
+        # capacity-constraint gap; close Eq. 1 exactly by
+        # redistributing the residual over uncapped processes
+        # (a <= tol-sized adjustment).
+        if sum(caps) > total_ways:
+            x = _redistribute_to_capacity(x, caps, float(total_ways))
+        telemetry = SolverTelemetry(
+            strategy=self.name,
+            solver=self.name,
+            jacobian=self.jacobian,
+            iterations=iteration,
+            residual_norm=_eq7_residual_norm(processes, x, total_ways),
+            warm_started=warm_started,
+        )
+        return _finish(processes, x, self.name, iteration, True, telemetry)
+
+    def _solve_analytic(
+        self,
+        processes: Sequence[EquilibriumProcess],
+        total_ways: int,
+        x: List[float],
+        caps: List[float],
+        lo: float,
+        warm_started: bool,
+    ) -> EquilibriumResult:
+        """Newton with the analytic arrow Jacobian, in plain floats.
+
+        The hot loop deliberately avoids numpy: for the k <= 16
+        processes a cache domain can hold, Python-float segment
+        lookups beat small-ndarray round trips by an order of
+        magnitude, and the arrow structure makes the linear solve an
+        O(k) elimination (see :meth:`_arrow_delta` for the algebra).
+        """
+        k = len(processes)
+        g_inv = [p.occupancy.g_inverse for p in processes]
+        g_inv_slope = [p.occupancy.g_inverse_slope for p in processes]
+        mpa = [p.mpa for p in processes]
+        api = [p.api for p in processes]
+        alpha = [p.alpha for p in processes]
+        beta = [p.beta for p in processes]
+        slopes = [_resolve_mpa_slope(p) for p in processes]
+        isfinite = math.isfinite
+
+        def evaluate(xs):
+            """Residual, norm and the (n, rate, spi) state behind it.
+
+            The state is reused by the Jacobian pass, so each Newton
+            iteration pays for exactly one table walk per process plus
+            the two slope lookups.
+            """
+            s1 = xs[0]
+            n1 = g_inv[0](s1)
+            spi1 = alpha[0] * mpa[0](s1) + beta[0]
+            rate1 = api[0] / spi1
+            total = s1
+            ok = isfinite(n1) and n1 > 0
+            res = [0.0] * k
+            ns = [n1] + [0.0] * (k - 1)
+            rates = [rate1] + [0.0] * (k - 1)
+            spis = [spi1] + [0.0] * (k - 1)
+            sq = 0.0
+            for i in range(1, k):
+                si = xs[i]
+                total += si
+                ni = g_inv[i](si)
+                spii = alpha[i] * mpa[i](si) + beta[i]
+                ri = api[i] / spii
+                ns[i] = ni
+                rates[i] = ri
+                spis[i] = spii
+                if ok and isfinite(ni) and ni > 0:
+                    value = (n1 * ri) / (ni * rate1) - 1.0
+                else:
+                    value = math.inf
+                res[i] = value
+                sq += value * value
+            res[0] = total - total_ways
+            sq += res[0] * res[0]
+            return res, math.sqrt(sq), ns, rates, spis
+
+        res, norm, ns, rates, spis = evaluate(x)
+        for iteration in range(1, self.max_iterations + 1):
+            if not isfinite(norm):
+                raise ConvergenceError(
+                    "residual left the finite domain", iterations=iteration
+                )
+            if norm < self.tol:
+                return self._converged(
+                    processes, total_ways, x, caps, iteration, warm_started
+                )
+            # Jacobian ingredients: only the tabulated segment slopes
+            # are new; n, rate, spi come from the accepted evaluation.
+            n1 = ns[0]
+            rate1 = rates[0]
+            nlog1 = g_inv_slope[0](x[0]) / n1
+            rlog1 = -alpha[0] * slopes[0](x[0]) / spis[0]
+            head = nlog1 - rlog1
+            if not isfinite(head):
+                raise ConvergenceError(
+                    "singular Jacobian", iterations=iteration, residual=norm
+                )
+            a = [0.0] * k
+            b = [0.0] * k
+            for i in range(1, k):
+                si = x[i]
+                qi = res[i] + 1.0
+                nlogi = g_inv_slope[i](si) / ns[i]
+                rlogi = -alpha[i] * slopes[i](si) / spis[i]
+                a[i] = qi * head
+                b[i] = qi * (rlogi - nlogi)
+            # Arrow elimination: row 0 is all ones, row i has nonzeros
+            # only at columns 0 and i.
+            denom = 1.0
+            num = -res[0]
+            singular = False
+            for i in range(1, k):
+                bi = b[i]
+                if bi == 0.0 or not isfinite(bi):
+                    singular = True
+                    break
+                denom -= a[i] / bi
+                num += res[i] / bi
+            if singular or denom == 0.0 or not isfinite(denom) or not isfinite(num):
+                raise ConvergenceError(
+                    "singular Jacobian", iterations=iteration, residual=norm
+                )
+            d1 = num / denom
+            delta = [0.0] * k
+            delta[0] = d1
+            for i in range(1, k):
+                delta[i] = (-res[i] - a[i] * d1) / b[i]
+            if not all(isfinite(d) for d in delta):
+                raise ConvergenceError(
+                    "singular Jacobian", iterations=iteration, residual=norm
+                )
+            # Damped line search: halve until the residual improves.
+            damping = 1.0
+            for _ in range(30):
+                x_new = [
+                    min(max(x[i] + damping * delta[i], lo), caps[i])
+                    for i in range(k)
+                ]
+                res_new, norm_new, ns_new, rates_new, spis_new = evaluate(x_new)
+                if norm_new < norm:
+                    break
+                damping *= 0.5
+            else:
+                raise ConvergenceError(
+                    "line search failed", iterations=iteration, residual=norm
+                )
+            x = x_new
+            res, norm, ns, rates, spis = (
+                res_new, norm_new, ns_new, rates_new, spis_new
+            )
+        raise ConvergenceError(
+            "Newton iteration budget exhausted",
+            iterations=self.max_iterations,
+            residual=norm,
+        )
+
+    def _solve_fd(
+        self,
+        processes: Sequence[EquilibriumProcess],
+        total_ways: int,
+        x: np.ndarray,
+        caps: np.ndarray,
+        lo: float,
+        warm_started: bool,
+    ) -> EquilibriumResult:
+        """The original finite-difference Newton (debug/verify path)."""
+        k = len(processes)
         h = self.fd_step
         for iteration in range(1, self.max_iterations + 1):
             res = self._residual(processes, x, total_ways)
@@ -278,7 +789,14 @@ class NewtonSolver:
                 )
             norm = float(np.linalg.norm(res))
             if norm < self.tol:
-                return _finish(processes, x, self.name, iteration, contended=True)
+                return self._converged(
+                    processes,
+                    total_ways,
+                    x.tolist(),
+                    caps.tolist(),
+                    iteration,
+                    warm_started,
+                )
             jac = np.empty((k, k))
             for j in range(k):
                 xh = x.copy()
@@ -316,6 +834,7 @@ def solve_equilibrium(
     processes: Sequence[EquilibriumProcess],
     total_ways: int,
     strategy: str = "auto",
+    initial: Optional[Sequence[float]] = None,
 ) -> EquilibriumResult:
     """Solve the shared-cache equilibrium with the chosen strategy.
 
@@ -326,9 +845,19 @@ def solve_equilibrium(
         strategy: ``newton``, ``bisection``, or ``auto`` (the paper's
             Newton–Raphson, falling back to the robust bisection
             scheme if it fails to converge).
+        initial: Optional warm-start sizes for Newton (e.g. the
+            solution of a neighbouring co-run from an
+            :class:`~repro.core.solver_cache.EquilibriumCache`).
+            Ignored by bisection.
     """
+
+    def _stamp(result: EquilibriumResult, **updates) -> EquilibriumResult:
+        if result.telemetry is None:
+            return result
+        return replace(result, telemetry=replace(result.telemetry, **updates))
+
     if strategy == "newton":
-        return NewtonSolver().solve(processes, total_ways)
+        return NewtonSolver().solve(processes, total_ways, initial=initial)
     if strategy == "bisection":
         return BisectionSolver().solve(processes, total_ways)
     if strategy != "auto":
@@ -336,6 +865,27 @@ def solve_equilibrium(
             f"unknown strategy {strategy!r}; choose newton, bisection or auto"
         )
     try:
-        return NewtonSolver().solve(processes, total_ways)
-    except ConvergenceError:
-        return BisectionSolver().solve(processes, total_ways)
+        result = NewtonSolver().solve(processes, total_ways, initial=initial)
+        return _stamp(result, strategy="auto")
+    except ConvergenceError as newton_err:
+        try:
+            result = BisectionSolver().solve(processes, total_ways)
+        except ConvergenceError as bisection_err:
+            # Chain so the Newton diagnostics (iterations, residual)
+            # survive alongside the bisection failure.
+            raise ConvergenceError(
+                "both solvers failed: newton: "
+                f"{newton_err} (iterations={newton_err.iterations}, "
+                f"residual={newton_err.residual!r}); "
+                f"bisection: {bisection_err}",
+                iterations=bisection_err.iterations,
+                residual=bisection_err.residual,
+            ) from newton_err
+        return _stamp(
+            result,
+            strategy="auto",
+            fallback_reason=(
+                f"newton failed after {newton_err.iterations} iterations: "
+                f"{newton_err}"
+            ),
+        )

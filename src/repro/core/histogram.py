@@ -57,6 +57,12 @@ class ReuseDistanceHistogram:
             [np.cumsum(self._probs[::-1])[::-1], [0.0]]
         )
         self._tail = finite_tail + self._inf_mass
+        # Hot-path helpers: the equilibrium solvers evaluate mpa()
+        # millions of times with scalar arguments, where plain-float
+        # indexing beats numpy scalar arithmetic by ~5x; batched
+        # callers interpolate on the integer support instead.
+        self._tail_list = self._tail.tolist()
+        self._support = np.arange(self._tail.size, dtype=float)
 
     # ------------------------------------------------------------------
     # Constructors
@@ -146,17 +152,46 @@ class ReuseDistanceHistogram:
         """
         if size < 0:
             raise ConfigurationError("size must be non-negative")
-        tail = self._tail
-        top = tail.size - 1
+        tail = self._tail_list
+        top = len(tail) - 1
         if size >= top:
-            return float(tail[top])
+            return tail[top]
         lo = int(size)
         frac = size - lo
-        return float(tail[lo] * (1.0 - frac) + tail[lo + 1] * frac)
+        return tail[lo] * (1.0 - frac) + tail[lo + 1] * frac
+
+    def mpa_batch(self, sizes) -> np.ndarray:
+        """Vectorized :meth:`mpa` over an array of sizes.
+
+        Element-wise identical to calling :meth:`mpa` per entry;
+        clamps at :attr:`inf_mass` beyond the histogram support.
+        """
+        arr = np.asarray(sizes, dtype=float)
+        if np.any(arr < 0):
+            raise ConfigurationError("size must be non-negative")
+        return np.interp(arr, self._support, self._tail)
+
+    def mpa_slope(self, size: float) -> float:
+        """Right-hand derivative of the piecewise-linear MPA curve.
+
+        The slope of the tail segment ``[floor(size), floor(size)+1)``
+        — the convention :meth:`mpa` interpolates with — and 0 beyond
+        the histogram support where the curve is flat at
+        :attr:`inf_mass`.  Used by the equilibrium solver's analytic
+        Jacobian.
+        """
+        if size < 0:
+            raise ConfigurationError("size must be non-negative")
+        tail = self._tail_list
+        top = len(tail) - 1
+        if size >= top:
+            return 0.0
+        lo = int(size)
+        return tail[lo + 1] - tail[lo]
 
     def mpa_curve(self, max_size: int) -> np.ndarray:
         """Vector of ``mpa(s)`` for integer ``s`` in ``0..max_size``."""
-        return np.array([self.mpa(s) for s in range(max_size + 1)])
+        return self.mpa_batch(np.arange(max_size + 1, dtype=float))
 
     def mean_distance(self) -> float:
         """Mean finite reuse distance, conditioned on being finite.

@@ -89,6 +89,23 @@ class MissRatioCurve:
             return float(self._mpas[-1])
         return float(np.interp(size, self._sizes, self._mpas))
 
+    def mpa_batch(self, sizes) -> np.ndarray:
+        """Vectorized :meth:`mpa` over an array of sizes."""
+        arr = np.asarray(sizes, dtype=float)
+        return np.interp(arr, self._sizes, self._mpas)
+
+    def mpa_slope(self, size: float) -> float:
+        """Right-hand derivative of the piecewise-linear curve at ``size``.
+
+        Zero outside the sweep range (the curve is clamped there).
+        Used by the equilibrium solver's analytic Jacobian.
+        """
+        if size < self._sizes[0] or size >= self._sizes[-1]:
+            return 0.0
+        idx = int(np.searchsorted(self._sizes, size, side="right"))
+        span = self._sizes[idx] - self._sizes[idx - 1]
+        return float((self._mpas[idx] - self._mpas[idx - 1]) / span)
+
     def points(self) -> Tuple[np.ndarray, np.ndarray]:
         """Return the (sizes, mpas) sweep arrays as copies."""
         return self._sizes.copy(), self._mpas.copy()
@@ -108,7 +125,7 @@ class MissRatioCurve:
         if hi <= lo:
             raise ProfilingError("sweep range too narrow to build a histogram")
         grid = np.arange(lo, hi + 1, dtype=float)
-        mpa_grid = np.array([self.mpa(s) for s in grid])
+        mpa_grid = self.mpa_batch(grid)
         # hist(d) = MPA(d) - MPA(d + 1): mass at distance d (hits once
         # the process owns d+1 ways).
         probs = np.zeros(hi)
@@ -118,9 +135,7 @@ class MissRatioCurve:
         # (the finest statement the sweep supports).
         if lo > 0:
             probs[lo - 1] = 1.0 - mpa_grid[0]
-        diffs = mpa_grid[:-1] - mpa_grid[1:]
-        for offset, mass in enumerate(diffs):
-            probs[lo + offset] = max(0.0, mass)
+        probs[lo:] = np.maximum(0.0, mpa_grid[:-1] - mpa_grid[1:])
         inf_mass = float(mpa_grid[-1])
         return ReuseDistanceHistogram(probs, inf_mass)
 

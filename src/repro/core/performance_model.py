@@ -9,7 +9,7 @@ co-run combinations, the paper's headline complexity win.
 
 from __future__ import annotations
 
-from dataclasses import dataclass
+from dataclasses import dataclass, replace
 from typing import Dict, List, Optional, Sequence, Tuple
 
 from repro.core.equilibrium import (
@@ -19,7 +19,8 @@ from repro.core.equilibrium import (
 )
 from repro.core.feature import FeatureVector
 from repro.core.occupancy import OccupancyModel
-from repro.errors import ConfigurationError
+from repro.core.solver_cache import CacheStats, EquilibriumCache
+from repro.errors import ConfigurationError, ConvergenceError
 
 
 @dataclass(frozen=True)
@@ -69,13 +70,28 @@ class PerformanceModel:
             predictions are for.
         strategy: Equilibrium solver strategy (``auto`` / ``newton`` /
             ``bisection``).
+        cache: Optional shared :class:`EquilibriumCache`.  Predictions
+            are memoised per sorted (name, frequency-ratio) multiset,
+            and cache misses warm-start Newton from the processes'
+            most recent equilibrium sizes.  Omitted, the model owns a
+            private cache; pass ``EquilibriumCache(max_entries=0)`` to
+            disable caching, or one shared instance to several models
+            (e.g. the per-domain models inside a
+            :class:`~repro.core.combined.CombinedModel`) to pool their
+            solutions.
     """
 
-    def __init__(self, ways: int, strategy: str = "auto"):
+    def __init__(
+        self,
+        ways: int,
+        strategy: str = "auto",
+        cache: Optional[EquilibriumCache] = None,
+    ):
         if ways < 1:
             raise ConfigurationError("ways must be >= 1")
         self.ways = ways
         self.strategy = strategy
+        self.cache = cache if cache is not None else EquilibriumCache()
         self._features: Dict[str, FeatureVector] = {}
         self._occupancy_cache: Dict[str, OccupancyModel] = {}
 
@@ -84,6 +100,11 @@ class PerformanceModel:
     # ------------------------------------------------------------------
     def register(self, feature: FeatureVector) -> None:
         """Register (or replace) a process's feature vector."""
+        if feature.name in self._features:
+            # Replacing a profile invalidates every cached solution
+            # that could involve it; cache keys deliberately do not
+            # carry profile contents, so drop everything.
+            self.cache.clear()
         self._features[feature.name] = feature
         # Occupancy tables are pure functions of the histogram; build
         # once per registration.
@@ -161,12 +182,61 @@ class PerformanceModel:
             raise ConfigurationError(
                 f"{len(names)} processes cannot share a {self.ways}-way cache"
             )
-        result = solve_equilibrium(
-            self._equilibrium_inputs(names, frequency_ratios),
-            self.ways,
-            strategy=self.strategy,
+        if frequency_ratios is None:
+            ratios: Tuple[float, ...] = (1.0,) * len(names)
+        else:
+            if len(frequency_ratios) != len(names):
+                raise ConfigurationError(
+                    "frequency_ratios must have one entry per process"
+                )
+            ratios = tuple(float(r) for r in frequency_ratios)
+        # The equilibrium is order-independent, so solve and cache in
+        # canonical (sorted) order and permute the solution back.
+        # Equal (name, ratio) duplicates are symmetric, making any
+        # consistent tie-break correct.
+        order = sorted(range(len(names)), key=lambda i: (names[i], ratios[i]))
+        canon_names = [names[i] for i in order]
+        canon_ratios = [ratios[i] for i in order]
+        key = (self.ways, self.strategy, tuple(zip(canon_names, canon_ratios)))
+        result = self.cache.get(key)
+        if result is None:
+            result = self._solve(canon_names, canon_ratios)
+            self.cache.put(key, result)
+            self.cache.record_sizes(canon_names, result.sizes)
+        # slot[i]: canonical position of original index i.
+        slot = [0] * len(order)
+        for pos, i in enumerate(order):
+            slot[i] = pos
+        restored = replace(
+            result,
+            sizes=tuple(result.sizes[slot[i]] for i in range(len(names))),
+            mpas=tuple(result.mpas[slot[i]] for i in range(len(names))),
+            spis=tuple(result.spis[slot[i]] for i in range(len(names))),
         )
-        return self._package(names, result)
+        return self._package(names, restored)
+
+    def _solve(
+        self, names: Sequence[str], ratios: Sequence[float]
+    ) -> EquilibriumResult:
+        """Solve one (canonically ordered) co-run, warm-starting Newton."""
+        inputs = self._equilibrium_inputs(names, ratios)
+        initial = self.cache.suggest_initial(names, self.ways)
+        try:
+            return solve_equilibrium(
+                inputs, self.ways, strategy=self.strategy, initial=initial
+            )
+        except ConvergenceError:
+            if initial is None:
+                raise
+            # A stale warm start can strand Newton in a bad basin;
+            # the cold proportional-demand start is the reference
+            # behaviour, so retry from it before giving up.
+            return solve_equilibrium(inputs, self.ways, strategy=self.strategy)
+
+    @property
+    def cache_stats(self) -> CacheStats:
+        """Hit/miss/eviction counters of the prediction cache."""
+        return self.cache.stats
 
     def predict_solo(self, name: str) -> ProcessPrediction:
         """Predicted steady state of a process running alone."""

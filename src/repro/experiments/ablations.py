@@ -18,8 +18,9 @@ from typing import TYPE_CHECKING, Dict, List, Optional, Sequence, Tuple
 import numpy as np
 
 from repro.analysis.errors import relative_error_pct
-from repro.core.equilibrium import BisectionSolver, NewtonSolver
+from repro.core.equilibrium import BisectionSolver, NewtonSolver, SolverTelemetry
 from repro.core.performance_model import PerformanceModel
+from repro.core.solver_cache import EquilibriumCache
 from repro.errors import ConvergenceError
 from repro.machine.simulator import MachineSimulation
 from repro.profiling.profiler import profile_process
@@ -40,6 +41,9 @@ class SolverCase:
     newton_seconds: float
     bisection_seconds: float
     newton_converged: bool
+    newton_telemetry: Optional[SolverTelemetry] = None
+    bisection_telemetry: Optional[SolverTelemetry] = None
+    newton_failure: Optional[str] = None
 
     @property
     def max_size_disagreement(self) -> float:
@@ -71,6 +75,24 @@ class SolverAblationResult:
         bisect = sum(c.bisection_seconds for c in self.cases if c.newton_converged)
         return bisect / newton if newton > 0 else float("nan")
 
+    @property
+    def mean_newton_iterations(self) -> float:
+        values = [
+            c.newton_telemetry.iterations
+            for c in self.cases
+            if c.newton_telemetry is not None
+        ]
+        return float(np.mean(values)) if values else float("nan")
+
+    @property
+    def max_residual_norm(self) -> float:
+        values = [
+            c.newton_telemetry.residual_norm
+            for c in self.cases
+            if c.newton_telemetry is not None
+        ]
+        return float(np.max(values)) if values else float("nan")
+
 
 def run_solver_ablation(
     context: "ExperimentContext",
@@ -86,12 +108,16 @@ def run_solver_ablation(
     for pair in pairs:
         inputs = model._equilibrium_inputs(list(pair))
         start = time.perf_counter()
+        newton_telemetry: Optional[SolverTelemetry] = None
+        newton_failure: Optional[str] = None
         try:
             newton = NewtonSolver().solve(inputs, ways)
             newton_sizes: Optional[Tuple[float, ...]] = newton.sizes
+            newton_telemetry = newton.telemetry
             converged = True
-        except ConvergenceError:
+        except ConvergenceError as err:
             newton_sizes = None
+            newton_failure = f"{err} (iterations={err.iterations})"
             converged = False
         newton_seconds = time.perf_counter() - start
         start = time.perf_counter()
@@ -105,9 +131,115 @@ def run_solver_ablation(
                 newton_seconds=newton_seconds,
                 bisection_seconds=bisection_seconds,
                 newton_converged=converged,
+                newton_telemetry=newton_telemetry,
+                bisection_telemetry=bisection.telemetry,
+                newton_failure=newton_failure,
             )
         )
     return SolverAblationResult(cases=tuple(cases))
+
+
+# ----------------------------------------------------------------------
+# Predict hot-path ablation (analytic vs finite-difference Jacobian)
+# ----------------------------------------------------------------------
+@dataclass(frozen=True)
+class PredictHotPathResult:
+    """Timing and agreement of the predict hot path on one co-run mix.
+
+    ``analytic_ms``/``fd_ms`` time the Newton solve itself with each
+    Jacobian mode; ``predict_ms`` times the full uncached
+    ``PerformanceModel.predict`` call; ``warm_predict_ms`` the same
+    call answered from a hot :class:`EquilibriumCache`.
+    """
+
+    mix: Tuple[str, ...]
+    contended: bool
+    analytic_ms: float
+    fd_ms: float
+    predict_ms: float
+    warm_predict_ms: float
+    max_abs_diff: float
+    cache_hit_rate: float
+    telemetry: Optional[SolverTelemetry]
+
+    @property
+    def jacobian_speedup(self) -> float:
+        return self.fd_ms / self.analytic_ms if self.analytic_ms > 0 else float("nan")
+
+    @property
+    def cached_speedup(self) -> float:
+        return (
+            self.predict_ms / self.warm_predict_ms
+            if self.warm_predict_ms > 0
+            else float("nan")
+        )
+
+
+def _median_ms(fn, repeats: int) -> float:
+    samples = []
+    for _ in range(repeats):
+        start = time.perf_counter()
+        fn()
+        samples.append(time.perf_counter() - start)
+    return float(np.median(samples)) * 1e3
+
+
+def run_predict_hot_path(
+    context: "ExperimentContext",
+    mix: Optional[Sequence[str]] = None,
+    repeats: int = 30,
+) -> PredictHotPathResult:
+    """Time the equilibrium hot path on a contended multi-process mix.
+
+    Compares the analytic-Jacobian Newton solve against the
+    finite-difference debug path (the pre-optimisation algorithm) and
+    verifies both land on the same partition; also times the full
+    ``predict`` call cold (cache disabled) and warm (cache hit).
+    """
+    if mix is None:
+        names = list(context.benchmark_names)
+        mix = tuple(names[:4]) if len(names) >= 4 else tuple(names)
+    mix = tuple(mix)
+    base = context.performance_model()
+    ways = base.ways
+    inputs = base._equilibrium_inputs(list(mix))
+
+    analytic_solver = NewtonSolver(jacobian="analytic")
+    fd_solver = NewtonSolver(jacobian="fd")
+    analytic = analytic_solver.solve(inputs, ways)
+    fd = fd_solver.solve(inputs, ways)
+    max_abs_diff = max(
+        max(abs(a - b) for a, b in zip(analytic.sizes, fd.sizes)),
+        max(abs(a - b) for a, b in zip(analytic.spis, fd.spis)),
+    )
+
+    analytic_ms = _median_ms(lambda: analytic_solver.solve(inputs, ways), repeats)
+    fd_ms = _median_ms(lambda: fd_solver.solve(inputs, ways), repeats)
+
+    # Full predict() timings: cold path with caching disabled, then
+    # the cache-hit path of a default model.
+    cold = PerformanceModel(
+        ways=ways, cache=EquilibriumCache(max_entries=0)
+    )
+    cold.register_all(list(context.feature_vectors().values()))
+    predict_ms = _median_ms(lambda: cold.predict(list(mix)), repeats)
+
+    warm = PerformanceModel(ways=ways)
+    warm.register_all(list(context.feature_vectors().values()))
+    warm.predict(list(mix))  # populate
+    warm_predict_ms = _median_ms(lambda: warm.predict(list(mix)), repeats)
+
+    return PredictHotPathResult(
+        mix=mix,
+        contended=analytic.contended,
+        analytic_ms=analytic_ms,
+        fd_ms=fd_ms,
+        predict_ms=predict_ms,
+        warm_predict_ms=warm_predict_ms,
+        max_abs_diff=float(max_abs_diff),
+        cache_hit_rate=warm.cache_stats.hit_rate,
+        telemetry=analytic.telemetry,
+    )
 
 
 # ----------------------------------------------------------------------

@@ -190,6 +190,46 @@ class TestThroughput:
         two = combined.estimate_assignment_throughput({0: ("gzip", "gzip")})
         assert two == pytest.approx(one, rel=0.01)  # same core, split in two
 
+    def test_uneven_per_core_counts_weighted_by_time_share(self, combined):
+        """Regression: combo averaging must equal explicit 1/k weighting.
+
+        With three processes on core 0 and one on core 1, the uniform
+        average over the three cross-core combinations has to weight
+        each core-0 process by 1/3 and twolf (present in every
+        combination) by 1.  An explicit per-process reconstruction
+        from the predicted operating points must therefore match the
+        model's estimate exactly.
+        """
+        assignment = {0: ("mcf", "gzip", "art"), 1: ("twolf",)}
+        estimated = combined.estimate_assignment_throughput(assignment)
+
+        perf = combined.performance_models[0]
+        core0 = ["mcf", "gzip", "art"]
+        expected = 0.0
+        twolf_points = []
+        for name in core0:
+            prediction = {
+                p.name: p for p in perf.predict([name, "twolf"]).processes
+            }
+            # Each core-0 process runs 1/3 of the time.
+            expected += prediction[name].ips / 3.0
+            twolf_points.append(prediction["twolf"].ips)
+        # twolf runs the whole time, averaged over its three partners.
+        expected += sum(twolf_points) / len(twolf_points)
+        assert estimated == pytest.approx(expected, rel=1e-9)
+
+    def test_uneven_counts_both_cores_time_shared(self, combined):
+        """Two on one core, one on the other: four combination weights."""
+        assignment = {0: ("mcf", "gzip"), 1: ("art", "twolf")}
+        estimated = combined.estimate_assignment_throughput(assignment)
+        perf = combined.performance_models[0]
+        expected = 0.0
+        combos = [(a, b) for a in ("mcf", "gzip") for b in ("art", "twolf")]
+        for a, b in combos:
+            prediction = {p.name: p for p in perf.predict([a, b]).processes}
+            expected += prediction[a].ips + prediction[b].ips
+        assert estimated == pytest.approx(expected / len(combos), rel=1e-9)
+
 
 class TestConstruction:
     def test_ways_mismatch_rejected(self, power_model, combined):

@@ -1,7 +1,9 @@
 """Unit tests for the equilibrium solvers (Section 3.3)."""
 
+import numpy as np
 import pytest
 
+import repro.core.equilibrium as equilibrium_module
 from repro.core.equilibrium import (
     BisectionSolver,
     EquilibriumProcess,
@@ -10,7 +12,7 @@ from repro.core.equilibrium import (
 )
 from repro.core.histogram import ReuseDistanceHistogram
 from repro.core.occupancy import OccupancyModel
-from repro.errors import ConfigurationError
+from repro.errors import ConfigurationError, ConvergenceError
 
 
 def make_process(probs, inf_mass, ways, api=0.05, alpha=5e-8, beta=2e-9):
@@ -44,7 +46,32 @@ class TestCapacityConstraint:
     def test_contended_sizes_sum_to_ways(self, heavy, strategy, light):
         result = solve_equilibrium([heavy, heavy, light], WAYS, strategy=strategy)
         assert result.contended
-        assert result.total_size == pytest.approx(WAYS, abs=1e-2)
+        assert abs(result.total_size - WAYS) <= 1e-9 * WAYS
+
+    @pytest.mark.parametrize("strategy", ["auto", "bisection"])
+    def test_capped_process_does_not_break_capacity(self, heavy, strategy):
+        """Regression: a saturating process used to leak capacity.
+
+        The old bisection finish rescaled all sizes proportionally and
+        clipped at each cap, silently dropping the clipped excess so
+        the sizes no longer summed to the associativity.  With a
+        finite-footprint process capped well below its proportional
+        share, the residual must be redistributed to the others.
+        (Newton cannot express this boundary equilibrium — G⁻¹ is
+        infinite at saturation — so ``auto`` lands on bisection here.)
+        """
+        tiny = make_process([0.7, 0.3], 0.0, WAYS, api=0.05)
+        cap = tiny.occupancy.saturation_size
+        assert cap < WAYS / 3  # genuinely capped
+        result = solve_equilibrium([heavy, heavy, tiny], WAYS, strategy=strategy)
+        assert result.contended
+        assert result.solver == "bisection"
+        assert abs(result.total_size - WAYS) <= 1e-9 * WAYS
+        assert result.sizes[2] <= cap + 1e-9
+        if strategy == "auto":
+            # A genuine (unmocked) Newton failure must be surfaced.
+            assert result.telemetry.fallback_reason is not None
+            assert "newton failed" in result.telemetry.fallback_reason
 
     def test_uncontended_keeps_footprints(self):
         # Finite footprints (no streaming mass) that fit together: the
@@ -109,6 +136,117 @@ class TestOutputs:
         tolerant = make_process([0.05] * 12, 0.4, WAYS, api=0.06, alpha=5e-9)
         result = solve_equilibrium([heavy, tolerant], WAYS)
         assert result.sizes[1] > result.sizes[0]
+
+
+class TestTelemetry:
+    def test_newton_telemetry_fields(self, heavy, light):
+        result = NewtonSolver().solve([heavy, heavy, light], WAYS)
+        telemetry = result.telemetry
+        assert telemetry is not None
+        assert telemetry.strategy == "newton"
+        assert telemetry.solver == "newton"
+        assert telemetry.jacobian == "analytic"
+        assert telemetry.iterations > 0
+        assert telemetry.residual_norm < 1e-6
+        assert not telemetry.warm_started
+        assert telemetry.fallback_reason is None
+
+    def test_fd_jacobian_mode_recorded(self, heavy, light):
+        result = NewtonSolver(jacobian="fd").solve([heavy, light], WAYS)
+        assert result.telemetry.jacobian == "fd"
+
+    def test_bisection_telemetry(self, heavy, light):
+        result = BisectionSolver().solve([heavy, heavy, light], WAYS)
+        telemetry = result.telemetry
+        assert telemetry.solver == "bisection"
+        assert telemetry.jacobian is None
+        assert telemetry.iterations > 0
+
+    def test_uncontended_telemetry_is_trivial(self):
+        finite = make_process([0.5, 0.3, 0.2], 0.0, WAYS, api=0.01)
+        result = solve_equilibrium([finite, finite], WAYS)
+        assert result.telemetry.iterations == 0
+        assert result.telemetry.residual_norm == 0.0
+
+    def test_auto_strategy_stamped(self, heavy, light):
+        result = solve_equilibrium([heavy, light], WAYS, strategy="auto")
+        assert result.telemetry.strategy == "auto"
+        assert result.telemetry.solver == "newton"
+
+    def test_warm_start_recorded(self, heavy, light):
+        result = NewtonSolver().solve(
+            [heavy, light], WAYS, initial=[WAYS / 2, WAYS / 2]
+        )
+        assert result.telemetry.warm_started
+        assert abs(result.total_size - WAYS) <= 1e-9 * WAYS
+
+    def test_invalid_jacobian_mode_rejected(self):
+        with pytest.raises(ConfigurationError):
+            NewtonSolver(jacobian="symbolic")
+
+    def test_analytic_jacobian_matches_fd_at_solution(self, heavy, light):
+        solver = NewtonSolver()
+        result = solver.solve([heavy, heavy, light], WAYS)
+        sizes = np.asarray(result.sizes)
+        analytic = solver.jacobian_analytic([heavy, heavy, light], sizes, WAYS)
+        fd = solver.jacobian_fd([heavy, heavy, light], sizes, WAYS)
+        assert np.allclose(analytic[0], 1.0)
+        assert np.allclose(analytic, fd, rtol=5e-3, atol=1e-6)
+
+
+class TestAutoFallback:
+    def test_fallback_reason_recorded(self, heavy, light, monkeypatch):
+        """When Newton fails, auto surfaces why in the telemetry."""
+
+        def failing_solve(self, processes, total_ways, initial=None):
+            raise ConvergenceError(
+                "forced failure", iterations=7, residual=1.23
+            )
+
+        monkeypatch.setattr(
+            equilibrium_module.NewtonSolver, "solve", failing_solve
+        )
+        result = solve_equilibrium([heavy, light], WAYS, strategy="auto")
+        assert result.solver == "bisection"
+        telemetry = result.telemetry
+        assert telemetry.strategy == "auto"
+        assert telemetry.fallback_reason is not None
+        assert "forced failure" in telemetry.fallback_reason
+        assert "7 iterations" in telemetry.fallback_reason
+
+    def test_double_failure_chains_newton_error(self, heavy, light, monkeypatch):
+        """Regression: the Newton error used to be silently discarded."""
+
+        def newton_fails(self, processes, total_ways, initial=None):
+            raise ConvergenceError("newton exploded", iterations=3, residual=9.9)
+
+        def bisection_fails(self, processes, total_ways):
+            raise ConvergenceError("bracket lost", iterations=11)
+
+        monkeypatch.setattr(
+            equilibrium_module.NewtonSolver, "solve", newton_fails
+        )
+        monkeypatch.setattr(
+            equilibrium_module.BisectionSolver, "solve", bisection_fails
+        )
+        with pytest.raises(ConvergenceError) as excinfo:
+            solve_equilibrium([heavy, light], WAYS, strategy="auto")
+        # Both diagnostics in the message, Newton error on the chain.
+        assert "newton exploded" in str(excinfo.value)
+        assert "bracket lost" in str(excinfo.value)
+        cause = excinfo.value.__cause__
+        assert isinstance(cause, ConvergenceError)
+        assert cause.iterations == 3
+
+    def test_newton_strategy_propagates_error(self, heavy, light, monkeypatch):
+        def newton_fails(self, processes, total_ways, initial=None):
+            raise ConvergenceError("newton exploded", iterations=3)
+
+        monkeypatch.setattr(
+            equilibrium_module.NewtonSolver, "solve", newton_fails
+        )
+        with pytest.raises(ConvergenceError, match="newton exploded"):
+            solve_equilibrium([heavy, light], WAYS, strategy="newton")
 
 
 class TestValidation:
