@@ -6,7 +6,7 @@ reports the rank correlation and the regret of trusting the model's
 choice.
 """
 
-from conftest import QUICK, once, report
+from conftest import once, report
 
 from repro.experiments.assignment_quality import run_assignment_quality
 

@@ -1,0 +1,141 @@
+"""Overhead of the observability layer on the predict hot path.
+
+The obs wiring follows one convention everywhere: the instrumented
+public entry point reads the installed observer, and when it is the
+disabled ``NULL_OBSERVER`` it immediately tail-calls the
+uninstrumented ``_impl`` — so the disabled-path cost is exactly one
+global read plus one attribute check per call.  This bench prices
+that cost on ``PerformanceModel.predict`` (the call the assignment
+search makes thousands of times) against ``_predict_impl``, warm
+(cache hit) and cold (full Newton solve), and asserts it stays under
+5 %.  The enabled-observer cost is reported for context but not
+bounded: turning tracing on is an explicit opt-in.
+"""
+
+import statistics
+import time
+
+from conftest import QUICK, once, report
+
+from repro.analysis.tables import render_table
+from repro.core.feature import FeatureVector
+from repro.core.performance_model import PerformanceModel
+from repro.core.solver_cache import EquilibriumCache
+from repro.obs import Observer, use_observer
+from repro.workloads.spec import BENCHMARKS
+
+MIX = ["mcf", "art", "gzip", "vpr"]
+
+
+def _model(ways: int = 16, cached: bool = True) -> PerformanceModel:
+    cache = None if cached else EquilibriumCache(max_entries=0)
+    model = (
+        PerformanceModel(ways=ways)
+        if cache is None
+        else PerformanceModel(ways=ways, cache=cache)
+    )
+    model.register_all(
+        [FeatureVector.oracle(BENCHMARKS[name], 2e8) for name in MIX]
+    )
+    return model
+
+
+def _paired_overhead(fn_a, fn_b, samples: int, calls: int):
+    """``(median a/b ratio, best per-call b µs)`` of two closures.
+
+    The two closures run back to back inside each round, so clock
+    drift (governor ramps, noisy neighbours) hits both halves of a
+    pair about equally and cancels in the per-round ratio; the median
+    over rounds then discards rounds where a preemption landed inside
+    one half.  Alternating the order each round cancels any fixed
+    first-runner bias.  This is far more stable than comparing two
+    independently-taken medians on a shared machine.
+    """
+    ratios, b_times = [], []
+    for round_idx in range(samples + 1):
+        first, second = (fn_a, fn_b) if round_idx % 2 else (fn_b, fn_a)
+        start = time.perf_counter()
+        for _ in range(calls):
+            first()
+        t_first = time.perf_counter() - start
+        start = time.perf_counter()
+        for _ in range(calls):
+            second()
+        t_second = time.perf_counter() - start
+        if round_idx == 0:
+            continue  # warm-up round: caches, allocator, governor
+        a, b = (t_first, t_second) if round_idx % 2 else (t_second, t_first)
+        ratios.append(a / b)
+        b_times.append(b)
+    return statistics.median(ratios), min(b_times) * 1e6 / calls
+
+
+def _measure():
+    samples = 11 if QUICK else 31
+
+    # Warm path: cache hit, so the wrapper is the largest relative cost.
+    warm = _model(cached=True)
+    warm.predict(MIX)  # populate the cache
+    warm_ratio, warm_base_us = _paired_overhead(
+        lambda: warm.predict(MIX),
+        lambda: warm._predict_impl(MIX),
+        samples,
+        calls=60 if QUICK else 200,
+    )
+
+    # Cold path: every call runs the full Newton solve.
+    cold = _model(cached=False)
+    cold_ratio, cold_base_us = _paired_overhead(
+        lambda: cold.predict(MIX),
+        lambda: cold._predict_impl(MIX),
+        samples,
+        calls=3 if QUICK else 10,
+    )
+
+    # Enabled cost, for context only (tracing is an explicit opt-in).
+    observer = Observer()
+    with use_observer(observer):
+        start = time.perf_counter()
+        calls = 60 if QUICK else 200
+        for _ in range(calls):
+            warm.predict(MIX)
+        enabled_us = (time.perf_counter() - start) * 1e6 / calls
+    spans = len(observer.tracer.finished)
+
+    return {
+        "warm": (warm_ratio, warm_base_us),
+        "cold": (cold_ratio, cold_base_us),
+        "enabled_us": enabled_us,
+        "enabled_spans": spans,
+    }
+
+
+def test_obs_overhead_disabled_under_5pct(benchmark):
+    result = once(benchmark, _measure)
+    warm_ratio, warm_base = result["warm"]
+    cold_ratio, cold_base = result["cold"]
+    warm_pct = (warm_ratio - 1.0) * 100.0
+    cold_pct = (cold_ratio - 1.0) * 100.0
+
+    lines = [
+        render_table(
+            ["Path", "_predict_impl() (us)", "Overhead (%)"],
+            [
+                ("warm (cache hit)", warm_base, warm_pct),
+                ("cold (Newton solve)", cold_base, cold_pct),
+            ],
+            title=f"Observability overhead on predict({'+'.join(MIX)}), "
+            "observer disabled",
+            float_format="{:.3g}",
+        ),
+        "",
+        f"Enabled observer (warm path): {result['enabled_us']:.1f} us/call, "
+        f"{result['enabled_spans']} spans recorded",
+    ]
+    report("obs_overhead", "\n".join(lines))
+
+    # The ISSUE's acceptance bar: the disabled observability layer
+    # costs < 5 % on the predict hot path.  Negative values are timer
+    # noise (the wrapper measured *faster* than the impl).
+    assert warm_pct < 5.0, f"warm-path overhead {warm_pct:.2f} % >= 5 %"
+    assert cold_pct < 5.0, f"cold-path overhead {cold_pct:.2f} % >= 5 %"

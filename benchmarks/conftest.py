@@ -17,7 +17,7 @@ import pathlib
 import pytest
 
 from repro.experiments.context import get_context
-from repro.workloads.spec import PAPER_EIGHT, PAPER_TEN
+from repro.workloads.spec import PAPER_TEN
 
 RESULTS_DIR = pathlib.Path(__file__).parent / "results"
 

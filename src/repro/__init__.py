@@ -16,10 +16,25 @@ The package is organised as:
 - :mod:`repro.profiling` — automated stressmark-based profiling.
 - :mod:`repro.analysis` — error metrics and table rendering.
 - :mod:`repro.experiments` — one driver per paper table/figure.
+- :mod:`repro.api` — one-stop facade (re-exported here): the
+  :func:`profile_suite` → :func:`predict_mix` / :func:`train_power` →
+  :func:`pick_assignment` pipeline with frozen result bundles.
+- :mod:`repro.obs` — opt-in tracing + metrics over the whole pipeline.
 
 See ``examples/quickstart.py`` for an end-to-end walkthrough.
 """
 
+from repro.api import (
+    AssignmentPick,
+    MixPrediction,
+    PowerTrainingResult,
+    ProfileSuiteResult,
+    load_suite,
+    pick_assignment,
+    predict_mix,
+    profile_suite,
+    train_power,
+)
 from repro.config import CacheGeometry, SimulationScale
 from repro.errors import (
     ConfigurationError,
@@ -41,5 +56,14 @@ __all__ = [
     "ProfilingError",
     "ModelNotFittedError",
     "SimulationError",
+    "ProfileSuiteResult",
+    "MixPrediction",
+    "PowerTrainingResult",
+    "AssignmentPick",
+    "profile_suite",
+    "predict_mix",
+    "train_power",
+    "pick_assignment",
+    "load_suite",
     "__version__",
 ]

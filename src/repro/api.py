@@ -1,0 +1,351 @@
+"""One-stop facade over the paper's full methodology.
+
+The library's workflows span several subsystems (profiling, the
+performance model, power training, assignment search).  This module
+exposes each as a single function returning a frozen result bundle, so
+scripts, notebooks and the CLI all drive the same four entry points:
+
+- :func:`profile_suite` — stressmark-profile benchmarks on a machine,
+- :func:`predict_mix` — price a co-run combination from profiles,
+- :func:`train_power` — fit the Eq. 9 power model for a machine,
+- :func:`pick_assignment` — search for the best process-to-core map.
+
+Every result type round-trips through plain JSON via ``to_dict()`` /
+``from_dict()`` (converters live in :mod:`repro.io`), and all functions
+honour the process-wide observer installed with
+:func:`repro.obs.use_observer`.
+"""
+
+from __future__ import annotations
+
+import pathlib
+from dataclasses import dataclass
+from typing import Dict, Optional, Sequence, Tuple, Union
+
+from repro.config import (
+    BENCH_SCALE,
+    PROFILE_SCALE,
+    SimulationScale,
+    TEST_SCALE,
+)
+from repro.core.assignment import (
+    AssignmentDecision,
+    exhaustive_assignment,
+    greedy_assignment,
+)
+from repro.core.combined import CombinedModel
+from repro.core.feature import FeatureVector, ProfileVector
+from repro.core.performance_model import CoRunPrediction, PerformanceModel
+from repro.core.power_model import CorePowerModel
+from repro.errors import ConfigurationError
+from repro.machine.topology import STANDARD_MACHINES
+from repro.workloads.spec import BENCHMARKS
+
+Pathish = Union[str, pathlib.Path]
+
+__all__ = [
+    "ProfileSuiteResult",
+    "MixPrediction",
+    "PowerTrainingResult",
+    "AssignmentPick",
+    "profile_suite",
+    "predict_mix",
+    "train_power",
+    "pick_assignment",
+    "load_suite",
+]
+
+
+# ----------------------------------------------------------------------
+# Result bundles
+# ----------------------------------------------------------------------
+@dataclass(frozen=True)
+class ProfileSuiteResult:
+    """Everything :func:`profile_suite` learned about a benchmark set."""
+
+    machine: str
+    features: Dict[str, FeatureVector]
+    profiles: Dict[str, ProfileVector]
+
+    @property
+    def names(self) -> Tuple[str, ...]:
+        return tuple(sorted(self.features))
+
+    def to_dict(self) -> dict:
+        from repro.io import profile_suite_result_to_dict
+
+        return profile_suite_result_to_dict(self)
+
+    @classmethod
+    def from_dict(cls, data: dict) -> "ProfileSuiteResult":
+        from repro.io import profile_suite_result_from_dict
+
+        return profile_suite_result_from_dict(data)
+
+    def save(self, path: Pathish) -> None:
+        """Write the suite to JSON (loadable by :func:`load_suite`)."""
+        from repro.io import save_json
+
+        save_json(self.to_dict(), path)
+
+
+@dataclass(frozen=True)
+class MixPrediction:
+    """Predicted co-run steady state from :func:`predict_mix`."""
+
+    ways: int
+    names: Tuple[str, ...]
+    prediction: CoRunPrediction
+
+    def to_dict(self) -> dict:
+        from repro.io import mix_prediction_to_dict
+
+        return mix_prediction_to_dict(self)
+
+    @classmethod
+    def from_dict(cls, data: dict) -> "MixPrediction":
+        from repro.io import mix_prediction_from_dict
+
+        return mix_prediction_from_dict(data)
+
+
+@dataclass(frozen=True)
+class PowerTrainingResult:
+    """Fitted Eq. 9 model plus its training provenance."""
+
+    machine: str
+    model: CorePowerModel
+    training_windows: int
+    r_squared: float
+
+    def to_dict(self) -> dict:
+        from repro.io import power_training_result_to_dict
+
+        return power_training_result_to_dict(self)
+
+    @classmethod
+    def from_dict(cls, data: dict) -> "PowerTrainingResult":
+        from repro.io import power_training_result_from_dict
+
+        return power_training_result_from_dict(data)
+
+    def save(self, path: Pathish) -> None:
+        """Write just the fitted model to JSON (io conventions)."""
+        from repro.io import save_power_model
+
+        save_power_model(self.model, path)
+
+
+@dataclass(frozen=True)
+class AssignmentPick:
+    """Outcome of :func:`pick_assignment`."""
+
+    machine: str
+    strategy: str
+    decision: AssignmentDecision
+
+    @property
+    def assignment(self) -> Dict[int, Tuple[str, ...]]:
+        return self.decision.assignment
+
+    def to_dict(self) -> dict:
+        from repro.io import assignment_pick_to_dict
+
+        return assignment_pick_to_dict(self)
+
+    @classmethod
+    def from_dict(cls, data: dict) -> "AssignmentPick":
+        from repro.io import assignment_pick_from_dict
+
+        return assignment_pick_from_dict(data)
+
+
+# ----------------------------------------------------------------------
+# Helpers
+# ----------------------------------------------------------------------
+def _topology(machine: str, sets: int):
+    try:
+        factory = STANDARD_MACHINES[machine]
+    except KeyError:
+        raise ConfigurationError(
+            f"unknown machine {machine!r}; choose from {sorted(STANDARD_MACHINES)}"
+        ) from None
+    return factory(sets=sets)
+
+
+def _resolve_benchmarks(names: Optional[Sequence[str]]):
+    if names is None:
+        names = sorted(BENCHMARKS)
+    unknown = [n for n in names if n not in BENCHMARKS]
+    if unknown:
+        raise ConfigurationError(
+            f"unknown benchmarks {unknown}; available: {sorted(BENCHMARKS)}"
+        )
+    return [BENCHMARKS[n] for n in names]
+
+
+def _resolve_suite(
+    suite: Union["ProfileSuiteResult", Pathish]
+) -> "ProfileSuiteResult":
+    """Accept a result bundle or a path to a saved suite."""
+    if isinstance(suite, ProfileSuiteResult):
+        return suite
+    return load_suite(suite)
+
+
+def load_suite(path: Pathish) -> ProfileSuiteResult:
+    """Load a suite saved by the facade or by ``save_profile_suite``.
+
+    Both writers emit ``kind: profile_suite`` documents; the facade
+    additionally records the machine name (absent → empty string).
+    """
+    from repro.io import load_json, profile_suite_result_from_dict
+
+    return profile_suite_result_from_dict(load_json(path))
+
+
+# ----------------------------------------------------------------------
+# Facade entry points
+# ----------------------------------------------------------------------
+def profile_suite(
+    names: Optional[Sequence[str]] = None,
+    machine: str = "4-core-server",
+    *,
+    sets: int = 128,
+    seed: int = 42,
+    power: bool = False,
+    quick: bool = False,
+    scale: Optional[SimulationScale] = None,
+) -> ProfileSuiteResult:
+    """Stressmark-profile benchmarks on a machine (paper Section 3.4).
+
+    Args:
+        names: Benchmark names (default: the full synthetic suite).
+        machine: A :data:`STANDARD_MACHINES` name.
+        sets: Cache set scaling.
+        seed: Master RNG seed.
+        power: Also measure P_alone (required by the combined model).
+        quick: Use tiny simulation budgets (fast, less accurate).
+        scale: Explicit simulation scale (overrides ``quick``).
+    """
+    from repro.machine.simulator import PowerEnvironment
+    from repro.profiling.profiler import profile_suite as run_profiling
+
+    topology = _topology(machine, sets)
+    benchmarks = _resolve_benchmarks(names)
+    if scale is None:
+        scale = TEST_SCALE if quick else PROFILE_SCALE
+    power_env = (
+        PowerEnvironment.for_topology(topology, seed=seed) if power else None
+    )
+    results = run_profiling(
+        benchmarks, topology, scale=scale, seed=seed, power_env=power_env
+    )
+    return ProfileSuiteResult(
+        machine=machine,
+        features={p.feature.name: p.feature for p in results},
+        profiles={p.profile.name: p.profile for p in results},
+    )
+
+
+def predict_mix(
+    names: Sequence[str],
+    suite: Union[ProfileSuiteResult, Pathish],
+    *,
+    ways: int,
+    strategy: str = "auto",
+) -> MixPrediction:
+    """Price a co-run combination from saved profiles (Section 3.3).
+
+    Args:
+        names: Processes sharing the cache (duplicates allowed).
+        suite: A :class:`ProfileSuiteResult` or path to a saved suite.
+        ways: Associativity of the shared cache being modelled.
+        strategy: Equilibrium solver strategy.
+    """
+    resolved = _resolve_suite(suite)
+    model = PerformanceModel(ways=ways, strategy=strategy)
+    model.register_all(list(resolved.features.values()))
+    prediction = model.predict(list(names))
+    return MixPrediction(ways=ways, names=tuple(names), prediction=prediction)
+
+
+def train_power(
+    machine: str = "4-core-server",
+    *,
+    sets: int = 128,
+    seed: int = 42,
+    quick: bool = False,
+) -> PowerTrainingResult:
+    """Train the Eq. 9 per-core power model for a machine (Section 4).
+
+    Uses the shared :class:`~repro.experiments.context.ExperimentContext`
+    cache, so repeated calls with the same configuration are free.
+    """
+    from repro.experiments.context import get_context
+
+    if machine not in STANDARD_MACHINES:
+        raise ConfigurationError(
+            f"unknown machine {machine!r}; choose from {sorted(STANDARD_MACHINES)}"
+        )
+    profile_scale = TEST_SCALE if quick else PROFILE_SCALE
+    run_scale = TEST_SCALE if quick else BENCH_SCALE
+    context = get_context(
+        machine=machine,
+        sets=sets,
+        seed=seed,
+        profile_scale=profile_scale,
+        run_scale=run_scale,
+    )
+    model = context.power_model()
+    return PowerTrainingResult(
+        machine=machine,
+        model=model,
+        training_windows=len(context.training_set()),
+        r_squared=model.r_squared,
+    )
+
+
+def pick_assignment(
+    names: Sequence[str],
+    suite: Union[ProfileSuiteResult, Pathish],
+    power_model: Union[CorePowerModel, Pathish],
+    machine: str = "4-core-server",
+    *,
+    sets: int = 128,
+    objective: str = "power",
+    greedy: bool = False,
+) -> AssignmentPick:
+    """Pick the best process-to-core mapping from profiles (Section 6).
+
+    Args:
+        names: Processes to place (duplicates allowed).
+        suite: A :class:`ProfileSuiteResult` or path to a saved suite.
+        power_model: A fitted :class:`CorePowerModel` or path to one.
+        machine: Target machine name.
+        sets: Cache set scaling.
+        objective: ``power`` / ``throughput`` / ``energy_per_instruction``.
+        greedy: Use the O(k·N) greedy searcher instead of exhaustive.
+    """
+    from repro.io import load_power_model
+
+    topology = _topology(machine, sets)
+    resolved = _resolve_suite(suite)
+    if not isinstance(power_model, CorePowerModel):
+        power_model = load_power_model(power_model)
+    ways = topology.domains[0].geometry.ways
+    perf = PerformanceModel(ways=ways)
+    perf.register_all(list(resolved.features.values()))
+    combined = CombinedModel(
+        topology=topology,
+        performance_models=[perf],
+        power_model=power_model,
+        profiles=resolved.profiles,
+    )
+    searcher = greedy_assignment if greedy else exhaustive_assignment
+    decision = searcher(combined, list(names), objective=objective)
+    return AssignmentPick(
+        machine=machine,
+        strategy="greedy" if greedy else "exhaustive",
+        decision=decision,
+    )

@@ -1,6 +1,6 @@
 """Command-line interface: ``python -m repro <command>``.
 
-Wraps the library's main workflows so the paper's methodology can be
+Wraps the :mod:`repro.api` facade so the paper's methodology can be
 driven without writing Python:
 
 - ``machines`` / ``benchmarks`` — list what is available.
@@ -10,6 +10,11 @@ driven without writing Python:
 - ``run`` — simulate an assignment and report measured ground truth.
 - ``assign`` — pick the best process-to-core mapping from profiles.
 - ``experiment`` — regenerate one paper table/figure.
+
+``profile``, ``predict``, ``run`` and ``assign`` accept ``--trace
+FILE`` and ``--metrics FILE``: the command then runs under a live
+:class:`repro.obs.Observer` and its spans / metric registry are
+written as JSON when the command finishes (even on failure).
 """
 
 from __future__ import annotations
@@ -45,6 +50,14 @@ def _parse_assignment(specs: Sequence[str]) -> Dict[int, Tuple[str, ...]]:
         for name in names:
             if name not in BENCHMARKS:
                 raise ValueError(f"unknown benchmark {name!r}")
+        if core in assignment:
+            # Silently keeping the last fragment would drop workloads
+            # the user asked for; make the conflict loud instead.
+            raise ValueError(
+                f"core {core} assigned twice ({'+'.join(assignment[core])} "
+                f"and {'+'.join(names)}); merge into one "
+                f"{core}=name[,name] fragment"
+            )
         assignment[core] = names
     return assignment
 
@@ -53,6 +66,24 @@ def _parse_assignment(specs: Sequence[str]) -> Dict[int, Tuple[str, ...]]:
 # Commands
 # ----------------------------------------------------------------------
 def cmd_machines(args: argparse.Namespace) -> int:
+    if getattr(args, "as_json", False):
+        machines = {}
+        for name, factory in sorted(STANDARD_MACHINES.items()):
+            topo = factory(sets=args.sets)
+            machines[name] = {
+                "cores": topo.num_cores,
+                "frequency_hz": topo.frequency_hz,
+                "domains": [
+                    {
+                        "cores": list(d.core_ids),
+                        "ways": d.geometry.ways,
+                        "sets": d.geometry.sets,
+                    }
+                    for d in topo.domains
+                ],
+            }
+        print(json.dumps({"machines": machines}, indent=2, sort_keys=True))
+        return 0
     rows = []
     for name, factory in sorted(STANDARD_MACHINES.items()):
         topo = factory(sets=args.sets)
@@ -89,52 +120,42 @@ def cmd_benchmarks(args: argparse.Namespace) -> int:
 
 
 def cmd_profile(args: argparse.Namespace) -> int:
-    from repro.io import save_profile_suite
-    from repro.machine.simulator import PowerEnvironment
-    from repro.profiling.profiler import profile_suite
+    from repro.api import profile_suite
 
-    topology = STANDARD_MACHINES[args.machine](sets=args.sets)
     names = args.names or sorted(BENCHMARKS)
-    power_env = (
-        PowerEnvironment.for_topology(topology, seed=args.seed) if args.power else None
-    )
-    print(f"Profiling {len(names)} benchmarks on {topology.name} "
+    print(f"Profiling {len(names)} benchmarks on {args.machine} "
           f"({'with' if args.power else 'without'} P_alone)...", file=sys.stderr)
     profile_scale, _ = _scales(args)
-    profiles = profile_suite(
-        [BENCHMARKS[n] for n in names],
-        topology,
-        scale=profile_scale,
+    result = profile_suite(
+        names,
+        machine=args.machine,
+        sets=args.sets,
         seed=args.seed,
-        power_env=power_env,
+        power=args.power,
+        scale=profile_scale,
     )
-    save_profile_suite(
-        {p.feature.name: p.feature for p in profiles},
-        {p.profile.name: p.profile for p in profiles},
-        args.out,
-    )
-    print(f"Wrote {len(profiles)} profiles to {args.out}")
+    result.save(args.out)
+    print(f"Wrote {len(result.features)} profiles to {args.out}")
     return 0
 
 
 def cmd_predict(args: argparse.Namespace) -> int:
-    from repro.core.performance_model import PerformanceModel
-    from repro.io import load_profile_suite
+    from repro.api import predict_mix
 
-    features, _ = load_profile_suite(args.suite)
-    model = PerformanceModel(ways=args.ways)
-    model.register_all(list(features.values()))
-    prediction = model.predict(args.names)
+    mix = predict_mix(args.names, args.suite, ways=args.ways)
+    if getattr(args, "as_json", False):
+        print(json.dumps(mix.to_dict(), indent=2, sort_keys=True))
+        return 0
     rows = [
         (p.name, p.effective_size, p.mpa, p.spi, p.ips)
-        for p in prediction.processes
+        for p in mix.prediction.processes
     ]
     print(
         render_table(
             ["Process", "Eff. size (ways)", "MPA", "SPI (s)", "IPS"],
             rows,
             title=f"Co-run prediction on a {args.ways}-way shared cache "
-            f"(solver: {prediction.solver})",
+            f"(solver: {mix.prediction.solver})",
             float_format="{:.4g}",
         )
     )
@@ -142,21 +163,18 @@ def cmd_predict(args: argparse.Namespace) -> int:
 
 
 def cmd_train_power(args: argparse.Namespace) -> int:
-    from repro.experiments.context import get_context
-    from repro.io import save_power_model
+    from repro.api import train_power
 
-    profile_scale, run_scale = _scales(args)
-    context = get_context(
-        machine=args.machine,
+    print(f"Training Eq. 9 power model for {args.machine}...", file=sys.stderr)
+    result = train_power(
+        args.machine,
         sets=args.sets,
         seed=args.seed,
-        profile_scale=profile_scale,
-        run_scale=run_scale,
+        quick=getattr(args, "quick", False),
     )
-    print(f"Training Eq. 9 power model for {args.machine}...", file=sys.stderr)
-    model = context.power_model()
-    save_power_model(model, args.out)
-    print(f"R^2 = {model.r_squared:.4f}, P_idle/core = {model.p_idle:.2f} W")
+    result.save(args.out)
+    print(f"R^2 = {result.r_squared:.4f}, "
+          f"P_idle/core = {result.model.p_idle:.2f} W")
     print(f"Wrote model to {args.out}")
     return 0
 
@@ -197,36 +215,18 @@ def cmd_run(args: argparse.Namespace) -> int:
 
 
 def cmd_assign(args: argparse.Namespace) -> int:
-    from repro.core.assignment import exhaustive_assignment, greedy_assignment
-    from repro.core.combined import CombinedModel
-    from repro.core.performance_model import PerformanceModel
-    from repro.io import load_power_model, load_profile_suite
+    from repro.api import pick_assignment
 
-    topology = STANDARD_MACHINES[args.machine](sets=args.sets)
-    features, profiles = load_profile_suite(args.suite)
-    power_model = load_power_model(args.power_model)
-    ways = topology.domains[0].geometry.ways
-    perf = PerformanceModel(ways=ways)
-    perf.register_all(list(features.values()))
-    combined = CombinedModel(
-        topology=topology,
-        performance_models=[perf],
-        power_model=power_model,
-        profiles=profiles,
+    pick = pick_assignment(
+        args.names,
+        args.suite,
+        args.power_model,
+        machine=args.machine,
+        sets=args.sets,
+        objective=args.objective,
+        greedy=args.greedy,
     )
-    searcher = greedy_assignment if args.greedy else exhaustive_assignment
-    decision = searcher(combined, args.names, objective=args.objective)
-    layout = {core: list(names) for core, names in decision.assignment.items()}
-    print(json.dumps(
-        {
-            "assignment": {str(c): n for c, n in layout.items()},
-            "predicted_watts": decision.predicted_watts,
-            "predicted_ips": decision.predicted_ips,
-            "objective": decision.objective,
-            "candidates_evaluated": decision.candidates_evaluated,
-        },
-        indent=2,
-    ))
+    print(json.dumps(pick.to_dict(), indent=2, sort_keys=True))
     return 0
 
 
@@ -268,6 +268,17 @@ def cmd_experiment(args: argparse.Namespace) -> int:
 # ----------------------------------------------------------------------
 # Parser
 # ----------------------------------------------------------------------
+def _add_obs_flags(parser: argparse.ArgumentParser) -> None:
+    parser.add_argument(
+        "--trace", metavar="FILE", default=None,
+        help="write a JSON span trace of the command to FILE",
+    )
+    parser.add_argument(
+        "--metrics", metavar="FILE", default=None,
+        help="write the command's JSON metrics registry to FILE",
+    )
+
+
 def build_parser() -> argparse.ArgumentParser:
     parser = argparse.ArgumentParser(
         prog="repro",
@@ -281,9 +292,12 @@ def build_parser() -> argparse.ArgumentParser:
     parser.add_argument("--seed", type=int, default=42, help="master RNG seed")
     commands = parser.add_subparsers(dest="command", required=True)
 
-    commands.add_parser("machines", help="list machine topologies").set_defaults(
-        func=cmd_machines
+    machines = commands.add_parser("machines", help="list machine topologies")
+    machines.add_argument(
+        "--json", dest="as_json", action="store_true",
+        help="emit machine descriptions as JSON",
     )
+    machines.set_defaults(func=cmd_machines)
     commands.add_parser("benchmarks", help="list synthetic benchmarks").set_defaults(
         func=cmd_benchmarks
     )
@@ -292,12 +306,18 @@ def build_parser() -> argparse.ArgumentParser:
     profile.add_argument("--machine", choices=sorted(STANDARD_MACHINES), required=True)
     profile.add_argument("--out", required=True, help="output JSON path")
     profile.add_argument("--power", action="store_true", help="also measure P_alone")
+    _add_obs_flags(profile)
     profile.add_argument("names", nargs="*", help="benchmarks (default: all)")
     profile.set_defaults(func=cmd_profile)
 
     predict = commands.add_parser("predict", help="predict a co-run from profiles")
     predict.add_argument("--suite", required=True, help="profile-suite JSON")
     predict.add_argument("--ways", type=int, required=True)
+    predict.add_argument(
+        "--json", dest="as_json", action="store_true",
+        help="emit the prediction as JSON instead of a table",
+    )
+    _add_obs_flags(predict)
     predict.add_argument("names", nargs="+")
     predict.set_defaults(func=cmd_predict)
 
@@ -309,6 +329,7 @@ def build_parser() -> argparse.ArgumentParser:
     run = commands.add_parser("run", help="simulate an assignment")
     run.add_argument("--machine", choices=sorted(STANDARD_MACHINES), required=True)
     run.add_argument("--power", action="store_true")
+    _add_obs_flags(run)
     run.add_argument("assign", nargs="+", help="core=name[,name] fragments")
     run.set_defaults(func=cmd_run)
 
@@ -322,6 +343,7 @@ def build_parser() -> argparse.ArgumentParser:
         default="power",
     )
     assign.add_argument("--greedy", action="store_true")
+    _add_obs_flags(assign)
     assign.add_argument("names", nargs="+")
     assign.set_defaults(func=cmd_assign)
 
@@ -336,8 +358,28 @@ def build_parser() -> argparse.ArgumentParser:
 def main(argv: Optional[Sequence[str]] = None) -> int:
     parser = build_parser()
     args = parser.parse_args(argv)
+    trace_path = getattr(args, "trace", None)
+    metrics_path = getattr(args, "metrics", None)
+    observer = None
+    if trace_path or metrics_path:
+        from repro import obs
+
+        observer = obs.Observer()
     try:
-        return args.func(args)
+        if observer is None:
+            return args.func(args)
+        from repro.obs import use_observer
+
+        try:
+            with use_observer(observer):
+                return args.func(args)
+        finally:
+            # Export even when the command failed: a trace of the
+            # failing run is exactly what one wants to look at.
+            if trace_path:
+                observer.write_trace(trace_path)
+            if metrics_path:
+                observer.write_metrics(metrics_path)
     except (ReproError, ValueError, OSError) as error:
         print(f"error: {error}", file=sys.stderr)
         return 2

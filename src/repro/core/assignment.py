@@ -20,6 +20,7 @@ from typing import Callable, Dict, List, Mapping, Optional, Sequence, Tuple
 
 from repro.core.combined import Assignment, CombinedModel
 from repro.errors import ConfigurationError
+from repro.obs import get_observer
 
 #: Objective functions mapping (power_watts, throughput_ips) -> score
 #: to be *minimised*.
@@ -40,6 +41,18 @@ class AssignmentDecision:
     objective: str
     score: float
     candidates_evaluated: int
+
+    def to_dict(self) -> dict:
+        """Plain-JSON representation (see :mod:`repro.io`)."""
+        from repro.io import assignment_decision_to_dict
+
+        return assignment_decision_to_dict(self)
+
+    @classmethod
+    def from_dict(cls, data: dict) -> "AssignmentDecision":
+        from repro.io import assignment_decision_from_dict
+
+        return assignment_decision_from_dict(data)
 
 
 def _score(model: CombinedModel, assignment: Assignment, objective: str) -> Tuple[float, float, float]:
@@ -82,6 +95,29 @@ def exhaustive_assignment(
         )
     if not process_names:
         raise ConfigurationError("need at least one process to assign")
+    observer = get_observer()
+    if not observer.enabled:
+        return _exhaustive_impl(model, process_names, objective, max_per_core)
+    with observer.span(
+        "assign.exhaustive",
+        processes=len(process_names),
+        objective=objective,
+    ) as span:
+        decision = _exhaustive_impl(model, process_names, objective, max_per_core)
+        span.annotate(
+            candidates=decision.candidates_evaluated, score=decision.score
+        )
+        observer.counter("assign.searches").inc()
+        observer.counter("assign.candidates").inc(decision.candidates_evaluated)
+        return decision
+
+
+def _exhaustive_impl(
+    model: CombinedModel,
+    process_names: Sequence[str],
+    objective: str,
+    max_per_core: Optional[int],
+) -> AssignmentDecision:
     cores = range(model.topology.num_cores)
     best: Optional[AssignmentDecision] = None
     seen = set()
@@ -140,6 +176,27 @@ def greedy_assignment(
         )
     if not process_names:
         raise ConfigurationError("need at least one process to assign")
+    observer = get_observer()
+    if not observer.enabled:
+        return _greedy_impl(model, process_names, objective, max_per_core)
+    with observer.span(
+        "assign.greedy", processes=len(process_names), objective=objective
+    ) as span:
+        decision = _greedy_impl(model, process_names, objective, max_per_core)
+        span.annotate(
+            candidates=decision.candidates_evaluated, score=decision.score
+        )
+        observer.counter("assign.searches").inc()
+        observer.counter("assign.candidates").inc(decision.candidates_evaluated)
+        return decision
+
+
+def _greedy_impl(
+    model: CombinedModel,
+    process_names: Sequence[str],
+    objective: str,
+    max_per_core: Optional[int],
+) -> AssignmentDecision:
     assignment: Dict[int, List[str]] = {}
     evaluated = 0
     for name in process_names:

@@ -30,6 +30,7 @@ from repro.core.timesharing import core_set_power, process_combinations
 from repro.errors import ConfigurationError
 from repro.events import Event
 from repro.machine.topology import MachineTopology
+from repro.obs import get_observer
 
 Assignment = Mapping[int, Sequence[str]]
 
@@ -201,6 +202,28 @@ class CombinedModel:
         ``assignment`` maps core id to the process names time-sharing
         that core; cores may be omitted or empty (idle).
         """
+        observer = get_observer()
+        if not observer.enabled:
+            return self._estimate_assignment_power_impl(assignment)
+        with observer.span(
+            "combined.power",
+            cores=len(assignment),
+            processes=sum(len(names) for names in assignment.values()),
+        ) as span:
+            estimate = self._estimate_assignment_power_impl(assignment)
+            span.annotate(
+                watts=estimate.watts,
+                combinations=estimate.combinations_evaluated,
+            )
+            observer.counter("combined.power_estimates").inc()
+            observer.counter("combined.combinations").inc(
+                estimate.combinations_evaluated
+            )
+            return estimate
+
+    def _estimate_assignment_power_impl(
+        self, assignment: Assignment
+    ) -> AssignmentPowerEstimate:
         for core in assignment:
             if not 0 <= core < self.topology.num_cores:
                 raise ConfigurationError(f"core {core} out of range")
@@ -258,6 +281,9 @@ class CombinedModel:
         equally (the Eq. 10 assumption); a process time-sharing a core
         with ``k - 1`` others runs ``1/k`` of the time.
         """
+        observer = get_observer()
+        if observer.enabled:
+            observer.counter("combined.throughput_estimates").inc()
         total_ips = 0.0
         for domain_idx, domain in enumerate(self.topology.domains):
             busy_cores = [c for c in domain.core_ids if assignment.get(c)]

@@ -41,6 +41,7 @@ import numpy as np
 
 from repro.core.occupancy import OccupancyModel
 from repro.errors import ConfigurationError, ConvergenceError
+from repro.obs import get_observer
 
 
 @dataclass(frozen=True)
@@ -105,6 +106,18 @@ class SolverTelemetry:
     warm_started: bool = False
     fallback_reason: Optional[str] = None
 
+    def to_dict(self) -> dict:
+        """Plain-JSON representation (see :mod:`repro.io`)."""
+        from repro.io import telemetry_to_dict
+
+        return telemetry_to_dict(self)
+
+    @classmethod
+    def from_dict(cls, data: dict) -> "SolverTelemetry":
+        from repro.io import telemetry_from_dict
+
+        return telemetry_from_dict(data)
+
 
 @dataclass(frozen=True)
 class EquilibriumResult:
@@ -121,6 +134,18 @@ class EquilibriumResult:
     @property
     def total_size(self) -> float:
         return float(sum(self.sizes))
+
+    def to_dict(self) -> dict:
+        """Plain-JSON representation (see :mod:`repro.io`)."""
+        from repro.io import equilibrium_result_to_dict
+
+        return equilibrium_result_to_dict(self)
+
+    @classmethod
+    def from_dict(cls, data: dict) -> "EquilibriumResult":
+        from repro.io import equilibrium_result_from_dict
+
+        return equilibrium_result_from_dict(data)
 
 
 def _finish(
@@ -850,6 +875,48 @@ def solve_equilibrium(
             :class:`~repro.core.solver_cache.EquilibriumCache`).
             Ignored by bisection.
     """
+    observer = get_observer()
+    if not observer.enabled:
+        return _solve_equilibrium_impl(processes, total_ways, strategy, initial)
+    with observer.span(
+        "equilibrium.solve",
+        strategy=strategy,
+        processes=len(processes),
+        total_ways=total_ways,
+        warm_started=initial is not None,
+    ) as span:
+        result = _solve_equilibrium_impl(processes, total_ways, strategy, initial)
+        observer.counter("equilibrium.solves").inc()
+        if not result.contended:
+            observer.counter("equilibrium.uncontended").inc()
+        telemetry = result.telemetry
+        if telemetry is not None:
+            span.annotate(
+                solver=telemetry.solver,
+                jacobian=telemetry.jacobian,
+                iterations=telemetry.iterations,
+                residual_norm=telemetry.residual_norm,
+                warm_started=telemetry.warm_started,
+                fallback_reason=telemetry.fallback_reason,
+            )
+            observer.counter("equilibrium.iterations").inc(telemetry.iterations)
+            observer.histogram("equilibrium.residual_norm").observe(
+                telemetry.residual_norm
+            )
+            if telemetry.warm_started:
+                observer.counter("equilibrium.warm_starts").inc()
+            if telemetry.fallback_reason is not None:
+                observer.counter("equilibrium.fallbacks").inc()
+        return result
+
+
+def _solve_equilibrium_impl(
+    processes: Sequence[EquilibriumProcess],
+    total_ways: int,
+    strategy: str,
+    initial: Optional[Sequence[float]],
+) -> EquilibriumResult:
+    """The uninstrumented solve (bench baseline for obs overhead)."""
 
     def _stamp(result: EquilibriumResult, **updates) -> EquilibriumResult:
         if result.telemetry is None:

@@ -21,6 +21,7 @@ from repro.core.feature import FeatureVector
 from repro.core.occupancy import OccupancyModel
 from repro.core.solver_cache import CacheStats, EquilibriumCache
 from repro.errors import ConfigurationError, ConvergenceError
+from repro.obs import get_observer
 
 
 @dataclass(frozen=True)
@@ -42,6 +43,18 @@ class ProcessPrediction:
         """Instructions per second."""
         return 1.0 / self.spi
 
+    def to_dict(self) -> dict:
+        """Plain-JSON representation (see :mod:`repro.io`)."""
+        from repro.io import process_prediction_to_dict
+
+        return process_prediction_to_dict(self)
+
+    @classmethod
+    def from_dict(cls, data: dict) -> "ProcessPrediction":
+        from repro.io import process_prediction_from_dict
+
+        return process_prediction_from_dict(data)
+
 
 @dataclass(frozen=True)
 class CoRunPrediction:
@@ -60,6 +73,18 @@ class CoRunPrediction:
     @property
     def total_size(self) -> float:
         return sum(p.effective_size for p in self.processes)
+
+    def to_dict(self) -> dict:
+        """Plain-JSON representation (see :mod:`repro.io`)."""
+        from repro.io import corun_prediction_to_dict
+
+        return corun_prediction_to_dict(self)
+
+    @classmethod
+    def from_dict(cls, data: dict) -> "CoRunPrediction":
+        from repro.io import corun_prediction_from_dict
+
+        return corun_prediction_from_dict(data)
 
 
 class PerformanceModel:
@@ -176,6 +201,30 @@ class PerformanceModel:
                 wins a larger share, which the equilibrium captures
                 through the rescaled Eq. 3 constants.
         """
+        observer = get_observer()
+        if not observer.enabled:
+            # The disabled fast path adds exactly one global read and
+            # one attribute check to PR 1's hot path; the obs-overhead
+            # bench compares this wrapper against ``_predict_impl``.
+            return self._predict_impl(names, frequency_ratios)
+        with observer.span(
+            "predict", processes=len(names), ways=self.ways
+        ) as span:
+            result = self._predict_impl(names, frequency_ratios)
+            span.annotate(
+                names=",".join(names),
+                solver=result.solver,
+                contended=result.contended,
+            )
+            observer.counter("predict.calls").inc()
+            return result
+
+    def _predict_impl(
+        self,
+        names: Sequence[str],
+        frequency_ratios: Optional[Sequence[float]] = None,
+    ) -> CoRunPrediction:
+        """The uninstrumented predict (bench baseline for obs overhead)."""
         if not names:
             raise ConfigurationError("need at least one process name")
         if len(names) > self.ways:
@@ -231,6 +280,9 @@ class PerformanceModel:
             # A stale warm start can strand Newton in a bad basin;
             # the cold proportional-demand start is the reference
             # behaviour, so retry from it before giving up.
+            observer = get_observer()
+            if observer.enabled:
+                observer.counter("predict.cold_retries").inc()
             return solve_equilibrium(inputs, self.ways, strategy=self.strategy)
 
     @property

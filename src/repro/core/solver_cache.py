@@ -30,6 +30,7 @@ from dataclasses import dataclass
 from typing import Any, Dict, Hashable, List, Optional, Sequence
 
 from repro.errors import ConfigurationError
+from repro.obs import get_observer
 
 
 @dataclass(frozen=True)
@@ -92,21 +93,32 @@ class EquilibriumCache:
                 value = self._data[key]
             except KeyError:
                 self._misses += 1
-                return None
-            self._data.move_to_end(key)
-            self._hits += 1
-            return value
+                value = None
+            else:
+                self._data.move_to_end(key)
+                self._hits += 1
+        observer = get_observer()
+        if observer.enabled:
+            name = "solver_cache.misses" if value is None else "solver_cache.hits"
+            observer.counter(name).inc()
+        return value
 
     def put(self, key: Hashable, value: Any) -> None:
         """Insert ``value`` under ``key``, evicting LRU entries."""
         if self.max_entries == 0:
             return
+        evicted = 0
         with self._lock:
             self._data[key] = value
             self._data.move_to_end(key)
             while len(self._data) > self.max_entries:
                 self._data.popitem(last=False)
                 self._evictions += 1
+                evicted += 1
+        if evicted:
+            observer = get_observer()
+            if observer.enabled:
+                observer.counter("solver_cache.evictions").inc(evicted)
 
     def __len__(self) -> int:
         with self._lock:
@@ -150,7 +162,11 @@ class EquilibriumCache:
                 return None
             self._warm_starts += 1
             scale = total_ways / total
-            return [s * scale for s in sizes]
+            suggestion = [s * scale for s in sizes]
+        observer = get_observer()
+        if observer.enabled:
+            observer.counter("solver_cache.warm_starts").inc()
+        return suggestion
 
     # ------------------------------------------------------------------
     # Telemetry

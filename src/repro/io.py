@@ -9,6 +9,13 @@ three artefacts a deployment needs to persist:
 - :class:`~repro.core.feature.ProfileVector` (power side, PF_i),
 - :class:`~repro.core.power_model.CorePowerModel` (fitted Eq. 9).
 
+Beyond the persisted artefacts, every public *result* type —
+equilibrium solutions, predictions, assignment decisions, and the
+:mod:`repro.api` result bundles — has a ``<type>_to_dict`` /
+``<type>_from_dict`` converter pair here, and the dataclasses expose
+them as ``to_dict()`` / ``from_dict()`` methods.  All conversions
+round-trip exactly (a property test pins this).
+
 The format is plain JSON with an explicit ``kind``/``version`` header
 so files are self-describing and future-proof.
 """
@@ -21,9 +28,12 @@ from typing import Dict, Union
 
 import numpy as np
 
+from repro.core.assignment import AssignmentDecision
+from repro.core.equilibrium import EquilibriumResult, SolverTelemetry
 from repro.core.feature import FeatureVector, ProfileVector
 from repro.core.histogram import ReuseDistanceHistogram
-from repro.core.power_model import CorePowerModel, PowerTrainingSet
+from repro.core.performance_model import CoRunPrediction, ProcessPrediction
+from repro.core.power_model import CorePowerModel
 from repro.core.spi import SpiModel
 from repro.errors import ConfigurationError
 from repro.events import PAPER_NAMES, RATE_EVENTS
@@ -152,22 +162,302 @@ def power_model_from_dict(data: Dict) -> CorePowerModel:
         ]
     except KeyError as missing:
         raise ConfigurationError(f"power-model document missing {missing}") from None
-    # Rebuild the fitted state by solving a tiny exact system: one row
-    # per coefficient plus the pinned intercept reproduces the model.
-    training = PowerTrainingSet()
-    rng = np.random.default_rng(0)
-    for _ in range(12):
-        rates = {event: float(rng.uniform(1e5, 1e7)) for event in RATE_EVENTS}
-        power = p_idle + sum(
-            c * rates[event] for c, event in zip(coefficients, RATE_EVENTS)
-        )
-        training.add(rates, max(0.0, power))
-    model = CorePowerModel().fit(training, idle_core_watts=p_idle)
-    # Guard against information loss (e.g. negative powers clamped).
-    rebuilt = [model.coefficients[PAPER_NAMES[event]] for event in RATE_EVENTS]
-    if not np.allclose(rebuilt, coefficients, rtol=1e-6, atol=1e-12):
-        raise ConfigurationError("power-model document could not be rebuilt exactly")
+    # Restore the fitted state directly (the document *is* the model:
+    # slopes, pinned intercept, training R²), so documents round-trip
+    # bit-exactly — the repro.api property tests rely on that.
+    model = CorePowerModel()
+    model._regression.coefficients = np.asarray(coefficients, dtype=float)
+    model._regression.intercept = p_idle
+    recorded_r2 = data.get("r_squared")
+    model._regression.r_squared = (
+        float(recorded_r2) if recorded_r2 is not None else 1.0
+    )
     return model
+
+
+# ----------------------------------------------------------------------
+# Solver telemetry and equilibrium results
+# ----------------------------------------------------------------------
+def telemetry_to_dict(telemetry: SolverTelemetry) -> Dict:
+    return {
+        "kind": "solver_telemetry",
+        "version": FORMAT_VERSION,
+        "strategy": telemetry.strategy,
+        "solver": telemetry.solver,
+        "jacobian": telemetry.jacobian,
+        "iterations": telemetry.iterations,
+        "residual_norm": telemetry.residual_norm,
+        "warm_started": telemetry.warm_started,
+        "fallback_reason": telemetry.fallback_reason,
+    }
+
+
+def telemetry_from_dict(data: Dict) -> SolverTelemetry:
+    _check_header(data, "solver_telemetry")
+    try:
+        return SolverTelemetry(
+            strategy=data["strategy"],
+            solver=data["solver"],
+            jacobian=data["jacobian"],
+            iterations=int(data["iterations"]),
+            residual_norm=float(data["residual_norm"]),
+            warm_started=bool(data.get("warm_started", False)),
+            fallback_reason=data.get("fallback_reason"),
+        )
+    except KeyError as missing:
+        raise ConfigurationError(f"telemetry document missing {missing}") from None
+
+
+def equilibrium_result_to_dict(result: EquilibriumResult) -> Dict:
+    return {
+        "kind": "equilibrium_result",
+        "version": FORMAT_VERSION,
+        "sizes": [float(s) for s in result.sizes],
+        "mpas": [float(m) for m in result.mpas],
+        "spis": [float(s) for s in result.spis],
+        "solver": result.solver,
+        "iterations": result.iterations,
+        "contended": result.contended,
+        "telemetry": (
+            telemetry_to_dict(result.telemetry)
+            if result.telemetry is not None
+            else None
+        ),
+    }
+
+
+def equilibrium_result_from_dict(data: Dict) -> EquilibriumResult:
+    _check_header(data, "equilibrium_result")
+    try:
+        telemetry_doc = data.get("telemetry")
+        return EquilibriumResult(
+            sizes=tuple(float(s) for s in data["sizes"]),
+            mpas=tuple(float(m) for m in data["mpas"]),
+            spis=tuple(float(s) for s in data["spis"]),
+            solver=data["solver"],
+            iterations=int(data["iterations"]),
+            contended=bool(data["contended"]),
+            telemetry=(
+                telemetry_from_dict(telemetry_doc)
+                if telemetry_doc is not None
+                else None
+            ),
+        )
+    except KeyError as missing:
+        raise ConfigurationError(
+            f"equilibrium-result document missing {missing}"
+        ) from None
+
+
+# ----------------------------------------------------------------------
+# Predictions
+# ----------------------------------------------------------------------
+def process_prediction_to_dict(prediction: ProcessPrediction) -> Dict:
+    return {
+        "kind": "process_prediction",
+        "version": FORMAT_VERSION,
+        "name": prediction.name,
+        "effective_size": prediction.effective_size,
+        "mpa": prediction.mpa,
+        "spi": prediction.spi,
+    }
+
+
+def process_prediction_from_dict(data: Dict) -> ProcessPrediction:
+    _check_header(data, "process_prediction")
+    try:
+        return ProcessPrediction(
+            name=data["name"],
+            effective_size=float(data["effective_size"]),
+            mpa=float(data["mpa"]),
+            spi=float(data["spi"]),
+        )
+    except KeyError as missing:
+        raise ConfigurationError(
+            f"process-prediction document missing {missing}"
+        ) from None
+
+
+def corun_prediction_to_dict(prediction: CoRunPrediction) -> Dict:
+    return {
+        "kind": "corun_prediction",
+        "version": FORMAT_VERSION,
+        "processes": [process_prediction_to_dict(p) for p in prediction.processes],
+        "solver": prediction.solver,
+        "contended": prediction.contended,
+    }
+
+
+def corun_prediction_from_dict(data: Dict) -> CoRunPrediction:
+    _check_header(data, "corun_prediction")
+    try:
+        return CoRunPrediction(
+            processes=tuple(
+                process_prediction_from_dict(p) for p in data["processes"]
+            ),
+            solver=data["solver"],
+            contended=bool(data["contended"]),
+        )
+    except KeyError as missing:
+        raise ConfigurationError(
+            f"corun-prediction document missing {missing}"
+        ) from None
+
+
+# ----------------------------------------------------------------------
+# Assignment decisions
+# ----------------------------------------------------------------------
+def assignment_decision_to_dict(decision: AssignmentDecision) -> Dict:
+    return {
+        "kind": "assignment_decision",
+        "version": FORMAT_VERSION,
+        # JSON object keys are strings; core ids are re-parsed on load.
+        "assignment": {
+            str(core): list(names) for core, names in decision.assignment.items()
+        },
+        "predicted_watts": decision.predicted_watts,
+        "predicted_ips": decision.predicted_ips,
+        "objective": decision.objective,
+        "score": decision.score,
+        "candidates_evaluated": decision.candidates_evaluated,
+    }
+
+
+def assignment_decision_from_dict(data: Dict) -> AssignmentDecision:
+    _check_header(data, "assignment_decision")
+    try:
+        return AssignmentDecision(
+            assignment={
+                int(core): tuple(names)
+                for core, names in data["assignment"].items()
+            },
+            predicted_watts=float(data["predicted_watts"]),
+            predicted_ips=float(data["predicted_ips"]),
+            objective=data["objective"],
+            score=float(data["score"]),
+            candidates_evaluated=int(data["candidates_evaluated"]),
+        )
+    except KeyError as missing:
+        raise ConfigurationError(
+            f"assignment-decision document missing {missing}"
+        ) from None
+
+
+# ----------------------------------------------------------------------
+# Facade result bundles (repro.api)
+# ----------------------------------------------------------------------
+def profile_suite_result_to_dict(result) -> Dict:
+    # Same ``profile_suite`` kind as :func:`save_profile_suite` (plus a
+    # ``machine`` key), so facade-written files stay loadable by
+    # :func:`load_profile_suite` and vice versa.
+    return {
+        "kind": "profile_suite",
+        "version": FORMAT_VERSION,
+        "machine": result.machine,
+        "features": {
+            name: feature_to_dict(f) for name, f in result.features.items()
+        },
+        "profiles": {
+            name: profile_to_dict(p) for name, p in result.profiles.items()
+        },
+    }
+
+
+def profile_suite_result_from_dict(data: Dict):
+    from repro.api import ProfileSuiteResult
+
+    _check_header(data, "profile_suite")
+    return ProfileSuiteResult(
+        machine=data.get("machine", ""),
+        features={
+            name: feature_from_dict(d)
+            for name, d in data.get("features", {}).items()
+        },
+        profiles={
+            name: profile_from_dict(d)
+            for name, d in data.get("profiles", {}).items()
+        },
+    )
+
+
+def mix_prediction_to_dict(result) -> Dict:
+    return {
+        "kind": "mix_prediction",
+        "version": FORMAT_VERSION,
+        "ways": result.ways,
+        "names": list(result.names),
+        "prediction": corun_prediction_to_dict(result.prediction),
+    }
+
+
+def mix_prediction_from_dict(data: Dict):
+    from repro.api import MixPrediction
+
+    _check_header(data, "mix_prediction")
+    try:
+        return MixPrediction(
+            ways=int(data["ways"]),
+            names=tuple(data["names"]),
+            prediction=corun_prediction_from_dict(data["prediction"]),
+        )
+    except KeyError as missing:
+        raise ConfigurationError(
+            f"mix-prediction document missing {missing}"
+        ) from None
+
+
+def power_training_result_to_dict(result) -> Dict:
+    return {
+        "kind": "power_training_result",
+        "version": FORMAT_VERSION,
+        "machine": result.machine,
+        "model": power_model_to_dict(result.model),
+        "training_windows": result.training_windows,
+        "r_squared": result.r_squared,
+    }
+
+
+def power_training_result_from_dict(data: Dict):
+    from repro.api import PowerTrainingResult
+
+    _check_header(data, "power_training_result")
+    try:
+        return PowerTrainingResult(
+            machine=data["machine"],
+            model=power_model_from_dict(data["model"]),
+            training_windows=int(data["training_windows"]),
+            r_squared=float(data["r_squared"]),
+        )
+    except KeyError as missing:
+        raise ConfigurationError(
+            f"power-training-result document missing {missing}"
+        ) from None
+
+
+def assignment_pick_to_dict(result) -> Dict:
+    return {
+        "kind": "assignment_pick",
+        "version": FORMAT_VERSION,
+        "machine": result.machine,
+        "strategy": result.strategy,
+        "decision": assignment_decision_to_dict(result.decision),
+    }
+
+
+def assignment_pick_from_dict(data: Dict):
+    from repro.api import AssignmentPick
+
+    _check_header(data, "assignment_pick")
+    try:
+        return AssignmentPick(
+            machine=data["machine"],
+            strategy=data["strategy"],
+            decision=assignment_decision_from_dict(data["decision"]),
+        )
+    except KeyError as missing:
+        raise ConfigurationError(
+            f"assignment-pick document missing {missing}"
+        ) from None
 
 
 # ----------------------------------------------------------------------

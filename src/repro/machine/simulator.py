@@ -19,16 +19,12 @@ import heapq
 from dataclasses import dataclass, field
 from typing import Callable, Dict, List, Mapping, Optional, Sequence, Tuple
 
-#: Per-access observer signature: ``hook(time_s, pid, hit)``.
-AccessHook = Callable[[float, int, bool], None]
-
 from repro.cache.prefetch import NextLinePrefetcher, Prefetcher, StridePrefetcher
 from repro.cache.replacement import make_policy
 from repro.cache.set_associative import SetAssociativeCache
 from repro.cache.shared import ContentionMonitor
 from repro.config import SimulationScale, BENCH_SCALE
 from repro.errors import ConfigurationError, SimulationError
-from repro.machine.events import Event
 from repro.machine.hpc import (
     CounterBank,
     HpcSample,
@@ -41,13 +37,17 @@ from repro.machine.hpc import (
     IDX_L2_MISSES,
     IDX_L2_REFS,
 )
-from repro.machine.process import Process, ProcessCounters
+from repro.machine.process import Process
 from repro.machine.scheduler import CoreSchedule
 from repro.machine.topology import MachineTopology
+from repro.obs import get_observer
 from repro.power.meter import PowerMeter
 from repro.power.reference import ReferencePowerModel, reference_for
 from repro.power.sampling import PowerTrace
 from repro.workloads.spec import SyntheticBenchmark
+
+#: Per-access observer signature: ``hook(time_s, pid, hit)``.
+AccessHook = Callable[[float, int, bool], None]
 
 
 @dataclass(frozen=True)
@@ -235,7 +235,22 @@ class MachineSimulation:
         )
         if not self.processes:
             raise SimulationError("access-budget mode needs at least one process")
-        return self._run(duration_mode=False, warmup_budget=warmup, measure_budget=measure)
+        observer = get_observer()
+        if not observer.enabled:
+            return self._run(
+                duration_mode=False, warmup_budget=warmup, measure_budget=measure
+            )
+        with observer.span(
+            "simulate",
+            mode="accesses",
+            topology=self.topology.name,
+            processes=len(self.processes),
+        ) as span:
+            result = self._run(
+                duration_mode=False, warmup_budget=warmup, measure_budget=measure
+            )
+            self._record_run_obs(observer, span, result)
+            return result
 
     def run_duration(
         self,
@@ -252,12 +267,42 @@ class MachineSimulation:
         measure = measure_s if measure_s is not None else self.scale.measure_s
         if collect_power and self.power_env is None:
             raise ConfigurationError("collect_power requires a power_env")
-        return self._run(
-            duration_mode=True,
-            warmup_s=warmup,
-            measure_s=measure,
-            collect_power=collect_power,
+        observer = get_observer()
+        if not observer.enabled:
+            return self._run(
+                duration_mode=True,
+                warmup_s=warmup,
+                measure_s=measure,
+                collect_power=collect_power,
+            )
+        with observer.span(
+            "simulate",
+            mode="duration",
+            topology=self.topology.name,
+            processes=len(self.processes),
+        ) as span:
+            result = self._run(
+                duration_mode=True,
+                warmup_s=warmup,
+                measure_s=measure,
+                collect_power=collect_power,
+            )
+            self._record_run_obs(observer, span, result)
+            return result
+
+    def _record_run_obs(self, observer, span, result: SimulationResult) -> None:
+        """Roll end-of-run totals into the active observer (enabled only)."""
+        accesses = sum(bank.values[IDX_L2_REFS] for bank in self.banks)
+        instructions = sum(bank.values[IDX_INSTRUCTIONS] for bank in self.banks)
+        span.annotate(
+            duration_s=result.duration_s,
+            context_switches=result.context_switches,
         )
+        observer.counter("sim.accesses").inc(accesses)
+        observer.counter("sim.instructions").inc(instructions)
+        observer.counter("sim.context_switches").inc(result.context_switches)
+        if result.power is not None:
+            observer.counter("sim.power_windows").inc(len(result.power.true_watts))
 
     # ------------------------------------------------------------------
     # Core loop
@@ -280,6 +325,12 @@ class MachineSimulation:
             true_w = self.power_env.reference.processor_power(per_core_rates)
             measured_w = self.power_env.meter.measure_window(true_w, sampler.period_s)
             trace.append(true_w, measured_w)
+            # Only consulted when a window actually closes, so the
+            # per-access loop pays nothing extra here.
+            observer = get_observer()
+            if observer.enabled:
+                observer.counter("sim.hpc.windows").inc()
+                observer.histogram("sim.hpc.window_true_watts").observe(true_w)
 
     def _run(
         self,

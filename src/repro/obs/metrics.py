@@ -1,0 +1,167 @@
+"""Counter / gauge / histogram registry for the observability layer.
+
+Three metric kinds cover everything the pipeline wants to count:
+
+- :class:`Counter` — monotonically increasing totals (solver
+  iterations, cache hits, simulated accesses).
+- :class:`Gauge` — last-written values (current hit rate, last
+  measured watts).
+- :class:`Histogram` — streaming summaries (count/sum/min/max/mean)
+  of per-event samples (residual norms, per-window power), kept O(1)
+  in memory so instrumenting a million-event run costs nothing.
+
+A :class:`MetricsRegistry` interns metrics by name and serialises the
+whole set to one plain-JSON document.  Registries are lock-guarded so
+a future batched/async serving layer can share one across workers.
+
+Disabled observers hand out the module-level null singletons instead
+(:data:`NULL_COUNTER`, …) whose mutators are no-ops — call sites can
+always call ``.inc()``/``.observe()`` without checking for ``None``.
+"""
+
+from __future__ import annotations
+
+import math
+import threading
+from typing import Dict
+
+from repro.errors import ConfigurationError
+
+METRICS_FORMAT_VERSION = 1
+
+
+class Counter:
+    """Monotonically increasing counter."""
+
+    __slots__ = ("value",)
+
+    def __init__(self) -> None:
+        self.value = 0.0
+
+    def inc(self, amount: float = 1.0) -> None:
+        if amount < 0:
+            raise ConfigurationError("counters only increase; use a gauge")
+        self.value += amount
+
+
+class Gauge:
+    """Last-written value."""
+
+    __slots__ = ("value",)
+
+    def __init__(self) -> None:
+        self.value = 0.0
+
+    def set(self, value: float) -> None:
+        self.value = float(value)
+
+
+class Histogram:
+    """Streaming count/sum/min/max summary of observed samples."""
+
+    __slots__ = ("count", "total", "min", "max")
+
+    def __init__(self) -> None:
+        self.count = 0
+        self.total = 0.0
+        self.min = math.inf
+        self.max = -math.inf
+
+    def observe(self, value: float) -> None:
+        value = float(value)
+        self.count += 1
+        self.total += value
+        if value < self.min:
+            self.min = value
+        if value > self.max:
+            self.max = value
+
+    @property
+    def mean(self) -> float:
+        return self.total / self.count if self.count else 0.0
+
+    def to_dict(self) -> Dict:
+        return {
+            "count": self.count,
+            "sum": self.total,
+            "min": self.min if self.count else None,
+            "max": self.max if self.count else None,
+            "mean": self.mean,
+        }
+
+
+class _NullCounter(Counter):
+    __slots__ = ()
+
+    def inc(self, amount: float = 1.0) -> None:  # noqa: ARG002 - no-op
+        pass
+
+
+class _NullGauge(Gauge):
+    __slots__ = ()
+
+    def set(self, value: float) -> None:
+        pass
+
+
+class _NullHistogram(Histogram):
+    __slots__ = ()
+
+    def observe(self, value: float) -> None:
+        pass
+
+
+#: Shared no-op instances handed out by disabled observers.
+NULL_COUNTER = _NullCounter()
+NULL_GAUGE = _NullGauge()
+NULL_HISTOGRAM = _NullHistogram()
+
+
+class MetricsRegistry:
+    """Named counters, gauges and histograms with JSON export."""
+
+    def __init__(self) -> None:
+        self._lock = threading.Lock()
+        self._counters: Dict[str, Counter] = {}
+        self._gauges: Dict[str, Gauge] = {}
+        self._histograms: Dict[str, Histogram] = {}
+
+    def counter(self, name: str) -> Counter:
+        with self._lock:
+            metric = self._counters.get(name)
+            if metric is None:
+                metric = self._counters[name] = Counter()
+            return metric
+
+    def gauge(self, name: str) -> Gauge:
+        with self._lock:
+            metric = self._gauges.get(name)
+            if metric is None:
+                metric = self._gauges[name] = Gauge()
+            return metric
+
+    def histogram(self, name: str) -> Histogram:
+        with self._lock:
+            metric = self._histograms.get(name)
+            if metric is None:
+                metric = self._histograms[name] = Histogram()
+            return metric
+
+    def clear(self) -> None:
+        with self._lock:
+            self._counters.clear()
+            self._gauges.clear()
+            self._histograms.clear()
+
+    def to_dict(self) -> Dict:
+        """Self-describing plain-JSON document of every metric."""
+        with self._lock:
+            return {
+                "kind": "metrics",
+                "version": METRICS_FORMAT_VERSION,
+                "counters": {n: c.value for n, c in sorted(self._counters.items())},
+                "gauges": {n: g.value for n, g in sorted(self._gauges.items())},
+                "histograms": {
+                    n: h.to_dict() for n, h in sorted(self._histograms.items())
+                },
+            }

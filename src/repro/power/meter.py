@@ -18,6 +18,7 @@ from typing import Optional
 import numpy as np
 
 from repro.errors import ConfigurationError
+from repro.obs import get_observer
 from repro.power.regulator import Regulator
 
 
@@ -105,7 +106,14 @@ class PowerMeter:
         )
         if spec.daq_lsb_amps > 0:
             samples = np.round(samples / spec.daq_lsb_amps) * spec.daq_lsb_amps
+        clipped = int(np.count_nonzero(samples < 0.0))
         mean_current = float(np.clip(samples, 0.0, None).mean())
+        observer = get_observer()
+        if observer.enabled:
+            observer.counter("power.meter.windows").inc()
+            observer.counter("power.meter.samples").inc(n)
+            if clipped:
+                observer.counter("power.meter.clipped_samples").inc(clipped)
         return self.regulator.reported_power(mean_current)
 
     def measure_trace(self, true_watts: np.ndarray, window_s: float) -> np.ndarray:

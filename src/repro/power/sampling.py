@@ -8,6 +8,7 @@ from typing import List
 import numpy as np
 
 from repro.errors import ConfigurationError
+from repro.obs import get_observer
 
 
 @dataclass
@@ -29,6 +30,9 @@ class PowerTrace:
     def append(self, true_w: float, measured_w: float) -> None:
         self.true_watts.append(true_w)
         self.measured_watts.append(measured_w)
+        observer = get_observer()
+        if observer.enabled:
+            observer.counter("power.trace.windows").inc()
 
     def __len__(self) -> int:
         return len(self.measured_watts)

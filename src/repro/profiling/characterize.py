@@ -17,7 +17,6 @@ from repro.machine.events import Event
 from repro.machine.simulator import (
     MachineSimulation,
     PowerEnvironment,
-    SimulationResult,
 )
 from repro.machine.topology import MachineTopology
 from repro.workloads.spec import SyntheticBenchmark

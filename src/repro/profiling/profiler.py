@@ -29,6 +29,7 @@ from repro.core.spi import fit_spi_model
 from repro.errors import ProfilingError
 from repro.machine.simulator import PowerEnvironment
 from repro.machine.topology import MachineTopology
+from repro.obs import get_observer
 from repro.profiling.characterize import (
     AloneMeasurement,
     SweepPoint,
@@ -77,6 +78,34 @@ def profile_process(
     Raises:
         ProfilingError: If the sweep data is degenerate.
     """
+    observer = get_observer()
+    if not observer.enabled:
+        return _profile_process_impl(
+            benchmark, topology, scale, seed, core, power_env, sweep_ways
+        )
+    with observer.span(
+        "profile.process", name=benchmark.name, core=core
+    ) as span:
+        result = _profile_process_impl(
+            benchmark, topology, scale, seed, core, power_env, sweep_ways
+        )
+        span.annotate(
+            sweep_points=len(result.sweep), spi_fit_r2=result.spi_fit_r2
+        )
+        observer.counter("profile.processes").inc()
+        return result
+
+
+def _profile_process_impl(
+    benchmark: SyntheticBenchmark,
+    topology: MachineTopology,
+    scale: SimulationScale,
+    seed: int,
+    core: int,
+    power_env: Optional[PowerEnvironment],
+    sweep_ways: Optional[Sequence[int]],
+) -> ProcessProfile:
+    observer = get_observer()
     ways = topology.domain_of(core).geometry.ways
     if ways < 2:
         raise ProfilingError(
@@ -91,39 +120,52 @@ def profile_process(
             f"stressmark ways must lie in 1..{ways - 1} for a {ways}-way cache"
         )
 
-    alone = measure_alone(benchmark, topology, scale=scale, seed=seed, core=core)
-
-    points: List[SweepPoint] = []
-    for index, w in enumerate(sweep_ways):
-        points.append(
-            measure_with_stressmark(
-                benchmark,
-                topology,
-                stress_ways=w,
-                scale=scale,
-                seed=seed + 101 * (index + 1),
-                core=core,
-            )
+    with observer.span("profile.alone", name=benchmark.name):
+        alone = measure_alone(
+            benchmark, topology, scale=scale, seed=seed, core=core
         )
 
-    # Assemble the MPA(S) sweep: stressmark points plus the alone run
-    # as the full-cache point.
-    sized = sorted(points, key=lambda p: p.target_size)
-    sizes = [float(p.target_size) for p in sized] + [float(ways)]
-    mpas = [p.mpa for p in sized] + [alone.mpa]
-    curve = MissRatioCurve(sizes, mpas, enforce_monotone=True)
-    histogram = curve.to_histogram()
+    points: List[SweepPoint] = []
+    with observer.span(
+        "profile.sweep", name=benchmark.name, points=len(sweep_ways)
+    ):
+        for index, w in enumerate(sweep_ways):
+            points.append(
+                measure_with_stressmark(
+                    benchmark,
+                    topology,
+                    stress_ways=w,
+                    scale=scale,
+                    seed=seed + 101 * (index + 1),
+                    core=core,
+                )
+            )
 
-    spi_model = fit_spi_model(
-        [p.mpa for p in sized] + [alone.mpa],
-        [p.spi for p in sized] + [alone.spi],
-    )
+    with observer.span("profile.fit", name=benchmark.name):
+        # Assemble the MPA(S) sweep: stressmark points plus the alone
+        # run as the full-cache point.
+        sized = sorted(points, key=lambda p: p.target_size)
+        sizes = [float(p.target_size) for p in sized] + [float(ways)]
+        mpas = [p.mpa for p in sized] + [alone.mpa]
+        curve = MissRatioCurve(sizes, mpas, enforce_monotone=True)
+        histogram = curve.to_histogram()
+
+        spi_model = fit_spi_model(
+            [p.mpa for p in sized] + [alone.mpa],
+            [p.spi for p in sized] + [alone.spi],
+        )
 
     p_alone_core = 0.0
     if power_env is not None:
-        processor_alone, processor_idle = measure_alone_power(
-            benchmark, topology, power_env, scale=scale, seed=seed + 5_000, core=core
-        )
+        with observer.span("profile.power", name=benchmark.name):
+            processor_alone, processor_idle = measure_alone_power(
+                benchmark,
+                topology,
+                power_env,
+                scale=scale,
+                seed=seed + 5_000,
+                core=core,
+            )
         # Convert to a core-level figure consistent with the power
         # model's convention (uncore amortised per core): the busy
         # core's power is the alone-run increment plus one idle share.
@@ -161,15 +203,22 @@ def profile_suite(
     power_env: Optional[PowerEnvironment] = None,
 ) -> List[ProcessProfile]:
     """Profile a whole benchmark suite (O(k·A) runs in total)."""
-    profiles = []
-    for index, benchmark in enumerate(benchmarks):
-        profiles.append(
-            profile_process(
-                benchmark,
-                topology,
-                scale=scale,
-                seed=seed + 10_007 * index,
-                power_env=power_env,
+    observer = get_observer()
+    with observer.span(
+        "profile.suite",
+        benchmarks=len(benchmarks),
+        topology=topology.name,
+        powered=power_env is not None,
+    ):
+        profiles = []
+        for index, benchmark in enumerate(benchmarks):
+            profiles.append(
+                profile_process(
+                    benchmark,
+                    topology,
+                    scale=scale,
+                    seed=seed + 10_007 * index,
+                    power_env=power_env,
+                )
             )
-        )
-    return profiles
+        return profiles

@@ -7,7 +7,6 @@ import pytest
 from repro.config import CacheGeometry, SimulationScale
 from repro.machine.simulator import MachineSimulation, PowerEnvironment
 from repro.machine.topology import (
-    CacheDomain,
     MachineTopology,
     four_core_server,
     two_core_workstation,

@@ -3,7 +3,6 @@
 import pytest
 
 from repro.analysis.errors import (
-    ErrorSummary,
     absolute_error_pct,
     relative_error_pct,
     summarize,

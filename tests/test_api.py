@@ -1,0 +1,147 @@
+"""End-to-end tests for the repro.api facade (quick scale)."""
+
+import json
+
+import pytest
+
+import repro
+from repro.api import (
+    AssignmentPick,
+    MixPrediction,
+    PowerTrainingResult,
+    ProfileSuiteResult,
+    load_suite,
+    pick_assignment,
+    predict_mix,
+    profile_suite,
+    train_power,
+)
+from repro.core.power_model import CorePowerModel
+from repro.errors import ConfigurationError
+
+MACHINE = "2-core-workstation"
+SETS = 32
+NAMES = ["mcf", "gzip"]
+
+
+@pytest.fixture(scope="module")
+def suite():
+    return profile_suite(
+        NAMES, machine=MACHINE, sets=SETS, seed=7, power=True, quick=True
+    )
+
+
+@pytest.fixture(scope="module")
+def power(suite):
+    return train_power(MACHINE, sets=SETS, seed=7, quick=True)
+
+
+class TestProfileSuite:
+    def test_covers_requested_names(self, suite):
+        assert suite.names == ("gzip", "mcf")
+        assert suite.machine == MACHINE
+        assert set(suite.features) == set(suite.profiles) == set(NAMES)
+
+    def test_power_profiles_carry_p_alone(self, suite):
+        assert all(p.p_alone > 0 for p in suite.profiles.values())
+
+    def test_rejects_unknown_benchmark(self):
+        with pytest.raises(ConfigurationError, match="unknown benchmark"):
+            profile_suite(["linpack"], machine=MACHINE, quick=True)
+
+    def test_rejects_unknown_machine(self):
+        with pytest.raises(ConfigurationError, match="unknown machine"):
+            profile_suite(NAMES, machine="cray-1", quick=True)
+
+    def test_save_and_load(self, suite, tmp_path):
+        path = tmp_path / "suite.json"
+        suite.save(path)
+        loaded = load_suite(path)
+        assert loaded.machine == MACHINE
+        assert loaded.to_dict() == suite.to_dict()
+
+
+class TestPredictMix:
+    def test_prediction_is_contended_and_fills_cache(self, suite):
+        mix = predict_mix(NAMES, suite, ways=8)
+        assert isinstance(mix, MixPrediction)
+        assert mix.names == tuple(NAMES)
+        assert mix.prediction.contended
+        assert mix.prediction.total_size == pytest.approx(8.0, abs=1e-6)
+
+    def test_accepts_saved_suite_path(self, suite, tmp_path):
+        path = tmp_path / "suite.json"
+        suite.save(path)
+        mix = predict_mix(["mcf"], path, ways=8)
+        assert mix.prediction.processes[0].name == "mcf"
+
+
+class TestTrainPower:
+    def test_model_is_fitted(self, power):
+        assert isinstance(power, PowerTrainingResult)
+        assert power.machine == MACHINE
+        assert power.training_windows > 0
+        assert 0.0 < power.r_squared <= 1.0
+        assert power.model.p_idle > 0
+
+    def test_save_is_loadable(self, power, tmp_path):
+        from repro.io import load_power_model
+
+        path = tmp_path / "power.json"
+        power.save(path)
+        assert isinstance(load_power_model(path), CorePowerModel)
+
+
+class TestPickAssignment:
+    def test_exhaustive_pick(self, suite, power):
+        pick = pick_assignment(
+            NAMES, suite, power.model, machine=MACHINE, sets=SETS
+        )
+        assert isinstance(pick, AssignmentPick)
+        assert pick.strategy == "exhaustive"
+        placed = [n for names in pick.assignment.values() for n in names]
+        assert sorted(placed) == sorted(NAMES)
+        assert pick.decision.predicted_watts > 0
+
+    def test_greedy_matches_objective(self, suite, power):
+        pick = pick_assignment(
+            NAMES, suite, power.model, machine=MACHINE, sets=SETS,
+            objective="throughput", greedy=True,
+        )
+        assert pick.strategy == "greedy"
+        assert pick.decision.objective == "throughput"
+
+
+class TestRoundTrips:
+    """Every facade result type survives to_dict -> JSON -> from_dict."""
+
+    def test_suite_round_trip(self, suite):
+        doc = json.loads(json.dumps(suite.to_dict()))
+        assert ProfileSuiteResult.from_dict(doc).to_dict() == suite.to_dict()
+
+    def test_mix_round_trip(self, suite):
+        mix = predict_mix(NAMES, suite, ways=8)
+        doc = json.loads(json.dumps(mix.to_dict()))
+        assert MixPrediction.from_dict(doc) == mix
+
+    def test_power_round_trip(self, power):
+        doc = json.loads(json.dumps(power.to_dict()))
+        assert PowerTrainingResult.from_dict(doc).to_dict() == power.to_dict()
+
+    def test_pick_round_trip(self, suite, power):
+        pick = pick_assignment(
+            NAMES, suite, power.model, machine=MACHINE, sets=SETS
+        )
+        doc = json.loads(json.dumps(pick.to_dict()))
+        assert AssignmentPick.from_dict(doc) == pick
+
+
+class TestPackageSurface:
+    def test_facade_reexported_from_package_root(self):
+        for name in (
+            "profile_suite", "predict_mix", "train_power", "pick_assignment",
+            "load_suite", "ProfileSuiteResult", "MixPrediction",
+            "PowerTrainingResult", "AssignmentPick",
+        ):
+            assert name in repro.__all__
+            assert hasattr(repro, name)

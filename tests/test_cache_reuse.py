@@ -1,6 +1,5 @@
 """Unit tests for the reuse-distance profilers."""
 
-import math
 
 import pytest
 

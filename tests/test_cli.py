@@ -2,9 +2,13 @@
 
 import json
 
+import numpy as np
 import pytest
 
 from repro.cli import _parse_assignment, build_parser, main
+from repro.core.power_model import CorePowerModel, PowerTrainingSet
+from repro.events import Event, RATE_EVENTS
+from repro.io import save_power_model
 
 
 class TestParsing:
@@ -20,6 +24,10 @@ class TestParsing:
         with pytest.raises(ValueError):
             _parse_assignment(["0=linpack"])
 
+    def test_parse_assignment_rejects_duplicate_core(self):
+        with pytest.raises(ValueError, match="core 0 assigned twice"):
+            _parse_assignment(["0=mcf", "0=gzip"])
+
     def test_parser_builds(self):
         parser = build_parser()
         args = parser.parse_args(["machines"])
@@ -32,6 +40,15 @@ class TestListingCommands:
         out = capsys.readouterr().out
         assert "4-core-server" in out
         assert "2-core-workstation" in out
+
+    def test_machines_json(self, capsys):
+        assert main(["machines", "--json"]) == 0
+        data = json.loads(capsys.readouterr().out)
+        workstation = data["machines"]["2-core-workstation"]
+        assert workstation["cores"] == 2
+        assert all(
+            {"cores", "ways", "sets"} == set(d) for d in workstation["domains"]
+        )
 
     def test_benchmarks(self, capsys):
         assert main(["benchmarks"]) == 0
@@ -73,3 +90,90 @@ class TestProfilePredictFlow:
         assert code == 0
         out = capsys.readouterr().out
         assert "Co-run prediction" in out
+
+        capsys.readouterr()
+        code = main(["predict", "--suite", str(suite), "--ways", "4",
+                     "--json", "gzip", "gzip"])
+        assert code == 0
+        data = json.loads(capsys.readouterr().out)
+        assert data["kind"] == "mix_prediction"
+        names = [p["name"] for p in data["prediction"]["processes"]]
+        assert names == ["gzip", "gzip"]
+
+
+@pytest.fixture(scope="module")
+def synthetic_power_model():
+    """A fitted Eq. 9 model without paying for train-power at the CLI."""
+    rng = np.random.default_rng(0)
+    training = PowerTrainingSet()
+    for _ in range(40):
+        rates = {event: rng.uniform(0, 1e8) for event in RATE_EVENTS}
+        power = 11.0 + 8e-8 * rates[Event.L1_REFS] + 2e-7 * rates[Event.L2_MISSES]
+        training.add(rates, power)
+    return CorePowerModel().fit(training, idle_core_watts=11.0)
+
+
+class TestAssignFlow:
+    def test_assign_end_to_end(self, tmp_path, capsys, synthetic_power_model):
+        suite = tmp_path / "suite.json"
+        model = tmp_path / "power.json"
+        save_power_model(synthetic_power_model, model)
+        assert main(
+            ["--sets", "32", "--quick", "profile",
+             "--machine", "2-core-workstation", "--out", str(suite),
+             "mcf", "gzip"]
+        ) == 0
+        capsys.readouterr()
+        code = main(
+            ["--sets", "32", "assign", "--machine", "2-core-workstation",
+             "--suite", str(suite), "--power-model", str(model),
+             "mcf", "gzip"]
+        )
+        assert code == 0
+        data = json.loads(capsys.readouterr().out)
+        assert data["kind"] == "assignment_pick"
+        assert data["strategy"] == "exhaustive"
+        placed = sorted(
+            name
+            for names in data["decision"]["assignment"].values()
+            for name in names
+        )
+        assert placed == ["gzip", "mcf"]
+        assert data["decision"]["predicted_watts"] > 0
+
+
+class TestObservabilityFlags:
+    def test_trace_and_metrics_files(self, tmp_path, capsys):
+        suite = tmp_path / "suite.json"
+        trace = tmp_path / "trace.json"
+        metrics = tmp_path / "metrics.json"
+        code = main(
+            ["--sets", "32", "--quick", "profile",
+             "--machine", "2-core-workstation", "--out", str(suite),
+             "--trace", str(trace), "--metrics", str(metrics), "gzip"]
+        )
+        assert code == 0
+        capsys.readouterr()
+
+        trace_doc = json.loads(trace.read_text())
+        assert trace_doc["kind"] == "trace"
+        assert trace_doc["version"] == 1
+        span_names = {span["name"] for span in trace_doc["spans"]}
+        assert {"profile.suite", "profile.process", "simulate"} <= span_names
+
+        metrics_doc = json.loads(metrics.read_text())
+        assert metrics_doc["kind"] == "metrics"
+        assert metrics_doc["version"] == 1
+        counters = metrics_doc["counters"]
+        assert counters["profile.processes"] == 1.0
+        assert counters["sim.instructions"] > 0
+
+    def test_files_written_even_on_failure(self, tmp_path, capsys):
+        metrics = tmp_path / "metrics.json"
+        code = main(
+            ["run", "--machine", "2-core-workstation",
+             "--metrics", str(metrics), "0=nosuch"]
+        )
+        assert code == 2
+        assert "error:" in capsys.readouterr().err
+        assert json.loads(metrics.read_text())["kind"] == "metrics"

@@ -1,6 +1,5 @@
 """Unit tests for MissRatioCurve and the Eq. 8 reconstruction."""
 
-import numpy as np
 import pytest
 
 from repro.core.histogram import ReuseDistanceHistogram

@@ -4,7 +4,6 @@ Each test feeds a component degenerate or adversarial input and checks
 it fails loudly (the library's contract: errors never pass silently).
 """
 
-import math
 
 import numpy as np
 import pytest

@@ -1,13 +1,26 @@
 """Unit tests for JSON persistence of profiles and models."""
 
+import json
+
 import numpy as np
 import pytest
+from hypothesis import given, settings
+from hypothesis import strategies as st
 
+from repro.core.assignment import AssignmentDecision
+from repro.core.equilibrium import EquilibriumResult, SolverTelemetry
 from repro.core.feature import FeatureVector, ProfileVector
+from repro.core.performance_model import CoRunPrediction, ProcessPrediction
 from repro.core.power_model import CorePowerModel, PowerTrainingSet
 from repro.errors import ConfigurationError
 from repro.events import Event, RATE_EVENTS
 from repro.io import (
+    assignment_decision_from_dict,
+    assignment_decision_to_dict,
+    corun_prediction_from_dict,
+    corun_prediction_to_dict,
+    equilibrium_result_from_dict,
+    equilibrium_result_to_dict,
     feature_from_dict,
     feature_to_dict,
     load_feature,
@@ -20,6 +33,8 @@ from repro.io import (
     save_feature,
     save_power_model,
     save_profile_suite,
+    telemetry_from_dict,
+    telemetry_to_dict,
 )
 from repro.workloads.spec import BENCHMARKS
 
@@ -119,9 +134,13 @@ class TestSuiteRoundtrip:
 class TestPowerModelRoundtrip:
     def test_dict_roundtrip_exact(self, power_model):
         recovered = power_model_from_dict(power_model_to_dict(power_model))
-        assert recovered.p_idle == pytest.approx(power_model.p_idle)
-        for key, value in power_model.coefficients.items():
-            assert recovered.coefficients[key] == pytest.approx(value, rel=1e-6)
+        assert recovered.p_idle == power_model.p_idle
+        assert recovered.coefficients == power_model.coefficients
+        assert recovered.r_squared == power_model.r_squared
+
+    def test_document_roundtrip_is_identity(self, power_model):
+        doc = power_model_to_dict(power_model)
+        assert power_model_to_dict(power_model_from_dict(doc)) == doc
 
     def test_predictions_preserved(self, power_model, tmp_path):
         path = tmp_path / "model.json"
@@ -131,3 +150,115 @@ class TestPowerModelRoundtrip:
         assert recovered.core_power(rates) == pytest.approx(
             power_model.core_power(rates), rel=1e-6
         )
+
+
+# ----------------------------------------------------------------------
+# Result-type round-trips
+# ----------------------------------------------------------------------
+finite_floats = st.floats(
+    min_value=-1e6, max_value=1e6, allow_nan=False, allow_infinity=False
+)
+positive_floats = st.floats(
+    min_value=1e-12, max_value=1e6, allow_nan=False, allow_infinity=False
+)
+
+
+@st.composite
+def telemetries(draw):
+    return SolverTelemetry(
+        strategy=draw(st.sampled_from(["auto", "newton", "bisection"])),
+        solver=draw(st.sampled_from(["newton", "bisection", "uncontended"])),
+        jacobian=draw(st.sampled_from([None, "analytic", "fd"])),
+        iterations=draw(st.integers(min_value=0, max_value=10_000)),
+        residual_norm=draw(st.floats(min_value=0, max_value=1.0)),
+        warm_started=draw(st.booleans()),
+        fallback_reason=draw(st.one_of(st.none(), st.text(max_size=40))),
+    )
+
+
+@st.composite
+def equilibrium_results(draw):
+    n = draw(st.integers(min_value=1, max_value=4))
+    return EquilibriumResult(
+        sizes=tuple(draw(positive_floats) for _ in range(n)),
+        mpas=tuple(draw(st.floats(min_value=0, max_value=1)) for _ in range(n)),
+        spis=tuple(draw(positive_floats) for _ in range(n)),
+        solver=draw(st.sampled_from(["newton", "bisection", "uncontended"])),
+        iterations=draw(st.integers(min_value=0, max_value=10_000)),
+        contended=draw(st.booleans()),
+        telemetry=draw(st.one_of(st.none(), telemetries())),
+    )
+
+
+@st.composite
+def assignment_decisions(draw):
+    cores = draw(st.lists(st.integers(0, 7), min_size=1, max_size=4, unique=True))
+    names = st.sampled_from(sorted(BENCHMARKS))
+    return AssignmentDecision(
+        assignment={
+            core: tuple(draw(st.lists(names, min_size=1, max_size=3)))
+            for core in cores
+        },
+        predicted_watts=draw(positive_floats),
+        predicted_ips=draw(positive_floats),
+        objective=draw(st.sampled_from(["power", "throughput"])),
+        score=draw(finite_floats),
+        candidates_evaluated=draw(st.integers(min_value=1, max_value=10_000)),
+    )
+
+
+class TestResultRoundtrips:
+    """to_dict -> json -> from_dict is the identity for result types."""
+
+    @settings(max_examples=30, deadline=None)
+    @given(telemetry=telemetries())
+    def test_telemetry_property(self, telemetry):
+        doc = json.loads(json.dumps(telemetry_to_dict(telemetry)))
+        assert telemetry_from_dict(doc) == telemetry
+
+    @settings(max_examples=30, deadline=None)
+    @given(result=equilibrium_results())
+    def test_equilibrium_result_property(self, result):
+        doc = json.loads(json.dumps(equilibrium_result_to_dict(result)))
+        assert equilibrium_result_from_dict(doc) == result
+
+    @settings(max_examples=30, deadline=None)
+    @given(decision=assignment_decisions())
+    def test_assignment_decision_property(self, decision):
+        doc = json.loads(json.dumps(assignment_decision_to_dict(decision)))
+        assert assignment_decision_from_dict(doc) == decision
+
+    def test_corun_prediction_roundtrip(self):
+        prediction = CoRunPrediction(
+            processes=(
+                ProcessPrediction(
+                    name="mcf", effective_size=5.0, mpa=0.7, spi=4e-8
+                ),
+                ProcessPrediction(
+                    name="gzip", effective_size=3.0, mpa=0.2, spi=4e-9
+                ),
+            ),
+            solver="newton",
+            contended=True,
+        )
+        doc = json.loads(json.dumps(corun_prediction_to_dict(prediction)))
+        assert corun_prediction_from_dict(doc) == prediction
+
+    def test_methods_mirror_converters(self):
+        telemetry = SolverTelemetry(
+            strategy="auto", solver="newton", jacobian="analytic",
+            iterations=4, residual_norm=1e-10,
+        )
+        assert SolverTelemetry.from_dict(telemetry.to_dict()) == telemetry
+        prediction = ProcessPrediction(
+            name="art", effective_size=2.0, mpa=0.5, spi=1e-8
+        )
+        assert ProcessPrediction.from_dict(prediction.to_dict()) == prediction
+
+    def test_wrong_kind_rejected(self):
+        telemetry = SolverTelemetry(
+            strategy="auto", solver="newton", jacobian=None,
+            iterations=1, residual_norm=0.0,
+        )
+        with pytest.raises(ConfigurationError, match="expected kind"):
+            equilibrium_result_from_dict(telemetry_to_dict(telemetry))

@@ -111,7 +111,7 @@ class TestCoreSchedule:
     def test_slice_jitter_bounds(self):
         schedule = CoreSchedule(0, [make_process()], timeslice_s=0.01, seed=7, jitter=0.15)
         lengths = [schedule._slice_length() for _ in range(200)]
-        assert all(0.0085 - 1e-12 <= l <= 0.0115 + 1e-12 for l in lengths)
+        assert all(0.0085 - 1e-12 <= s <= 0.0115 + 1e-12 for s in lengths)
 
     def test_validation(self):
         with pytest.raises(ConfigurationError):

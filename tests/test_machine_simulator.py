@@ -3,7 +3,7 @@
 import pytest
 
 from repro.errors import ConfigurationError, SimulationError
-from repro.machine.simulator import MachineSimulation, PowerEnvironment
+from repro.machine.simulator import MachineSimulation
 from repro.workloads.spec import BENCHMARKS
 from repro.workloads.stressmark import make_stressmark
 

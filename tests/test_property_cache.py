@@ -5,7 +5,6 @@ access hits iff its global stack distance is < C — the exact link
 between the simulator substrate and Eq. 2 of the paper.
 """
 
-import pytest
 from hypothesis import given, settings
 from hypothesis import strategies as st
 

@@ -1,6 +1,5 @@
 """Property-based tests for histograms and miss-ratio curves."""
 
-import math
 
 import numpy as np
 import pytest

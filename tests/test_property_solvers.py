@@ -22,6 +22,7 @@ from repro.core.equilibrium import (
     BisectionSolver,
     EquilibriumProcess,
     NewtonSolver,
+    _eq7_residual_norm,
 )
 from repro.core.histogram import ReuseDistanceHistogram
 from repro.core.mpa import MissRatioCurve
@@ -97,9 +98,25 @@ class TestCapacityInvariant:
         # sizes only when bisection's own residual shows it actually
         # pinned the equilibrium; the residual check above is the
         # sharp statement that Newton solved the system.
-        if bisection.telemetry.residual_norm < 1e-3:
-            for a, b in zip(newton.sizes, bisection.sizes):
-                assert a == pytest.approx(b, abs=0.5)
+        if bisection.telemetry.residual_norm >= 1e-3:
+            return
+        disagreement = max(
+            abs(a - b) for a, b in zip(newton.sizes, bisection.sizes)
+        )
+        if disagreement <= 0.5:
+            return
+        # Eq. 7 admits multiple fixed points for some histograms.  When
+        # both solvers certify a small residual at different size
+        # vectors, demand a certificate that they sit in distinct
+        # basins: the midpoint between two separate roots must have a
+        # much larger residual (the curve humps between them).  A flat
+        # residual through the midpoint would mean the two points are
+        # the *same* valley and the solvers genuinely disagree.
+        mid = [(a + b) / 2.0 for a, b in zip(newton.sizes, bisection.sizes)]
+        worst = max(
+            newton.telemetry.residual_norm, bisection.telemetry.residual_norm
+        )
+        assert _eq7_residual_norm(processes, mid, WAYS) > 100.0 * worst
 
 
 class TestBatchScalarEquivalence:
@@ -208,7 +225,11 @@ class TestJacobianAgreement:
         # Row 0 is the capacity constraint in both.
         assert np.allclose(analytic[0], 1.0)
         assert np.allclose(fd[0], 1.0, atol=1e-6)
-        assert np.allclose(analytic, fd, rtol=5e-3, atol=1e-6)
+        # jacobian_fd is a *forward* difference with h = 1e-4, so its
+        # truncation error is O(h · curvature) in absolute terms; the
+        # Eq. 7 rows are normalized ratios with O(1) entries, which
+        # makes 1e-3 the honest absolute floor for near-zero entries.
+        assert np.allclose(analytic, fd, rtol=5e-3, atol=1e-3)
 
     @given(st.lists(equilibrium_processes(), min_size=2, max_size=3))
     @settings(max_examples=15, deadline=None)
@@ -217,6 +238,19 @@ class TestJacobianAgreement:
             analytic = NewtonSolver(jacobian="analytic").solve(processes, WAYS)
             fd = NewtonSolver(jacobian="fd").solve(processes, WAYS)
         except ConvergenceError:
+            return
+        disagreement = max(
+            abs(a - b) for a, b in zip(analytic.sizes, fd.sizes)
+        )
+        if disagreement > 0.5:
+            # Distinct Eq. 7 fixed points: both modes converged (small
+            # residuals), so demand the distinct-basin certificate —
+            # the residual must hump between two separate roots.
+            mid = [(a + b) / 2.0 for a, b in zip(analytic.sizes, fd.sizes)]
+            worst = max(
+                analytic.telemetry.residual_norm, fd.telemetry.residual_norm
+            )
+            assert _eq7_residual_norm(processes, mid, WAYS) > 100.0 * worst
             return
         for a, b in zip(analytic.sizes, fd.sizes):
             assert a == pytest.approx(b, abs=1e-4)

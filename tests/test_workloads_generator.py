@@ -6,7 +6,6 @@ exact per-set reuse-distance profiler recovers the target profile.
 
 import math
 
-import numpy as np
 import pytest
 
 from repro.cache.reuse import SetReuseProfiler

@@ -9,7 +9,6 @@ from repro.errors import ConfigurationError
 from repro.workloads.generator import build_generator
 from repro.workloads.phased import (
     PhaseSegment,
-    PhasedBenchmark,
     PhasedTraceGenerator,
     make_phased_benchmark,
     phase_benchmark,
