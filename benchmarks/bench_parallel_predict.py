@@ -1,0 +1,113 @@
+"""Speedup and bit-equality of the repro.parallel batch engine.
+
+Prices three disjoint 32-mix batches serially and through a warm
+4-worker :class:`~repro.parallel.ParallelPredictor` pool.  Two things
+are pinned:
+
+- **Bit-equality, always.**  The engine's contract is that serial and
+  parallel execution return *exactly* the same floats (cold-start
+  solves depend only on the co-run, never on solve order), so every
+  batch is compared with ``==`` down to the last bit on every machine.
+- **Speedup, where it is physically possible.**  On a host with at
+  least 4 CPUs the warm pool must price a 32-mix batch at least 2x
+  faster than serial.  On smaller hosts (CI runners with 1–2 cores)
+  real parallel speedup cannot exist, so the ratio is reported but not
+  asserted.
+
+The pool is warmed (workers started, profiles pickled, imports done)
+and both paths solve a throwaway batch before anything is timed, so
+the measurement is the steady-state batch cost, not pool start-up.
+Each timed batch uses mixes neither path has seen, keeping both sides
+on the cold full-solve path.  The bisection solver strategy is used
+because its per-mix cost (~1.5 ms) is representative of production
+batches and large enough that chunk IPC does not dominate.
+"""
+
+import itertools
+import os
+import statistics
+import time
+
+from conftest import QUICK, once, report
+
+from repro.analysis.tables import render_table
+from repro.core.feature import FeatureVector
+from repro.parallel import ParallelPredictor
+from repro.workloads.spec import BENCHMARKS, PAPER_EIGHT
+
+WAYS = 16
+WORKERS = 4
+BATCH = 32
+STRATEGY = "bisection"
+
+
+def _batches():
+    """Three disjoint batches (by mix size, so no cross-batch cache hits)."""
+    names = list(PAPER_EIGHT)
+    size = 8 if QUICK else BATCH
+    batches = []
+    for mix_size in (5, 4, 6):
+        combos = itertools.combinations(names, mix_size)
+        batches.append([list(combo) for combo in itertools.islice(combos, size)])
+    return batches
+
+
+def _measure():
+    features = [FeatureVector.oracle(BENCHMARKS[n], 2e8) for n in PAPER_EIGHT]
+    serial = ParallelPredictor(features, ways=WAYS, strategy=STRATEGY, workers=1)
+    parallel = ParallelPredictor(
+        features, ways=WAYS, strategy=STRATEGY, workers=WORKERS
+    )
+    rows, ratios, mismatches = [], [], 0
+    with serial, parallel:
+        parallel.warm_up()
+        warmup_batch = [[name] for name in PAPER_EIGHT]
+        serial.predict_mixes(warmup_batch)
+        parallel.predict_mixes(warmup_batch)
+        for batch in _batches():
+            start = time.perf_counter()
+            serial_results = serial.predict_mixes(batch)
+            t_serial = time.perf_counter() - start
+            start = time.perf_counter()
+            parallel_results = parallel.predict_mixes(batch)
+            t_parallel = time.perf_counter() - start
+            if serial_results != parallel_results:
+                mismatches += 1
+            ratios.append(t_serial / t_parallel)
+            rows.append(
+                (len(batch), t_serial * 1e3, t_parallel * 1e3, t_serial / t_parallel)
+            )
+        merged = parallel.cache_stats
+    return {
+        "rows": rows,
+        "speedup": statistics.median(ratios),
+        "mismatches": mismatches,
+        "merged_entries": merged.entries,
+    }
+
+
+def test_parallel_predict_speedup_and_equality(benchmark):
+    result = once(benchmark, _measure)
+    cpus = os.cpu_count() or 1
+    lines = [
+        render_table(
+            ["Mixes", "Serial (ms)", f"{WORKERS} workers (ms)", "Speedup"],
+            result["rows"],
+            title=f"Batched co-run prediction, warm pool, {cpus} host CPUs",
+            float_format="{:.3g}",
+        ),
+        "",
+        f"Median speedup: {result['speedup']:.2f}x; "
+        f"{result['merged_entries']} worker solutions merged into the "
+        "parent cache",
+    ]
+    report("parallel_predict", "\n".join(lines))
+
+    assert result["mismatches"] == 0, (
+        "serial and parallel batches disagreed bit-for-bit"
+    )
+    if cpus >= WORKERS and not QUICK:
+        assert result["speedup"] >= 2.0, (
+            f"median speedup {result['speedup']:.2f}x < 2x at {WORKERS} "
+            f"workers on a {cpus}-CPU host"
+        )

@@ -32,6 +32,7 @@ from repro.api import (
     load_suite,
     pick_assignment,
     predict_mix,
+    predict_mixes,
     profile_suite,
     train_power,
 )
@@ -62,6 +63,7 @@ __all__ = [
     "AssignmentPick",
     "profile_suite",
     "predict_mix",
+    "predict_mixes",
     "train_power",
     "pick_assignment",
     "load_suite",

@@ -50,6 +50,7 @@ __all__ = [
     "AssignmentPick",
     "profile_suite",
     "predict_mix",
+    "predict_mixes",
     "train_power",
     "pick_assignment",
     "load_suite",
@@ -270,6 +271,47 @@ def predict_mix(
     return MixPrediction(ways=ways, names=tuple(names), prediction=prediction)
 
 
+def predict_mixes(
+    mixes: Sequence[Sequence[str]],
+    suite: Union[ProfileSuiteResult, Pathish],
+    *,
+    ways: int,
+    strategy: str = "auto",
+    workers: Optional[int] = None,
+    chunk_size: Optional[int] = None,
+) -> Tuple[MixPrediction, ...]:
+    """Price a batch of co-run combinations, optionally in parallel.
+
+    Results are ordered like ``mixes`` and are bit-identical for any
+    ``workers`` value: the batch engine solves every mix from the cold
+    start (see :mod:`repro.parallel`), which is also what each
+    independent :func:`predict_mix` call does.
+
+    Args:
+        mixes: Co-run combinations, each a sequence of process names.
+        suite: A :class:`ProfileSuiteResult` or path to a saved suite.
+        ways: Associativity of the shared cache being modelled.
+        strategy: Equilibrium solver strategy.
+        workers: Worker processes; ``None``/``0``/``1`` run serially.
+        chunk_size: Mixes shipped per worker round trip.
+    """
+    from repro.parallel import predict_mixes as batch_predict
+
+    resolved = _resolve_suite(suite)
+    predictions = batch_predict(
+        resolved.features,
+        mixes,
+        ways=ways,
+        strategy=strategy,
+        workers=workers,
+        chunk_size=chunk_size,
+    )
+    return tuple(
+        MixPrediction(ways=ways, names=tuple(mix), prediction=prediction)
+        for mix, prediction in zip(mixes, predictions)
+    )
+
+
 def train_power(
     machine: str = "4-core-server",
     *,
@@ -315,6 +357,7 @@ def pick_assignment(
     sets: int = 128,
     objective: str = "power",
     greedy: bool = False,
+    workers: Optional[int] = None,
 ) -> AssignmentPick:
     """Pick the best process-to-core mapping from profiles (Section 6).
 
@@ -326,13 +369,38 @@ def pick_assignment(
         sets: Cache set scaling.
         objective: ``power`` / ``throughput`` / ``energy_per_instruction``.
         greedy: Use the O(k·N) greedy searcher instead of exhaustive.
+        workers: Score exhaustive candidates across this many worker
+            processes (same decision as serial; see
+            :mod:`repro.parallel`).  Incompatible with ``greedy``,
+            which is inherently sequential.
     """
     from repro.io import load_power_model
 
+    if workers is not None and workers > 1 and greedy:
+        raise ConfigurationError(
+            "greedy assignment places processes sequentially and cannot "
+            "fan out; drop workers or use the exhaustive searcher"
+        )
     topology = _topology(machine, sets)
     resolved = _resolve_suite(suite)
     if not isinstance(power_model, CorePowerModel):
         power_model = load_power_model(power_model)
+    if workers is not None and workers > 1:
+        from repro.parallel import parallel_exhaustive_assignment
+
+        decision = parallel_exhaustive_assignment(
+            resolved.features,
+            resolved.profiles,
+            power_model,
+            machine=machine,
+            sets=sets,
+            process_names=list(names),
+            objective=objective,
+            workers=workers,
+        )
+        return AssignmentPick(
+            machine=machine, strategy="exhaustive", decision=decision
+        )
     ways = topology.domains[0].geometry.ways
     perf = PerformanceModel(ways=ways)
     perf.register_all(list(resolved.features.values()))

@@ -139,9 +139,64 @@ def cmd_profile(args: argparse.Namespace) -> int:
     return 0
 
 
-def cmd_predict(args: argparse.Namespace) -> int:
-    from repro.api import predict_mix
+def _load_batch_mixes(path: str) -> Tuple[Tuple[str, ...], ...]:
+    """Read a batch file: a bare JSON list of mixes or {"mixes": [...]}."""
+    with open(path, "r") as handle:
+        document = json.load(handle)
+    if isinstance(document, dict):
+        document = document.get("mixes")
+    if not isinstance(document, list) or not document:
+        raise ValueError(
+            f"{path}: expected a non-empty JSON list of mixes "
+            '(or {"mixes": [...]})'
+        )
+    mixes = []
+    for entry in document:
+        if not isinstance(entry, list) or not all(
+            isinstance(name, str) for name in entry
+        ):
+            raise ValueError(
+                f"{path}: each mix must be a list of process names, got {entry!r}"
+            )
+        mixes.append(tuple(entry))
+    return tuple(mixes)
 
+
+def cmd_predict(args: argparse.Namespace) -> int:
+    from repro.api import predict_mix, predict_mixes
+
+    if args.batch and args.names:
+        raise ValueError("give either process names or --batch FILE, not both")
+    if not args.batch and not args.names:
+        raise ValueError("give process names to predict, or --batch FILE")
+    if args.batch:
+        mixes = _load_batch_mixes(args.batch)
+        results = predict_mixes(
+            mixes, args.suite, ways=args.ways, workers=args.workers
+        )
+        if getattr(args, "as_json", False):
+            document = {
+                "kind": "mix_prediction_batch",
+                "version": 1,
+                "predictions": [result.to_dict() for result in results],
+            }
+            print(json.dumps(document, indent=2, sort_keys=True))
+            return 0
+        rows = [
+            (index, p.name, p.effective_size, p.mpa, p.spi, p.ips)
+            for index, result in enumerate(results)
+            for p in result.prediction.processes
+        ]
+        print(
+            render_table(
+                ["Mix", "Process", "Eff. size (ways)", "MPA", "SPI (s)", "IPS"],
+                rows,
+                title=f"{len(results)} co-run predictions on a "
+                f"{args.ways}-way shared cache",
+                float_format="{:.4g}",
+            )
+        )
+        return 0
     mix = predict_mix(args.names, args.suite, ways=args.ways)
     if getattr(args, "as_json", False):
         print(json.dumps(mix.to_dict(), indent=2, sort_keys=True))
@@ -225,6 +280,7 @@ def cmd_assign(args: argparse.Namespace) -> int:
         sets=args.sets,
         objective=args.objective,
         greedy=args.greedy,
+        workers=args.workers,
     )
     print(json.dumps(pick.to_dict(), indent=2, sort_keys=True))
     return 0
@@ -314,11 +370,21 @@ def build_parser() -> argparse.ArgumentParser:
     predict.add_argument("--suite", required=True, help="profile-suite JSON")
     predict.add_argument("--ways", type=int, required=True)
     predict.add_argument(
+        "--batch", metavar="FILE", default=None,
+        help="predict every mix in FILE (JSON list of name lists, "
+        'or {"mixes": [...]}) instead of a single co-run',
+    )
+    predict.add_argument(
+        "--workers", type=int, default=None,
+        help="worker processes for --batch (results are bit-identical "
+        "to serial)",
+    )
+    predict.add_argument(
         "--json", dest="as_json", action="store_true",
         help="emit the prediction as JSON instead of a table",
     )
     _add_obs_flags(predict)
-    predict.add_argument("names", nargs="+")
+    predict.add_argument("names", nargs="*")
     predict.set_defaults(func=cmd_predict)
 
     train = commands.add_parser("train-power", help="train and save the Eq. 9 model")
@@ -343,6 +409,11 @@ def build_parser() -> argparse.ArgumentParser:
         default="power",
     )
     assign.add_argument("--greedy", action="store_true")
+    assign.add_argument(
+        "--workers", type=int, default=None,
+        help="score exhaustive candidates across this many worker "
+        "processes (same decision as serial)",
+    )
     _add_obs_flags(assign)
     assign.add_argument("names", nargs="+")
     assign.set_defaults(func=cmd_assign)

@@ -16,7 +16,7 @@ from __future__ import annotations
 
 import itertools
 from dataclasses import dataclass
-from typing import Callable, Dict, List, Mapping, Optional, Sequence, Tuple
+from typing import Callable, Dict, Iterator, List, Mapping, Optional, Sequence, Tuple
 
 from repro.core.combined import Assignment, CombinedModel
 from repro.errors import ConfigurationError
@@ -55,7 +55,14 @@ class AssignmentDecision:
         return assignment_decision_from_dict(data)
 
 
-def _score(model: CombinedModel, assignment: Assignment, objective: str) -> Tuple[float, float, float]:
+def score_assignment(
+    model: CombinedModel, assignment: Assignment, objective: str
+) -> Tuple[float, float, float]:
+    """``(score, watts, ips)`` of one candidate under an objective.
+
+    Shared by both searchers here and by the :mod:`repro.parallel`
+    chunk evaluator, so every path prices a candidate identically.
+    """
     watts = model.estimate_assignment_power(assignment).watts
     ips = model.estimate_assignment_throughput(assignment)
     return OBJECTIVES[objective](watts, ips), watts, ips
@@ -67,6 +74,40 @@ def _canonical(assignment: Mapping[int, Sequence[str]]) -> Dict[int, Tuple[str, 
         for core, names in sorted(assignment.items())
         if names
     }
+
+
+def enumerate_candidates(
+    num_cores: int,
+    process_names: Sequence[str],
+    max_per_core: Optional[int] = None,
+) -> Iterator[Dict[int, Tuple[str, ...]]]:
+    """Canonical candidate assignments in a deterministic order.
+
+    Every function from processes to cores, canonicalised (idle cores
+    dropped) and deduplicated so symmetric placements appear once.
+    Both the serial exhaustive searcher and the parallel evaluator in
+    :mod:`repro.parallel` consume this stream; sharing it is what
+    keeps their candidate indices — and therefore their tie-breaking —
+    aligned.
+    """
+    cores = range(num_cores)
+    seen = set()
+    for placement in itertools.product(cores, repeat=len(process_names)):
+        assignment: Dict[int, List[str]] = {}
+        for name, core in zip(process_names, placement):
+            assignment.setdefault(core, []).append(name)
+        if max_per_core is not None and any(
+            len(names) > max_per_core for names in assignment.values()
+        ):
+            continue
+        canonical = _canonical(assignment)
+        key = tuple(
+            sorted((core, tuple(sorted(names))) for core, names in canonical.items())
+        )
+        if key in seen:
+            continue
+        seen.add(key)
+        yield canonical
 
 
 def exhaustive_assignment(
@@ -118,24 +159,12 @@ def _exhaustive_impl(
     objective: str,
     max_per_core: Optional[int],
 ) -> AssignmentDecision:
-    cores = range(model.topology.num_cores)
     best: Optional[AssignmentDecision] = None
-    seen = set()
     evaluated = 0
-    for placement in itertools.product(cores, repeat=len(process_names)):
-        assignment: Dict[int, List[str]] = {}
-        for name, core in zip(process_names, placement):
-            assignment.setdefault(core, []).append(name)
-        if max_per_core is not None and any(
-            len(names) > max_per_core for names in assignment.values()
-        ):
-            continue
-        canonical = _canonical(assignment)
-        key = tuple(sorted((core, tuple(sorted(names))) for core, names in canonical.items()))
-        if key in seen:
-            continue
-        seen.add(key)
-        score, watts, ips = _score(model, canonical, objective)
+    for canonical in enumerate_candidates(
+        model.topology.num_cores, process_names, max_per_core
+    ):
+        score, watts, ips = score_assignment(model, canonical, objective)
         evaluated += 1
         if best is None or score < best.score:
             best = AssignmentDecision(
@@ -207,7 +236,7 @@ def _greedy_impl(
                 continue
             trial = {c: list(v) for c, v in assignment.items()}
             trial.setdefault(core, []).append(name)
-            score, _, _ = _score(model, _canonical(trial), objective)
+            score, _, _ = score_assignment(model, _canonical(trial), objective)
             evaluated += 1
             if score < best_score:
                 best_score = score
@@ -216,7 +245,7 @@ def _greedy_impl(
             raise ConfigurationError("no feasible core for process under constraints")
         assignment.setdefault(best_core, []).append(name)
     canonical = _canonical(assignment)
-    score, watts, ips = _score(model, canonical, objective)
+    score, watts, ips = score_assignment(model, canonical, objective)
     return AssignmentDecision(
         assignment=canonical,
         predicted_watts=watts,

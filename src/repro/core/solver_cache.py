@@ -27,7 +27,7 @@ from __future__ import annotations
 import threading
 from collections import OrderedDict
 from dataclasses import dataclass
-from typing import Any, Dict, Hashable, List, Optional, Sequence
+from typing import Any, Dict, Hashable, List, Optional, Sequence, Tuple
 
 from repro.errors import ConfigurationError
 from repro.obs import get_observer
@@ -54,6 +54,22 @@ class CacheStats:
         lookups = self.lookups
         return self.hits / lookups if lookups else 0.0
 
+    def delta_since(self, earlier: "CacheStats") -> "CacheStats":
+        """Counter increments between two snapshots of one cache.
+
+        ``entries``/``max_entries`` are states, not counters, and keep
+        their current values.  Used by the batch engine to ship only
+        the work one chunk did.
+        """
+        return CacheStats(
+            hits=self.hits - earlier.hits,
+            misses=self.misses - earlier.misses,
+            evictions=self.evictions - earlier.evictions,
+            warm_starts=self.warm_starts - earlier.warm_starts,
+            entries=self.entries,
+            max_entries=self.max_entries,
+        )
+
     def __str__(self) -> str:
         return (
             f"{self.hits}/{self.lookups} hits ({self.hit_rate * 100:.1f} %), "
@@ -69,12 +85,20 @@ class EquilibriumCache:
         max_entries: Capacity bound.  Beyond it the least recently
             used entry is evicted.  ``0`` disables storage entirely
             (every lookup misses) — useful for honest benchmarking.
+        warm_start: When ``False``, :meth:`suggest_initial` always
+            returns ``None`` so every cache miss is solved from the
+            cold proportional-demand guess.  Cold solves depend only
+            on the co-run itself — not on which solves happened
+            before — which is what makes the :mod:`repro.parallel`
+            batch engine bit-identical between serial and parallel
+            execution.
     """
 
-    def __init__(self, max_entries: int = 4096):
+    def __init__(self, max_entries: int = 4096, warm_start: bool = True):
         if max_entries < 0:
             raise ConfigurationError("max_entries must be non-negative")
         self.max_entries = max_entries
+        self.warm_start = warm_start
         self._data: "OrderedDict[Hashable, Any]" = OrderedDict()
         self._last_sizes: Dict[str, float] = {}
         self._lock = threading.Lock()
@@ -150,8 +174,11 @@ class EquilibriumCache:
 
         Returns the processes' most recent equilibrium sizes rescaled
         to the Eq. 1 capacity, or ``None`` when any process has never
-        been solved (the solver's default guess is then as good).
+        been solved (the solver's default guess is then as good) or
+        warm starting is disabled.
         """
+        if not self.warm_start:
+            return None
         with self._lock:
             try:
                 sizes = [self._last_sizes[name] for name in names]
@@ -167,6 +194,39 @@ class EquilibriumCache:
         if observer.enabled:
             observer.counter("solver_cache.warm_starts").inc()
         return suggestion
+
+    # ------------------------------------------------------------------
+    # Batch-engine merge (repro.parallel)
+    # ------------------------------------------------------------------
+    def export_entries(self) -> List[Tuple[Hashable, Any]]:
+        """All ``(key, value)`` pairs, least recently used first.
+
+        Worker processes export their per-worker caches with this so
+        the parent can absorb the solutions after a batch.
+        """
+        with self._lock:
+            return list(self._data.items())
+
+    def absorb(
+        self,
+        entries: Optional[Sequence[Tuple[Hashable, Any]]] = None,
+        stats: Optional[CacheStats] = None,
+    ) -> None:
+        """Merge a worker cache's entries and/or telemetry into this one.
+
+        ``entries`` are inserted through :meth:`put` (LRU/eviction
+        rules apply); ``stats`` counters are *added* to this cache's,
+        so the parent's telemetry reflects the whole fleet's work.
+        """
+        if entries is not None:
+            for key, value in entries:
+                self.put(key, value)
+        if stats is not None:
+            with self._lock:
+                self._hits += stats.hits
+                self._misses += stats.misses
+                self._evictions += stats.evictions
+                self._warm_starts += stats.warm_starts
 
     # ------------------------------------------------------------------
     # Telemetry

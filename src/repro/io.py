@@ -23,8 +23,9 @@ so files are self-describing and future-proof.
 from __future__ import annotations
 
 import json
+import math
 import pathlib
-from typing import Dict, Union
+from typing import Any, Dict, Union
 
 import numpy as np
 
@@ -463,8 +464,57 @@ def assignment_pick_from_dict(data: Dict):
 # ----------------------------------------------------------------------
 # Suites and files
 # ----------------------------------------------------------------------
+def _require_finite(node: Any, path: str = "$") -> None:
+    """Reject NaN/Infinity anywhere in a JSON-bound structure.
+
+    ``json.dumps`` defaults to ``allow_nan=True`` and would emit bare
+    ``NaN``/``Infinity`` tokens — invalid JSON that breaks round-trips
+    and strict parsers.  This walk names the offending key path, which
+    the ``ValueError`` from ``allow_nan=False`` alone does not.
+    """
+    if isinstance(node, float):
+        if not math.isfinite(node):
+            raise ConfigurationError(
+                f"non-finite value {node!r} at {path}: JSON documents must "
+                "be finite — fix the producing computation or sanitize the "
+                "field (see sanitize_non_finite) before saving"
+            )
+    elif isinstance(node, dict):
+        for key, value in node.items():
+            _require_finite(value, f"{path}.{key}")
+    elif isinstance(node, (list, tuple)):
+        for index, value in enumerate(node):
+            _require_finite(value, f"{path}[{index}]")
+
+
+def sanitize_non_finite(node: Any) -> Any:
+    """Deep copy with NaN/±Infinity floats replaced by string markers.
+
+    For documents that must always export (observability traces of a
+    *failing* run are exactly what one wants to look at), raising on a
+    stray NaN attribute would be worse than recording it; the markers
+    ``"NaN"`` / ``"Infinity"`` / ``"-Infinity"`` keep the document
+    valid strict JSON while preserving what happened.
+    """
+    if isinstance(node, float):
+        if math.isnan(node):
+            return "NaN"
+        if math.isinf(node):
+            return "Infinity" if node > 0 else "-Infinity"
+        return node
+    if isinstance(node, dict):
+        return {key: sanitize_non_finite(value) for key, value in node.items()}
+    if isinstance(node, (list, tuple)):
+        return [sanitize_non_finite(value) for value in node]
+    return node
+
+
 def save_json(data: Dict, path: Pathish) -> None:
-    pathlib.Path(path).write_text(json.dumps(data, indent=2, sort_keys=True) + "\n")
+    """Write a document as strict JSON (non-finite floats rejected)."""
+    _require_finite(data)
+    pathlib.Path(path).write_text(
+        json.dumps(data, indent=2, sort_keys=True, allow_nan=False) + "\n"
+    )
 
 
 def load_json(path: Pathish) -> Dict:

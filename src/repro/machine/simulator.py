@@ -44,6 +44,13 @@ from repro.obs import get_observer
 from repro.power.meter import PowerMeter
 from repro.power.reference import ReferencePowerModel, reference_for
 from repro.power.sampling import PowerTrace
+from repro.seeding import (
+    STREAM_METER,
+    STREAM_POLICY,
+    STREAM_PROCESS,
+    STREAM_SCHEDULER,
+    stream_seed,
+)
 from repro.workloads.spec import SyntheticBenchmark
 
 #: Per-access observer signature: ``hook(time_s, pid, hit)``.
@@ -63,7 +70,13 @@ class PowerEnvironment:
         reference = reference_for(
             topology.nominal_power_watts, topology.num_cores, topology.frequency_hz
         )
-        return cls(reference=reference, meter=PowerMeter(seed=seed))
+        # The meter draws from its own SeedSequence stream so its noise
+        # is independent of the simulator streams sharing the master
+        # seed (see repro.seeding).
+        return cls(
+            reference=reference,
+            meter=PowerMeter(seed=stream_seed(seed, STREAM_METER)),
+        )
 
 
 @dataclass(frozen=True)
@@ -176,7 +189,10 @@ class MachineSimulation:
                 )
             self.prefetchers = []
         for idx, domain in enumerate(topology.domains):
-            cache = SetAssociativeCache(domain.geometry, make_policy(policy, seed + idx))
+            cache = SetAssociativeCache(
+                domain.geometry,
+                make_policy(policy, stream_seed(seed, STREAM_POLICY, idx)),
+            )
             self.caches.append(cache)
             self.monitors.append(ContentionMonitor(cache))
             if self.prefetchers is not None:
@@ -198,7 +214,7 @@ class MachineSimulation:
                     workload=workload,
                     core=core,
                     frequency_hz=topology.core_frequency(core),
-                    seed=seed * 1_000_003 + pid,
+                    seed=stream_seed(seed, STREAM_PROCESS, pid),
                     sets=sets,
                 )
                 self.processes.append(process)
@@ -210,7 +226,7 @@ class MachineSimulation:
                 core,
                 per_core[core],
                 timeslice_s=scale.timeslice_s,
-                seed=seed * 7_919 + core,
+                seed=stream_seed(seed, STREAM_SCHEDULER, core),
             )
             for core in range(topology.num_cores)
         }

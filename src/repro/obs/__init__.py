@@ -36,7 +36,7 @@ The CLI exposes the same machinery via ``--trace FILE`` and
 from __future__ import annotations
 
 import contextlib
-from typing import Dict, Iterator, Union
+from typing import Dict, Iterator, Optional, Union
 
 from repro.obs.metrics import (
     Counter,
@@ -107,16 +107,49 @@ class Observer:
         return self.metrics.to_dict()
 
     def write_trace(self, path) -> None:
-        """Write finished spans as JSON (io.py conventions)."""
-        from repro.io import save_json
+        """Write finished spans as JSON (io.py conventions).
 
-        save_json(self.trace_dict(), path)
+        Span attributes may carry non-finite floats (a NaN watts
+        annotation from a failed fit, say); they are sanitized to
+        string markers so the export is always strict JSON — a trace
+        of a failing run must never itself fail to write.
+        """
+        from repro.io import sanitize_non_finite, save_json
+
+        save_json(sanitize_non_finite(self.trace_dict()), path)
 
     def write_metrics(self, path) -> None:
-        """Write the metric registry as JSON (io.py conventions)."""
-        from repro.io import save_json
+        """Write the metric registry as JSON (io.py conventions).
 
-        save_json(self.metrics_dict(), path)
+        Sanitized like :meth:`write_trace`: a gauge set to NaN or a
+        histogram fed an infinity exports as a string marker instead
+        of invalidating the whole document.
+        """
+        from repro.io import sanitize_non_finite, save_json
+
+        save_json(sanitize_non_finite(self.metrics_dict()), path)
+
+    # ------------------------------------------------------------------
+    # Cross-process merge (repro.parallel)
+    # ------------------------------------------------------------------
+    def absorb(
+        self,
+        trace_document: Optional[Dict] = None,
+        metrics_document: Optional[Dict] = None,
+        parent_span_id: Optional[int] = None,
+    ) -> None:
+        """Merge a worker observer's exported documents into this one.
+
+        Worker spans are re-identified and nested under
+        ``parent_span_id`` (typically the parent's batch span);
+        counters add, gauges take the worker value, histograms fold.
+        """
+        if trace_document is not None:
+            self.tracer.absorb(
+                trace_document.get("spans", []), parent_id=parent_span_id
+            )
+        if metrics_document is not None:
+            self.metrics.absorb(metrics_document)
 
 
 class _NullObserver(Observer):

@@ -1,0 +1,688 @@
+"""repro.parallel — batched process-pool execution engine.
+
+Batch workloads — pricing many co-run mixes, scoring every candidate
+of an assignment search, running fleets of ground-truth simulations —
+are embarrassingly parallel, but fanning them out naively breaks the
+project's two core guarantees: deterministic results and coherent
+telemetry.  This module keeps both:
+
+- **Bit-equality.**  Serial and parallel execution return *exactly*
+  the same floats.  Predictions are memoised in
+  :class:`~repro.core.solver_cache.EquilibriumCache` instances built
+  with ``warm_start=False``, so every cache miss is solved from the
+  cold proportional-demand guess and the result depends only on the
+  co-run itself, never on which solves happened before (a warm start
+  changes Newton's initial guess and therefore the result bits).
+  Candidate scoring shares
+  :func:`~repro.core.assignment.enumerate_candidates` with the serial
+  searcher and reduces by ``(score, candidate index)``, reproducing
+  the serial first-strictly-better tie-break.
+
+- **Deterministic seeds.**  Simulation tasks without an explicit seed
+  draw per-task seeds from ``numpy.random.SeedSequence`` spawning
+  (:func:`repro.seeding.task_seeds`), so streams are provably
+  independent across tasks and stable across worker counts, chunk
+  sizes and scheduling order.
+
+- **Telemetry merge-back.**  Each worker runs chunks under its own
+  private cache and (when the parent observer is live) its own
+  :class:`~repro.obs.Observer`; chunk results ship the newly solved
+  cache entries, the cache-counter deltas and the worker's exported
+  trace/metrics documents back to the parent, which absorbs them into
+  its cache and observer — spans nest under the parent's batch span.
+
+Profiles are pickled once per worker (pool initializer), and tasks
+travel in chunks to amortise the remaining IPC.
+"""
+
+from __future__ import annotations
+
+import math
+import multiprocessing
+from concurrent.futures import ProcessPoolExecutor
+from dataclasses import dataclass
+from typing import (
+    Any,
+    Dict,
+    List,
+    Mapping,
+    Optional,
+    Sequence,
+    Set,
+    Tuple,
+    Union,
+)
+
+from repro.config import BENCH_SCALE, SimulationScale
+from repro.core.assignment import (
+    AssignmentDecision,
+    OBJECTIVES,
+    enumerate_candidates,
+    score_assignment,
+)
+from repro.core.combined import CombinedModel
+from repro.core.feature import FeatureVector, ProfileVector
+from repro.core.performance_model import CoRunPrediction, PerformanceModel
+from repro.core.power_model import CorePowerModel
+from repro.core.solver_cache import CacheStats, EquilibriumCache
+from repro.errors import ConfigurationError
+from repro.machine.simulator import (
+    MachineSimulation,
+    PowerEnvironment,
+    SimulationResult,
+)
+from repro.machine.topology import STANDARD_MACHINES
+from repro.obs import Observer, get_observer, use_observer
+from repro.seeding import task_seeds
+from repro.workloads.spec import BENCHMARKS
+
+__all__ = [
+    "DEFAULT_CHUNK_SIZE",
+    "ParallelPredictor",
+    "SimulationTask",
+    "predict_mixes",
+    "simulate_assignments",
+    "parallel_exhaustive_assignment",
+]
+
+#: Default number of tasks shipped to a worker per round trip.
+DEFAULT_CHUNK_SIZE = 8
+
+
+# ----------------------------------------------------------------------
+# Pool plumbing
+# ----------------------------------------------------------------------
+def _pool_context():
+    """Prefer ``fork`` (cheap, shares the imported library) when available."""
+    if "fork" in multiprocessing.get_all_start_methods():
+        return multiprocessing.get_context("fork")
+    return multiprocessing.get_context()
+
+
+def _resolve_workers(workers: Optional[int]) -> int:
+    """Effective worker count; ``None``/``0``/``1`` mean in-process serial."""
+    if workers is None:
+        return 1
+    workers = int(workers)
+    if workers < 0:
+        raise ConfigurationError("workers must be non-negative")
+    return max(1, workers)
+
+
+def _chunked(items: Sequence, workers: int, chunk_size: Optional[int]) -> List[List]:
+    """Contiguous chunks; sized so every worker gets work by default."""
+    if chunk_size is None:
+        chunk_size = max(1, min(DEFAULT_CHUNK_SIZE, math.ceil(len(items) / workers)))
+    chunk_size = int(chunk_size)
+    if chunk_size < 1:
+        raise ConfigurationError("chunk_size must be >= 1")
+    return [list(items[i : i + chunk_size]) for i in range(0, len(items), chunk_size)]
+
+
+#: Per-worker-process state installed by the pool initializers.
+_WORKER: Dict[str, Any] = {}
+
+
+# ----------------------------------------------------------------------
+# Batched co-run prediction
+# ----------------------------------------------------------------------
+def _init_predict_worker(
+    features: Sequence[FeatureVector], ways: int, strategy: str
+) -> None:
+    """Build this worker's model once; chunks then ship only mix names."""
+    model = PerformanceModel(
+        ways=ways, strategy=strategy, cache=EquilibriumCache(warm_start=False)
+    )
+    model.register_all(list(features))
+    _WORKER.clear()
+    _WORKER["model"] = model
+    _WORKER["shipped"] = set()
+
+
+def _predict_chunk(
+    chunk: Sequence[Tuple[int, Tuple[str, ...]]], observe: bool
+) -> Tuple[
+    List[Tuple[int, CoRunPrediction]],
+    List[Tuple[Any, Any]],
+    CacheStats,
+    Optional[Dict],
+    Optional[Dict],
+]:
+    """Predict one chunk of ``(index, names)`` tasks in a worker.
+
+    Returns the indexed predictions plus everything the parent merges
+    back: cache entries this worker has not shipped before, the cache
+    counter increments of this chunk, and (when observing) the
+    worker-local trace/metrics documents.
+    """
+    model: PerformanceModel = _WORKER["model"]
+    shipped: Set[Any] = _WORKER["shipped"]
+    before = model.cache.stats
+    observer = Observer() if observe else None
+    results: List[Tuple[int, CoRunPrediction]] = []
+    if observer is not None:
+        with use_observer(observer):
+            for index, names in chunk:
+                results.append((index, model.predict(list(names))))
+    else:
+        for index, names in chunk:
+            results.append((index, model.predict(list(names))))
+    entries = [
+        (key, value)
+        for key, value in model.cache.export_entries()
+        if key not in shipped
+    ]
+    shipped.update(key for key, _ in entries)
+    delta = model.cache.stats.delta_since(before)
+    trace_doc = observer.trace_dict() if observer is not None else None
+    metrics_doc = observer.metrics_dict() if observer is not None else None
+    return results, entries, delta, trace_doc, metrics_doc
+
+
+class ParallelPredictor:
+    """Reusable batched co-run predictor over a process pool.
+
+    The pool persists across :meth:`predict_mixes` calls, so repeated
+    batches pay worker start-up and profile pickling once.  Use as a
+    context manager (or call :meth:`close`) to release the workers.
+
+    Args:
+        features: Feature vectors of every process mixes may name
+            (a sequence, or a ``name -> FeatureVector`` mapping).
+        ways: Associativity of the shared cache being modelled.
+        strategy: Equilibrium solver strategy.
+        workers: Process count; ``None``/``0``/``1`` run serially
+            in-process (same results, by construction).
+        chunk_size: Tasks per worker round trip (default: adaptive,
+            at most :data:`DEFAULT_CHUNK_SIZE`).
+        cache: Parent-side :class:`EquilibriumCache` that accumulates
+            every worker's solutions and telemetry.  Must have
+            ``warm_start=False`` — warm starts would make results
+            depend on solve order and break serial/parallel
+            bit-equality.
+    """
+
+    def __init__(
+        self,
+        features: Union[Sequence[FeatureVector], Mapping[str, FeatureVector]],
+        *,
+        ways: int,
+        strategy: str = "auto",
+        workers: Optional[int] = None,
+        chunk_size: Optional[int] = None,
+        cache: Optional[EquilibriumCache] = None,
+    ):
+        if isinstance(features, Mapping):
+            features = [features[name] for name in sorted(features)]
+        self.features = list(features)
+        self.ways = ways
+        self.strategy = strategy
+        self.workers = _resolve_workers(workers)
+        self.chunk_size = chunk_size
+        if cache is None:
+            cache = EquilibriumCache(warm_start=False)
+        elif cache.warm_start:
+            raise ConfigurationError(
+                "the batch engine needs a warm_start=False cache: warm starts "
+                "make solutions depend on solve order, breaking the "
+                "serial/parallel bit-equality guarantee"
+            )
+        self.cache = cache
+        self._executor: Optional[ProcessPoolExecutor] = None
+        self._serial_model: Optional[PerformanceModel] = None
+
+    # -- lifecycle ------------------------------------------------------
+    def __enter__(self) -> "ParallelPredictor":
+        return self
+
+    def __exit__(self, exc_type, exc, tb) -> None:
+        self.close()
+
+    def close(self) -> None:
+        """Shut the worker pool down (idempotent)."""
+        if self._executor is not None:
+            self._executor.shutdown()
+            self._executor = None
+
+    def _ensure_executor(self) -> ProcessPoolExecutor:
+        if self._executor is None:
+            self._executor = ProcessPoolExecutor(
+                max_workers=self.workers,
+                mp_context=_pool_context(),
+                initializer=_init_predict_worker,
+                initargs=(self.features, self.ways, self.strategy),
+            )
+        return self._executor
+
+    def warm_up(self) -> None:
+        """Spin up (and initialise) the workers before timing anything.
+
+        Benchmarks call this so pool start-up and profile pickling are
+        excluded from the measured batch.
+        """
+        if self.workers <= 1:
+            self._serial()
+            return
+        executor = self._ensure_executor()
+        futures = [
+            executor.submit(_predict_chunk, [], False) for _ in range(self.workers)
+        ]
+        for future in futures:
+            future.result()
+
+    # -- prediction -----------------------------------------------------
+    def _serial(self) -> PerformanceModel:
+        if self._serial_model is None:
+            model = PerformanceModel(
+                ways=self.ways, strategy=self.strategy, cache=self.cache
+            )
+            model.register_all(self.features)
+            self._serial_model = model
+        return self._serial_model
+
+    @property
+    def cache_stats(self) -> CacheStats:
+        """Parent-side cache telemetry (includes absorbed worker work)."""
+        return self.cache.stats
+
+    def predict_mixes(
+        self, mixes: Sequence[Sequence[str]]
+    ) -> Tuple[CoRunPrediction, ...]:
+        """Predict every mix; order and bits match serial execution."""
+        normalized = [tuple(mix) for mix in mixes]
+        observer = get_observer()
+        if not observer.enabled:
+            return self._predict_mixes_impl(normalized, observe=False)
+        with observer.span(
+            "parallel.predict_mixes", mixes=len(normalized), workers=self.workers
+        ) as span:
+            results = self._predict_mixes_impl(
+                normalized,
+                observe=True,
+                observer=observer,
+                parent_span_id=span.span_id,
+            )
+            observer.counter("parallel.mixes").inc(len(normalized))
+            return results
+
+    def _predict_mixes_impl(
+        self,
+        mixes: List[Tuple[str, ...]],
+        observe: bool,
+        observer: Optional[Observer] = None,
+        parent_span_id: Optional[int] = None,
+    ) -> Tuple[CoRunPrediction, ...]:
+        if not mixes:
+            return ()
+        if self.workers <= 1:
+            model = self._serial()
+            return tuple(model.predict(list(names)) for names in mixes)
+        chunks = _chunked(list(enumerate(mixes)), self.workers, self.chunk_size)
+        executor = self._ensure_executor()
+        futures = [
+            executor.submit(_predict_chunk, chunk, observe) for chunk in chunks
+        ]
+        out: List[Optional[CoRunPrediction]] = [None] * len(mixes)
+        for future in futures:
+            results, entries, delta, trace_doc, metrics_doc = future.result()
+            for index, prediction in results:
+                out[index] = prediction
+            self.cache.absorb(entries=entries, stats=delta)
+            if observe and observer is not None:
+                observer.absorb(trace_doc, metrics_doc, parent_span_id)
+        return tuple(out)  # type: ignore[arg-type]
+
+
+def predict_mixes(
+    features: Union[Sequence[FeatureVector], Mapping[str, FeatureVector]],
+    mixes: Sequence[Sequence[str]],
+    *,
+    ways: int,
+    strategy: str = "auto",
+    workers: Optional[int] = None,
+    chunk_size: Optional[int] = None,
+    cache: Optional[EquilibriumCache] = None,
+) -> Tuple[CoRunPrediction, ...]:
+    """One-shot batched prediction (see :class:`ParallelPredictor`)."""
+    with ParallelPredictor(
+        features,
+        ways=ways,
+        strategy=strategy,
+        workers=workers,
+        chunk_size=chunk_size,
+        cache=cache,
+    ) as engine:
+        return engine.predict_mixes(mixes)
+
+
+# ----------------------------------------------------------------------
+# Batched ground-truth simulation
+# ----------------------------------------------------------------------
+@dataclass(frozen=True)
+class SimulationTask:
+    """One ground-truth machine run, fully described by plain data.
+
+    Workers rebuild the topology from the machine name so the task
+    pickles small and never drags simulator state across processes.
+
+    Args:
+        machine: Name in :data:`STANDARD_MACHINES`.
+        assignment: ``core id -> benchmark names`` time-sharing it.
+        sets: Cache set scaling of the machine.
+        seed: Explicit master seed; ``None`` derives one from the
+            batch seed via :func:`repro.seeding.task_seeds` (provably
+            independent per task index).
+        scale: Simulation budgets (default :data:`BENCH_SCALE`).
+        collect_power: Run in duration mode with a per-task power
+            plant and collect a power trace; otherwise run to the
+            access budget (performance-only, bit-stable across
+            batching).
+        policy: Shared-cache replacement policy name.
+        prefetch: Optional prefetcher name (ablation experiments).
+    """
+
+    machine: str
+    assignment: Mapping[int, Tuple[str, ...]]
+    sets: int = 128
+    seed: Optional[int] = None
+    scale: Optional[SimulationScale] = None
+    collect_power: bool = False
+    policy: str = "lru"
+    prefetch: Optional[str] = None
+
+
+def _run_task(task: SimulationTask, seed: int) -> SimulationResult:
+    topology = STANDARD_MACHINES[task.machine](sets=task.sets)
+    workloads = {
+        core: [BENCHMARKS[name] for name in names]
+        for core, names in task.assignment.items()
+        if names
+    }
+    power_env = (
+        PowerEnvironment.for_topology(topology, seed=seed)
+        if task.collect_power
+        else None
+    )
+    sim = MachineSimulation(
+        topology,
+        workloads,
+        scale=task.scale if task.scale is not None else BENCH_SCALE,
+        seed=seed,
+        power_env=power_env,
+        policy=task.policy,
+        prefetch=task.prefetch,
+    )
+    return sim.run_duration() if task.collect_power else sim.run_accesses()
+
+
+def _simulate_chunk(
+    chunk: Sequence[Tuple[int, SimulationTask, int]], observe: bool
+) -> Tuple[List[Tuple[int, SimulationResult]], Optional[Dict], Optional[Dict]]:
+    observer = Observer() if observe else None
+    results: List[Tuple[int, SimulationResult]] = []
+    if observer is not None:
+        with use_observer(observer):
+            for index, task, seed in chunk:
+                results.append((index, _run_task(task, seed)))
+    else:
+        for index, task, seed in chunk:
+            results.append((index, _run_task(task, seed)))
+    trace_doc = observer.trace_dict() if observer is not None else None
+    metrics_doc = observer.metrics_dict() if observer is not None else None
+    return results, trace_doc, metrics_doc
+
+
+def _validate_task(index: int, task: SimulationTask) -> None:
+    if task.machine not in STANDARD_MACHINES:
+        raise ConfigurationError(
+            f"task {index}: unknown machine {task.machine!r}; "
+            f"choose from {sorted(STANDARD_MACHINES)}"
+        )
+    for names in task.assignment.values():
+        for name in names:
+            if name not in BENCHMARKS:
+                raise ConfigurationError(
+                    f"task {index}: unknown benchmark {name!r}"
+                )
+
+
+def simulate_assignments(
+    tasks: Sequence[SimulationTask],
+    *,
+    workers: Optional[int] = None,
+    chunk_size: Optional[int] = None,
+    seed: int = 0,
+) -> Tuple[SimulationResult, ...]:
+    """Run many ground-truth simulations, optionally across a pool.
+
+    Results come back in task order regardless of worker scheduling.
+    Tasks without an explicit seed get independent per-index seeds
+    spawned from ``seed``, so the fleet's outputs are identical for
+    any worker count or chunking.
+    """
+    tasks = list(tasks)
+    for index, task in enumerate(tasks):
+        _validate_task(index, task)
+    spawned = task_seeds(seed, len(tasks))
+    indexed = [
+        (i, task, task.seed if task.seed is not None else spawned[i])
+        for i, task in enumerate(tasks)
+    ]
+    workers = _resolve_workers(workers)
+    observer = get_observer()
+    if not observer.enabled:
+        return _simulate_impl(indexed, workers, chunk_size, observe=False)
+    with observer.span(
+        "parallel.simulate", tasks=len(tasks), workers=workers
+    ) as span:
+        results = _simulate_impl(
+            indexed,
+            workers,
+            chunk_size,
+            observe=True,
+            observer=observer,
+            parent_span_id=span.span_id,
+        )
+        observer.counter("parallel.simulations").inc(len(tasks))
+        return results
+
+
+def _simulate_impl(
+    indexed: List[Tuple[int, SimulationTask, int]],
+    workers: int,
+    chunk_size: Optional[int],
+    observe: bool,
+    observer: Optional[Observer] = None,
+    parent_span_id: Optional[int] = None,
+) -> Tuple[SimulationResult, ...]:
+    if not indexed:
+        return ()
+    if workers <= 1:
+        # Serial path runs under the parent observer directly.
+        return tuple(_run_task(task, seed) for _, task, seed in indexed)
+    chunks = _chunked(indexed, workers, chunk_size)
+    out: List[Optional[SimulationResult]] = [None] * len(indexed)
+    with ProcessPoolExecutor(
+        max_workers=workers, mp_context=_pool_context()
+    ) as executor:
+        futures = [
+            executor.submit(_simulate_chunk, chunk, observe) for chunk in chunks
+        ]
+        for future in futures:
+            results, trace_doc, metrics_doc = future.result()
+            for index, result in results:
+                out[index] = result
+            if observe and observer is not None:
+                observer.absorb(trace_doc, metrics_doc, parent_span_id)
+    return tuple(out)  # type: ignore[arg-type]
+
+
+# ----------------------------------------------------------------------
+# Parallel exhaustive assignment search
+# ----------------------------------------------------------------------
+def _init_assign_worker(
+    features: Sequence[FeatureVector],
+    profiles: Mapping[str, ProfileVector],
+    power_model: CorePowerModel,
+    machine: str,
+    sets: int,
+) -> None:
+    topology = STANDARD_MACHINES[machine](sets=sets)
+    ways = topology.domains[0].geometry.ways
+    perf = PerformanceModel(ways=ways, cache=EquilibriumCache(warm_start=False))
+    perf.register_all(list(features))
+    combined = CombinedModel(
+        topology=topology,
+        performance_models=[perf],
+        power_model=power_model,
+        profiles=profiles,
+        corun_cache=EquilibriumCache(warm_start=False),
+    )
+    _WORKER.clear()
+    _WORKER["combined"] = combined
+
+
+def _score_chunk(
+    chunk: Sequence[Tuple[int, Tuple[Tuple[int, Tuple[str, ...]], ...]]],
+    objective: str,
+    observe: bool,
+) -> Tuple[List[Tuple[int, float, float, float]], Optional[Dict], Optional[Dict]]:
+    combined: CombinedModel = _WORKER["combined"]
+    observer = Observer() if observe else None
+    scored: List[Tuple[int, float, float, float]] = []
+
+    def _run() -> None:
+        for index, items in chunk:
+            assignment = {core: tuple(names) for core, names in items}
+            score, watts, ips = score_assignment(combined, assignment, objective)
+            scored.append((index, score, watts, ips))
+
+    if observer is not None:
+        with use_observer(observer):
+            _run()
+    else:
+        _run()
+    trace_doc = observer.trace_dict() if observer is not None else None
+    metrics_doc = observer.metrics_dict() if observer is not None else None
+    return scored, trace_doc, metrics_doc
+
+
+def parallel_exhaustive_assignment(
+    features: Union[Sequence[FeatureVector], Mapping[str, FeatureVector]],
+    profiles: Mapping[str, ProfileVector],
+    power_model: CorePowerModel,
+    *,
+    machine: str,
+    sets: int,
+    process_names: Sequence[str],
+    objective: str = "power",
+    max_per_core: Optional[int] = None,
+    workers: Optional[int] = None,
+    chunk_size: Optional[int] = None,
+) -> AssignmentDecision:
+    """Exhaustive search with candidates scored across a worker pool.
+
+    The parent enumerates the canonical candidate stream (shared with
+    the serial searcher), workers price chunks of it against their own
+    cold-start :class:`CombinedModel`, and the parent reduces by
+    ``(score, candidate index)`` — the same decision, score and
+    tie-break the serial searcher produces over cold-start caches.
+    """
+    if objective not in OBJECTIVES:
+        raise ConfigurationError(
+            f"unknown objective {objective!r}; choose from {sorted(OBJECTIVES)}"
+        )
+    if not process_names:
+        raise ConfigurationError("need at least one process to assign")
+    if machine not in STANDARD_MACHINES:
+        raise ConfigurationError(
+            f"unknown machine {machine!r}; choose from {sorted(STANDARD_MACHINES)}"
+        )
+    if isinstance(features, Mapping):
+        features = [features[name] for name in sorted(features)]
+    features = list(features)
+    topology = STANDARD_MACHINES[machine](sets=sets)
+    candidates = list(
+        enumerate_candidates(topology.num_cores, process_names, max_per_core)
+    )
+    if not candidates:
+        raise ConfigurationError("no feasible assignment under the given constraints")
+    workers = _resolve_workers(workers)
+    observer = get_observer()
+    if not observer.enabled:
+        return _assign_impl(
+            features, profiles, power_model, machine, sets, candidates,
+            objective, workers, chunk_size, observe=False,
+        )
+    with observer.span(
+        "parallel.assign",
+        candidates=len(candidates),
+        workers=workers,
+        objective=objective,
+    ) as span:
+        decision = _assign_impl(
+            features, profiles, power_model, machine, sets, candidates,
+            objective, workers, chunk_size,
+            observe=True, observer=observer, parent_span_id=span.span_id,
+        )
+        span.annotate(score=decision.score)
+        observer.counter("assign.searches").inc()
+        observer.counter("assign.candidates").inc(decision.candidates_evaluated)
+        return decision
+
+
+def _assign_impl(
+    features: List[FeatureVector],
+    profiles: Mapping[str, ProfileVector],
+    power_model: CorePowerModel,
+    machine: str,
+    sets: int,
+    candidates: List[Dict[int, Tuple[str, ...]]],
+    objective: str,
+    workers: int,
+    chunk_size: Optional[int],
+    observe: bool,
+    observer: Optional[Observer] = None,
+    parent_span_id: Optional[int] = None,
+) -> AssignmentDecision:
+    scored: List[Tuple[int, float, float, float]] = []
+    if workers <= 1:
+        _init_assign_worker(features, profiles, power_model, machine, sets)
+        combined: CombinedModel = _WORKER.pop("combined")
+        for index, candidate in enumerate(candidates):
+            score, watts, ips = score_assignment(combined, candidate, objective)
+            scored.append((index, score, watts, ips))
+    else:
+        indexed = [
+            (index, tuple(sorted(candidate.items())))
+            for index, candidate in enumerate(candidates)
+        ]
+        chunks = _chunked(indexed, workers, chunk_size)
+        with ProcessPoolExecutor(
+            max_workers=workers,
+            mp_context=_pool_context(),
+            initializer=_init_assign_worker,
+            initargs=(features, profiles, power_model, machine, sets),
+        ) as executor:
+            futures = [
+                executor.submit(_score_chunk, chunk, objective, observe)
+                for chunk in chunks
+            ]
+            for future in futures:
+                chunk_scores, trace_doc, metrics_doc = future.result()
+                scored.extend(chunk_scores)
+                if observe and observer is not None:
+                    observer.absorb(trace_doc, metrics_doc, parent_span_id)
+    # Serial tie-break: the first strictly better candidate wins, i.e.
+    # the minimum by (score, enumeration index).
+    best_index, best_score, best_watts, best_ips = min(
+        scored, key=lambda item: (item[1], item[0])
+    )
+    return AssignmentDecision(
+        assignment=candidates[best_index],
+        predicted_watts=best_watts,
+        predicted_ips=best_ips,
+        objective=objective,
+        score=best_score,
+        candidates_evaluated=len(scored),
+    )

@@ -24,6 +24,7 @@ from dataclasses import dataclass
 from typing import Dict, List, Sequence, Tuple
 
 from repro.errors import ConfigurationError
+from repro.seeding import STREAM_PHASE, stream_seed
 from repro.workloads.generator import AccessGenerator, StackDistanceTraceGenerator
 from repro.workloads.mix import InstructionMix
 from repro.workloads.profiles import Profile, validate_profile
@@ -146,7 +147,7 @@ class PhasedTraceGenerator(AccessGenerator):
             generator = StackDistanceTraceGenerator(
                 segment.profile,
                 sets,
-                seed=seed + 7_919 * offset,
+                seed=stream_seed(seed, STREAM_PHASE, offset),
                 tag_offset=tag_offset,
                 streaming_sequential=benchmark.streaming_sequential,
             )

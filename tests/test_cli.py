@@ -101,6 +101,65 @@ class TestProfilePredictFlow:
         assert names == ["gzip", "gzip"]
 
 
+class TestBatchPredictFlow:
+    @pytest.fixture(scope="class")
+    def suite(self, tmp_path_factory):
+        path = tmp_path_factory.mktemp("batch") / "suite.json"
+        code = main(
+            ["--sets", "32", "profile", "--machine", "2-core-workstation",
+             "--out", str(path), "gzip"]
+        )
+        assert code == 0
+        return path
+
+    def test_batch_json_output(self, tmp_path, capsys, suite):
+        batch = tmp_path / "mixes.json"
+        batch.write_text(json.dumps([["gzip"], ["gzip", "gzip"]]))
+        capsys.readouterr()
+        code = main(["predict", "--suite", str(suite), "--ways", "4",
+                     "--batch", str(batch), "--workers", "2", "--json"])
+        assert code == 0
+        data = json.loads(capsys.readouterr().out)
+        assert data["kind"] == "mix_prediction_batch"
+        assert len(data["predictions"]) == 2
+        names = [p["name"] for p in data["predictions"][1]["prediction"]["processes"]]
+        assert names == ["gzip", "gzip"]
+
+    def test_batch_table_output_and_mixes_wrapper(self, tmp_path, capsys, suite):
+        batch = tmp_path / "mixes.json"
+        batch.write_text(json.dumps({"mixes": [["gzip"], ["gzip", "gzip"]]}))
+        capsys.readouterr()
+        code = main(["predict", "--suite", str(suite), "--ways", "4",
+                     "--batch", str(batch)])
+        assert code == 0
+        out = capsys.readouterr().out
+        assert "Mix" in out
+        assert "gzip" in out
+
+    def test_names_and_batch_are_mutually_exclusive(self, tmp_path, capsys, suite):
+        batch = tmp_path / "mixes.json"
+        batch.write_text(json.dumps([["gzip"]]))
+        capsys.readouterr()
+        code = main(["predict", "--suite", str(suite), "--ways", "4",
+                     "--batch", str(batch), "gzip"])
+        assert code == 2
+        assert "not both" in capsys.readouterr().err
+
+    def test_neither_names_nor_batch_is_an_error(self, capsys, suite):
+        capsys.readouterr()
+        code = main(["predict", "--suite", str(suite), "--ways", "4"])
+        assert code == 2
+        assert "--batch" in capsys.readouterr().err
+
+    def test_malformed_batch_file_rejected(self, tmp_path, capsys, suite):
+        batch = tmp_path / "mixes.json"
+        batch.write_text(json.dumps({"mixes": "gzip"}))
+        capsys.readouterr()
+        code = main(["predict", "--suite", str(suite), "--ways", "4",
+                     "--batch", str(batch)])
+        assert code == 2
+
+
 @pytest.fixture(scope="module")
 def synthetic_power_model():
     """A fitted Eq. 9 model without paying for train-power at the CLI."""

@@ -1,6 +1,7 @@
 """Unit tests for JSON persistence of profiles and models."""
 
 import json
+import math
 
 import numpy as np
 import pytest
@@ -24,13 +25,16 @@ from repro.io import (
     feature_from_dict,
     feature_to_dict,
     load_feature,
+    load_json,
     load_power_model,
     load_profile_suite,
     power_model_from_dict,
     power_model_to_dict,
     profile_from_dict,
     profile_to_dict,
+    sanitize_non_finite,
     save_feature,
+    save_json,
     save_power_model,
     save_profile_suite,
     telemetry_from_dict,
@@ -262,3 +266,69 @@ class TestResultRoundtrips:
         )
         with pytest.raises(ConfigurationError, match="expected kind"):
             equilibrium_result_from_dict(telemetry_to_dict(telemetry))
+
+
+class TestNonFiniteRejection:
+    """save_json must never emit bare NaN/Infinity tokens (invalid JSON)."""
+
+    def test_nan_rejected_with_key_path(self, tmp_path):
+        doc = {"kind": "x", "nested": {"rows": [1.0, float("nan")]}}
+        with pytest.raises(ConfigurationError, match=r"\$\.nested\.rows\[1\]"):
+            save_json(doc, tmp_path / "bad.json")
+        assert not (tmp_path / "bad.json").exists()
+
+    @pytest.mark.parametrize("value", [float("inf"), float("-inf")])
+    def test_infinities_rejected(self, value, tmp_path):
+        with pytest.raises(ConfigurationError, match="non-finite"):
+            save_json({"watts": value}, tmp_path / "bad.json")
+
+    def test_numpy_scalars_checked(self, tmp_path):
+        # np.float64 subclasses float, so the walk must catch it too.
+        with pytest.raises(ConfigurationError, match="non-finite"):
+            save_json({"v": float(np.float64("nan"))}, tmp_path / "bad.json")
+
+    def test_finite_documents_unaffected(self, tmp_path):
+        doc = {"a": 1.5, "b": [0.0, -2.25], "c": {"d": 1e308}, "e": "NaN-ish"}
+        save_json(doc, tmp_path / "good.json")
+        assert load_json(tmp_path / "good.json") == doc
+
+    def test_saved_files_are_strict_json(self, tmp_path, feature):
+        save_feature(feature, tmp_path / "f.json")
+        json.loads(
+            (tmp_path / "f.json").read_text(),
+            parse_constant=lambda token: pytest.fail(
+                f"non-strict JSON token {token!r} in saved file"
+            ),
+        )
+
+
+class TestSanitizeNonFinite:
+    def test_markers_substituted(self):
+        doc = {
+            "nan": float("nan"),
+            "pos": float("inf"),
+            "neg": float("-inf"),
+            "fine": 3.5,
+            "deep": [{"v": float("nan")}],
+        }
+        clean = sanitize_non_finite(doc)
+        assert clean["nan"] == "NaN"
+        assert clean["pos"] == "Infinity"
+        assert clean["neg"] == "-Infinity"
+        assert clean["fine"] == 3.5
+        assert clean["deep"][0]["v"] == "NaN"
+
+    def test_finite_data_untouched(self):
+        doc = {"a": [1, 2.5, "x", None, True], "b": {"c": 0.0}}
+        clean = sanitize_non_finite(doc)
+        assert clean == {"a": [1, 2.5, "x", None, True], "b": {"c": 0.0}}
+
+    def test_original_not_mutated(self):
+        doc = {"v": float("nan")}
+        sanitize_non_finite(doc)
+        assert math.isnan(doc["v"])
+
+    def test_sanitized_document_round_trips(self, tmp_path):
+        doc = sanitize_non_finite({"v": float("nan"), "w": [float("inf")]})
+        save_json(doc, tmp_path / "ok.json")
+        assert load_json(tmp_path / "ok.json") == {"v": "NaN", "w": ["Infinity"]}

@@ -1,0 +1,151 @@
+"""Unit tests for the SeedSequence-based stream derivation.
+
+The old scheme derived child seeds arithmetically (``seed * 1_000_003
++ pid``, ``seed * 7_919 + core``), which collides for small seeds:
+process pid 7_919 of seed 0 shared a stream with core 0 of seed 1, and
+every domain of seed 0 started at 0.  :mod:`repro.seeding` replaces it
+with ``numpy.random.SeedSequence`` spawn keys, whose children are
+cryptographically mixed and provably independent.  These tests pin the
+new derivation (so the simulator's RNG streams never silently change)
+and check the independence properties the old scheme lacked.
+"""
+
+import numpy as np
+import pytest
+
+from repro.errors import ConfigurationError
+from repro.seeding import (
+    STREAM_METER,
+    STREAM_PHASE,
+    STREAM_POLICY,
+    STREAM_PROCESS,
+    STREAM_SCHEDULER,
+    STREAM_TASK,
+    spawn_sequence,
+    stream_seed,
+    task_seeds,
+)
+
+ALL_DOMAINS = (
+    STREAM_PROCESS,
+    STREAM_SCHEDULER,
+    STREAM_POLICY,
+    STREAM_METER,
+    STREAM_PHASE,
+    STREAM_TASK,
+)
+
+
+class TestStreamSeed:
+    def test_pinned_derivations(self):
+        """Regression pin: the exact seeds the simulator streams use.
+
+        These integers replaced the old arithmetic derivations
+        (``42 * 1_000_003 + 0`` = 42_000_126 for the first process,
+        ``42 * 7_919 + 0`` = 332_598 for the first scheduler); any
+        change to them silently re-seeds every simulation in the
+        project, so they are pinned as literals.
+        """
+        assert (
+            stream_seed(42, STREAM_PROCESS, 0)
+            == 183792640516504101100404641272471896826
+        )
+        assert (
+            stream_seed(42, STREAM_SCHEDULER, 0)
+            == 145851895635178477468249498220567971000
+        )
+        assert (
+            stream_seed(42, STREAM_METER)
+            == 315732897500224043183049612165647419589
+        )
+        # And they are nothing like the collision-prone old values.
+        assert stream_seed(42, STREAM_PROCESS, 0) != 42 * 1_000_003
+        assert stream_seed(42, STREAM_SCHEDULER, 0) != 42 * 7_919
+
+    def test_deterministic(self):
+        assert stream_seed(7, STREAM_PROCESS, 3) == stream_seed(7, STREAM_PROCESS, 3)
+
+    def test_domains_distinct_even_for_seed_zero(self):
+        """The old scheme collapsed every domain of seed 0 onto 0."""
+        seeds = {stream_seed(0, domain, 0) for domain in ALL_DOMAINS}
+        assert len(seeds) == len(ALL_DOMAINS)
+
+    def test_no_small_seed_cross_collisions(self):
+        """Old scheme: seed 0 pid 7_919 == seed 1 core 0 == 7_919."""
+        seen = set()
+        for seed in range(4):
+            for index in range(8):
+                for domain in (STREAM_PROCESS, STREAM_SCHEDULER):
+                    seen.add(stream_seed(seed, domain, index))
+        assert len(seen) == 4 * 8 * 2
+
+    def test_indices_distinct(self):
+        seeds = [stream_seed(5, STREAM_PROCESS, i) for i in range(32)]
+        assert len(set(seeds)) == 32
+
+    def test_negative_master_seed_rejected(self):
+        with pytest.raises(ConfigurationError):
+            stream_seed(-1, STREAM_PROCESS, 0)
+
+    def test_seeds_fit_numpy_entropy(self):
+        """Derived seeds are valid SeedSequence entropy (128-bit ints)."""
+        seed = stream_seed(3, STREAM_PROCESS, 1)
+        assert 0 <= seed < 2**128
+        np.random.default_rng(seed)  # must not raise
+
+
+class TestSpawnSequence:
+    def test_matches_manual_seedsequence(self):
+        """spawn_sequence is SeedSequence with an explicit spawn key."""
+        ours = spawn_sequence(11, STREAM_PROCESS, 4)
+        manual = np.random.SeedSequence(entropy=11, spawn_key=(STREAM_PROCESS, 4))
+        assert list(ours.generate_state(4)) == list(manual.generate_state(4))
+
+    def test_streams_statistically_unrelated(self):
+        """Adjacent streams share no draws (the old scheme's failure)."""
+        a = np.random.default_rng(stream_seed(0, STREAM_PROCESS, 0)).random(64)
+        b = np.random.default_rng(stream_seed(0, STREAM_PROCESS, 1)).random(64)
+        assert not np.allclose(a, b)
+        assert abs(float(np.corrcoef(a, b)[0, 1])) < 0.5
+
+
+class TestTaskSeeds:
+    def test_pinned_values(self):
+        assert task_seeds(7, 2) == (
+            201016096644731914203725224309140886507,
+            211578089983004107134440573639966753685,
+        )
+
+    def test_deterministic_prefix(self):
+        """Growing the batch never re-seeds earlier tasks."""
+        assert task_seeds(7, 8)[:2] == task_seeds(7, 2)
+
+    def test_all_distinct(self):
+        seeds = task_seeds(0, 256)
+        assert len(set(seeds)) == 256
+
+    def test_task_seeds_are_addressed_task_streams(self):
+        """spawn() children coincide with direct STREAM_TASK addressing,
+        so a single task's stream can be recreated without materialising
+        its siblings."""
+        assert task_seeds(0, 8) == tuple(
+            stream_seed(0, STREAM_TASK, i) for i in range(8)
+        )
+
+    def test_disjoint_from_other_domains(self):
+        others = (
+            STREAM_PROCESS,
+            STREAM_SCHEDULER,
+            STREAM_POLICY,
+            STREAM_METER,
+            STREAM_PHASE,
+        )
+        overlap = set(task_seeds(0, 64)) & {
+            stream_seed(0, domain, i) for domain in others for i in range(64)
+        }
+        assert not overlap
+
+    def test_count_validation(self):
+        assert task_seeds(1, 0) == ()
+        with pytest.raises(ConfigurationError):
+            task_seeds(1, -1)
