@@ -1,0 +1,172 @@
+"""Throughput of the repro.serve micro-batching front end.
+
+Boots two prediction servers on ephemeral ports, loads both with the
+same 32-way-concurrent closed-loop client traffic, and compares:
+
+- **baseline** — ``max_batch_size=1``, serial engine: every request is
+  one HTTP round trip and one solo equilibrium solve (what a naive
+  one-request-per-call service does).
+- **batched** — ``max_batch_size=32`` with a 2 ms linger and a 4-worker
+  :class:`~repro.parallel.ParallelPredictor`: concurrent requests
+  coalesce into engine-sized batches that amortise dispatch and fan
+  out across cores.
+
+Every mix in the work list is a *distinct* multiset, so both servers
+run every solve cold (no equilibrium-cache hits flattering either
+side); the bisection strategy keeps the per-solve cost (~1.5 ms)
+representative.  On a host with at least 4 CPUs the batched server
+must clear 3x the baseline throughput; on smaller hosts the ratio is
+reported but not asserted (the parallel engine has no cores to use).
+
+Also pinned on every host: zero shed and zero errors — with the
+default queue bound the load here must be admitted completely.
+"""
+
+import itertools
+import os
+import sys
+
+from repro.analysis.tables import render_table
+from repro.api import ProfileSuiteResult, serve
+from repro.core.feature import FeatureVector
+from repro.serve import run_load
+from repro.workloads.spec import BENCHMARKS, PAPER_EIGHT
+
+WAYS = 16
+STRATEGY = "bisection"
+CONCURRENCY = 32
+REQUESTS = 512
+QUICK_REQUESTS = 64
+
+
+def _suite() -> ProfileSuiteResult:
+    return ProfileSuiteResult(
+        machine="4-core-server",
+        features={
+            name: FeatureVector.oracle(BENCHMARKS[name], 2e8)
+            for name in PAPER_EIGHT
+        },
+        profiles={},
+    )
+
+
+def _mixes(count: int):
+    """``count`` distinct multisets over the paper's eight benchmarks."""
+    names = sorted(PAPER_EIGHT)
+    pools = itertools.chain.from_iterable(
+        itertools.combinations_with_replacement(names, size)
+        for size in (4, 3, 5)
+    )
+    mixes = [list(combo) for combo in itertools.islice(pools, count)]
+    if len(mixes) < count:
+        raise RuntimeError(f"only {len(mixes)} distinct mixes available")
+    return mixes
+
+
+def _drive(mixes, **server_kwargs):
+    with serve({"default": _suite()}, strategy=STRATEGY, **server_kwargs) as handle:
+        load = run_load(
+            handle.host,
+            handle.port,
+            mixes,
+            ways=WAYS,
+            concurrency=CONCURRENCY,
+        )
+        batch_sizes = (
+            handle.service.metrics.to_dict()["histograms"]
+            .get("serve.batch.size", {})
+        )
+    return load, batch_sizes
+
+
+def _measure(quick: bool):
+    mixes = _mixes(QUICK_REQUESTS if quick else REQUESTS)
+    baseline, _ = _drive(mixes, workers=1, max_batch_size=1)
+    batched, batch_sizes = _drive(
+        mixes, workers=4, max_batch_size=32, max_linger_ms=2.0
+    )
+    return {
+        "requests": len(mixes),
+        "baseline": baseline,
+        "batched": batched,
+        "mean_batch": batch_sizes.get("mean", 0.0),
+        "ratio": (
+            batched.throughput_rps / baseline.throughput_rps
+            if baseline.throughput_rps
+            else 0.0
+        ),
+    }
+
+
+def _render(result) -> str:
+    rows = [
+        (
+            label,
+            load.completed,
+            load.shed,
+            load.errors,
+            load.duration_s * 1e3,
+            load.throughput_rps,
+            load.latency_quantile(0.5) * 1e3,
+            load.latency_quantile(0.95) * 1e3,
+        )
+        for label, load in (
+            ("1-per-call", result["baseline"]),
+            ("batched", result["batched"]),
+        )
+    ]
+    cpus = os.cpu_count() or 1
+    table = render_table(
+        ["Mode", "OK", "Shed", "Err", "Wall (ms)", "req/s",
+         "p50 (ms)", "p95 (ms)"],
+        rows,
+        title=(
+            f"/v1/predict, {result['requests']} distinct mixes, "
+            f"concurrency {CONCURRENCY}, {cpus} host CPUs"
+        ),
+        float_format="{:.4g}",
+    )
+    return "\n".join(
+        [
+            table,
+            "",
+            f"Batched/baseline throughput: {result['ratio']:.2f}x; "
+            f"mean dispatched batch {result['mean_batch']:.1f} requests",
+        ]
+    )
+
+
+def _check(result) -> None:
+    cpus = os.cpu_count() or 1
+    for label in ("baseline", "batched"):
+        load = result[label]
+        assert load.errors == 0, f"{label} run hit {load.errors} hard errors"
+        assert load.shed == 0, f"{label} run shed {load.shed} requests"
+        assert load.completed == result["requests"]
+    quick = bool(int(os.environ.get("REPRO_QUICK", "0")))
+    if cpus >= 4 and not quick:
+        assert result["ratio"] >= 3.0, (
+            f"batched throughput only {result['ratio']:.2f}x baseline "
+            f"on a {cpus}-CPU host (need >= 3x)"
+        )
+
+
+def test_serve_throughput(benchmark):
+    from conftest import QUICK, once, report
+
+    result = once(benchmark, lambda: _measure(QUICK))
+    report("serve_throughput", _render(result))
+    _check(result)
+
+
+def main(argv) -> int:
+    quick = "--quick" in argv
+    result = _measure(quick)
+    text = _render(result)
+    print(text)
+    _check(result)
+    return 0
+
+
+if __name__ == "__main__":
+    sys.exit(main(sys.argv[1:]))

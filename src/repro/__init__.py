@@ -20,6 +20,8 @@ The package is organised as:
   :func:`profile_suite` → :func:`predict_mix` / :func:`train_power` →
   :func:`pick_assignment` pipeline with frozen result bundles.
 - :mod:`repro.obs` — opt-in tracing + metrics over the whole pipeline.
+- :mod:`repro.serve` — asyncio HTTP prediction service with a model
+  registry, dynamic micro-batching and backpressure.
 
 See ``examples/quickstart.py`` for an end-to-end walkthrough.
 """
@@ -29,6 +31,8 @@ from repro.api import (
     MixPrediction,
     PowerTrainingResult,
     ProfileSuiteResult,
+    load_pick,
+    load_prediction,
     load_suite,
     pick_assignment,
     predict_mix,
@@ -67,5 +71,7 @@ __all__ = [
     "train_power",
     "pick_assignment",
     "load_suite",
+    "load_prediction",
+    "load_pick",
     "__version__",
 ]

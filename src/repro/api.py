@@ -8,7 +8,10 @@ scripts, notebooks and the CLI all drive the same four entry points:
 - :func:`profile_suite` — stressmark-profile benchmarks on a machine,
 - :func:`predict_mix` — price a co-run combination from profiles,
 - :func:`train_power` — fit the Eq. 9 power model for a machine,
-- :func:`pick_assignment` — search for the best process-to-core map.
+- :func:`pick_assignment` — search for the best process-to-core map,
+- :func:`serve` — run all of the above as an asyncio HTTP service
+  with a model registry and dynamic micro-batching
+  (:mod:`repro.serve`).
 
 Every result type round-trips through plain JSON via ``to_dict()`` /
 ``from_dict()`` (converters live in :mod:`repro.io`), and all functions
@@ -20,7 +23,7 @@ from __future__ import annotations
 
 import pathlib
 from dataclasses import dataclass
-from typing import Dict, Optional, Sequence, Tuple, Union
+from typing import Any, Dict, Mapping, Optional, Sequence, Tuple, Union
 
 from repro.config import (
     BENCH_SCALE,
@@ -54,7 +57,21 @@ __all__ = [
     "train_power",
     "pick_assignment",
     "load_suite",
+    "load_prediction",
+    "load_pick",
+    "serve",
+    "ServerHandle",
 ]
+
+
+def __getattr__(name: str):
+    # Lazy re-export: pulling the serving stack (asyncio server,
+    # batcher, registry) into every `import repro` would be waste.
+    if name == "ServerHandle":
+        from repro.serve import ServerHandle
+
+        return ServerHandle
+    raise AttributeError(f"module {__name__!r} has no attribute {name!r}")
 
 
 # ----------------------------------------------------------------------
@@ -109,6 +126,12 @@ class MixPrediction:
 
         return mix_prediction_from_dict(data)
 
+    def save(self, path: Pathish) -> None:
+        """Write the prediction to JSON (loadable by :func:`load_prediction`)."""
+        from repro.io import save_json
+
+        save_json(self.to_dict(), path)
+
 
 @dataclass(frozen=True)
 class PowerTrainingResult:
@@ -160,6 +183,12 @@ class AssignmentPick:
 
         return assignment_pick_from_dict(data)
 
+    def save(self, path: Pathish) -> None:
+        """Write the pick to JSON (loadable by :func:`load_pick`)."""
+        from repro.io import save_json
+
+        save_json(self.to_dict(), path)
+
 
 # ----------------------------------------------------------------------
 # Helpers
@@ -203,6 +232,20 @@ def load_suite(path: Pathish) -> ProfileSuiteResult:
     from repro.io import load_json, profile_suite_result_from_dict
 
     return profile_suite_result_from_dict(load_json(path))
+
+
+def load_prediction(path: Pathish) -> MixPrediction:
+    """Load a prediction saved by :meth:`MixPrediction.save`."""
+    from repro.io import load_json, mix_prediction_from_dict
+
+    return mix_prediction_from_dict(load_json(path))
+
+
+def load_pick(path: Pathish) -> AssignmentPick:
+    """Load a decision saved by :meth:`AssignmentPick.save`."""
+    from repro.io import assignment_pick_from_dict, load_json
+
+    return assignment_pick_from_dict(load_json(path))
 
 
 # ----------------------------------------------------------------------
@@ -416,4 +459,52 @@ def pick_assignment(
         machine=machine,
         strategy="greedy" if greedy else "exhaustive",
         decision=decision,
+    )
+
+
+def serve(
+    models: Optional[Mapping[str, Any]] = None,
+    *,
+    host: str = "127.0.0.1",
+    port: int = 0,
+    workers: Optional[int] = None,
+    strategy: str = "auto",
+    max_batch_size: int = 32,
+    max_linger_ms: float = 2.0,
+    max_queue: int = 256,
+):
+    """Boot the asyncio prediction service on a background thread.
+
+    Returns a :class:`repro.serve.ServerHandle`; use it as a context
+    manager (or call ``stop()``) to drain and shut down.  Served
+    ``/v1/predict`` responses are bit-identical to :func:`predict_mix`
+    for the same suite/mix — see :mod:`repro.serve`.
+
+    Args:
+        models: ``name -> artifact`` published before serving: result
+            bundles (:class:`ProfileSuiteResult`,
+            :class:`PowerTrainingResult`), fitted
+            :class:`CorePowerModel` instances, saved-JSON paths, or
+            raw documents.
+        host / port: Bind address (``port=0`` = ephemeral).
+        workers: Worker processes per prediction engine
+            (``None``/``0``/``1`` solve in-process).
+        strategy: Equilibrium solver strategy.
+        max_batch_size: Dispatch a batch at this many queued requests.
+        max_linger_ms: Dispatch a partial batch after the oldest
+            request has waited this long.
+        max_queue: Admission bound; beyond it requests are shed with
+            an explicit 429-style response.
+    """
+    from repro.serve import start_server
+
+    return start_server(
+        models,
+        host=host,
+        port=port,
+        workers=workers,
+        strategy=strategy,
+        max_batch_size=max_batch_size,
+        max_linger_ms=max_linger_ms,
+        max_queue=max_queue,
     )

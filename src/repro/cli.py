@@ -9,6 +9,8 @@ driven without writing Python:
 - ``train-power`` — train the Eq. 9 model, save it to JSON.
 - ``run`` — simulate an assignment and report measured ground truth.
 - ``assign`` — pick the best process-to-core mapping from profiles.
+- ``serve`` — run the asyncio HTTP prediction service
+  (:mod:`repro.serve`) until SIGTERM/SIGINT, then drain and exit.
 - ``experiment`` — regenerate one paper table/figure.
 
 ``profile``, ``predict``, ``run`` and ``assign`` accept ``--trace
@@ -286,6 +288,65 @@ def cmd_assign(args: argparse.Namespace) -> int:
     return 0
 
 
+def cmd_serve(args: argparse.Namespace) -> int:
+    """Run the asyncio prediction service until SIGTERM/SIGINT.
+
+    Both signals trigger the same graceful shutdown ``stop()``
+    performs: stop listening, drain queued prediction batches, then
+    exit 0.
+    """
+    import signal
+    import threading
+
+    from repro.api import serve
+
+    models = {}
+    if args.suite:
+        models["default"] = args.suite
+    if args.power_model:
+        models["power"] = args.power_model
+    for spec in args.model or []:
+        name, _, path = spec.partition("=")
+        if not name or not path:
+            raise ValueError(
+                f"bad --model fragment {spec!r}; use NAME=FILE"
+            )
+        models[name] = path
+    if not models:
+        raise ValueError(
+            "nothing to serve: give --suite FILE, --power-model FILE "
+            "and/or --model NAME=FILE"
+        )
+    handle = serve(
+        models,
+        host=args.host,
+        port=args.port,
+        workers=args.workers,
+        strategy=args.strategy,
+        max_batch_size=args.max_batch,
+        max_linger_ms=args.linger_ms,
+        max_queue=args.max_queue,
+    )
+    published = ", ".join(
+        f"{entry['name']}@{entry['version']} ({entry['kind']})"
+        for entry in handle.registry.list()
+    )
+    print(f"serving {published}", file=sys.stderr)
+    print(f"listening on http://{handle.host}:{handle.port}", flush=True)
+    stop_event = threading.Event()
+
+    def _on_signal(signum, frame):  # noqa: ARG001 - signal interface
+        print(f"received signal {signum}; draining...", file=sys.stderr)
+        stop_event.set()
+
+    signal.signal(signal.SIGINT, _on_signal)
+    signal.signal(signal.SIGTERM, _on_signal)
+    stop_event.wait()
+    handle.stop()
+    print("drained and stopped", file=sys.stderr)
+    return 0
+
+
 def cmd_experiment(args: argparse.Namespace) -> int:
     from repro.experiments.context import get_context
 
@@ -417,6 +478,47 @@ def build_parser() -> argparse.ArgumentParser:
     _add_obs_flags(assign)
     assign.add_argument("names", nargs="+")
     assign.set_defaults(func=cmd_assign)
+
+    serve = commands.add_parser(
+        "serve", help="run the asyncio HTTP prediction service"
+    )
+    serve.add_argument("--host", default="127.0.0.1")
+    serve.add_argument(
+        "--port", type=int, default=0,
+        help="bind port (default 0 = ephemeral; the real port is printed)",
+    )
+    serve.add_argument(
+        "--suite", metavar="FILE", default=None,
+        help="profile-suite JSON published as model 'default'",
+    )
+    serve.add_argument(
+        "--power-model", metavar="FILE", default=None,
+        help="fitted power-model JSON published as model 'power'",
+    )
+    serve.add_argument(
+        "--model", metavar="NAME=FILE", action="append", default=None,
+        help="publish an extra artifact under NAME (repeatable)",
+    )
+    serve.add_argument(
+        "--workers", type=int, default=None,
+        help="worker processes per prediction engine (default: in-process)",
+    )
+    serve.add_argument(
+        "--strategy", default="auto", help="equilibrium solver strategy"
+    )
+    serve.add_argument(
+        "--max-batch", type=int, default=32,
+        help="dispatch a batch once this many requests wait",
+    )
+    serve.add_argument(
+        "--linger-ms", type=float, default=2.0,
+        help="dispatch a partial batch after this linger time",
+    )
+    serve.add_argument(
+        "--max-queue", type=int, default=256,
+        help="admission bound; excess requests are shed with HTTP 429",
+    )
+    serve.set_defaults(func=cmd_serve)
 
     experiment = commands.add_parser("experiment", help="regenerate a paper artefact")
     experiment.add_argument(

@@ -230,6 +230,7 @@ class ParallelPredictor:
         self.cache = cache
         self._executor: Optional[ProcessPoolExecutor] = None
         self._serial_model: Optional[PerformanceModel] = None
+        self._closed = False
 
     # -- lifecycle ------------------------------------------------------
     def __enter__(self) -> "ParallelPredictor":
@@ -238,11 +239,30 @@ class ParallelPredictor:
     def __exit__(self, exc_type, exc, tb) -> None:
         self.close()
 
+    @property
+    def closed(self) -> bool:
+        """Whether :meth:`close` has been called."""
+        return self._closed
+
     def close(self) -> None:
-        """Shut the worker pool down (idempotent)."""
+        """Shut the worker pool down (idempotent).
+
+        A closed predictor stays closed: later :meth:`predict_mixes` /
+        :meth:`warm_up` calls raise :class:`RuntimeError` instead of
+        silently restarting the pool (long-lived holders like the
+        serving layer rely on these strict reuse semantics).
+        """
+        self._closed = True
         if self._executor is not None:
             self._executor.shutdown()
             self._executor = None
+
+    def _check_open(self) -> None:
+        if self._closed:
+            raise RuntimeError(
+                "ParallelPredictor is closed; its worker pool was shut "
+                "down — create a new predictor instead of reusing this one"
+            )
 
     def _ensure_executor(self) -> ProcessPoolExecutor:
         if self._executor is None:
@@ -260,6 +280,7 @@ class ParallelPredictor:
         Benchmarks call this so pool start-up and profile pickling are
         excluded from the measured batch.
         """
+        self._check_open()
         if self.workers <= 1:
             self._serial()
             return
@@ -289,6 +310,7 @@ class ParallelPredictor:
         self, mixes: Sequence[Sequence[str]]
     ) -> Tuple[CoRunPrediction, ...]:
         """Predict every mix; order and bits match serial execution."""
+        self._check_open()
         normalized = [tuple(mix) for mix in mixes]
         observer = get_observer()
         if not observer.enabled:

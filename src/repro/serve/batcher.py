@@ -1,0 +1,292 @@
+"""Dynamic micro-batching with admission control.
+
+Analytical-model serving is throughput-bound, not latency-bound: one
+equilibrium solve costs a millisecond-ish, but a scheduler exploring
+tentative assignments issues *many* of them at once.  The
+:class:`MicroBatcher` turns that concurrency into engine-sized
+batches:
+
+- Concurrent :meth:`~MicroBatcher.submit` calls append to a pending
+  queue; a single flusher task assembles batches and dispatches them
+  through a persistent :class:`~repro.parallel.ParallelPredictor`
+  (whose cold-start caches make served results bit-identical to
+  independent :func:`repro.api.predict_mix` calls — see
+  :mod:`repro.parallel`).
+- A batch flushes when it reaches ``max_batch_size`` **or** when the
+  oldest pending request has lingered ``max_linger_s`` — the classic
+  size/linger trade-off, both knobs explicit.
+- Dispatch runs on a one-thread executor so the event loop keeps
+  accepting requests while a batch computes; the next batch
+  accumulates during the current batch's solve (pipelining).
+
+Admission control keeps the queue honest:
+
+- At most ``max_queue`` requests may wait; beyond that
+  :meth:`submit` raises :class:`QueueFullError` *immediately* — shed
+  requests never hang and never consume model capacity.
+- A request may carry a deadline.  If it expires while queued, the
+  flusher completes it with :class:`DeadlineExpiredError` and never
+  dispatches it.
+- :meth:`stop` (graceful shutdown) rejects new work, flushes
+  everything still queued, waits for the in-flight batch, then
+  releases the engine.
+"""
+
+from __future__ import annotations
+
+import asyncio
+from collections import deque
+from concurrent.futures import ThreadPoolExecutor
+from dataclasses import dataclass
+from typing import Deque, List, Optional, Sequence, Tuple
+
+from repro.errors import ConfigurationError
+from repro.obs import MetricsRegistry
+from repro.serve.errors import (
+    DeadlineExpiredError,
+    QueueFullError,
+    ServiceClosedError,
+)
+
+__all__ = ["MicroBatcher"]
+
+
+@dataclass
+class _PendingRequest:
+    names: Tuple[str, ...]
+    future: "asyncio.Future"
+    enqueued_at: float
+    deadline: Optional[float]  # loop-clock absolute time, None = no deadline
+
+
+class MicroBatcher:
+    """Coalesce concurrent predict requests into engine batches.
+
+    Args:
+        engine: Anything with ``predict_mixes(mixes) -> results`` and
+            ``close()`` — in production a persistent
+            :class:`~repro.parallel.ParallelPredictor`.
+        max_batch_size: Flush as soon as this many requests wait.
+        max_linger_s: Flush a partial batch once its oldest request
+            has waited this long (seconds).
+        max_queue: Admission bound; further submits shed with
+            :class:`QueueFullError`.
+        metrics: Registry that receives the batcher's counters /
+            histograms (default: a private one).
+        close_engine: Close the engine during :meth:`stop`.
+    """
+
+    def __init__(
+        self,
+        engine,
+        *,
+        max_batch_size: int = 32,
+        max_linger_s: float = 0.002,
+        max_queue: int = 256,
+        metrics: Optional[MetricsRegistry] = None,
+        close_engine: bool = True,
+    ):
+        if max_batch_size < 1:
+            raise ConfigurationError("max_batch_size must be >= 1")
+        if max_linger_s < 0:
+            raise ConfigurationError("max_linger_s must be non-negative")
+        if max_queue < 1:
+            raise ConfigurationError("max_queue must be >= 1")
+        self.engine = engine
+        self.max_batch_size = max_batch_size
+        self.max_linger_s = max_linger_s
+        self.max_queue = max_queue
+        self.metrics = metrics if metrics is not None else MetricsRegistry()
+        self._close_engine = close_engine
+        self._pending: Deque[_PendingRequest] = deque()
+        self._wake: Optional[asyncio.Event] = None
+        self._task: Optional["asyncio.Task"] = None
+        self._loop: Optional[asyncio.AbstractEventLoop] = None
+        self._dispatch_pool: Optional[ThreadPoolExecutor] = None
+        self._draining = False
+        self._stopped = False
+
+    # ------------------------------------------------------------------
+    # Introspection
+    # ------------------------------------------------------------------
+    @property
+    def pending(self) -> int:
+        """Requests currently queued (not yet dispatched)."""
+        return len(self._pending)
+
+    @property
+    def accepting(self) -> bool:
+        return not self._draining and not self._stopped
+
+    # ------------------------------------------------------------------
+    # Lifecycle
+    # ------------------------------------------------------------------
+    def _ensure_started(self) -> None:
+        if self._task is None or self._task.done():
+            self._loop = asyncio.get_running_loop()
+            self._wake = asyncio.Event()
+            # One dispatch thread: batches serialise through the engine
+            # (well-defined ParallelPredictor reuse) while accumulation
+            # of the next batch overlaps the current batch's solve.
+            self._dispatch_pool = ThreadPoolExecutor(
+                max_workers=1, thread_name_prefix="repro-serve-dispatch"
+            )
+            self._task = self._loop.create_task(self._flush_loop())
+
+    async def stop(self, drain: bool = True) -> None:
+        """Stop accepting work; optionally flush what is queued.
+
+        With ``drain=True`` (graceful shutdown) every queued request
+        is dispatched (or expired) and the in-flight batch completes
+        before the engine is released.  With ``drain=False`` queued
+        requests fail fast with :class:`ServiceClosedError`.
+        """
+        if self._stopped:
+            return
+        self._draining = True
+        if not drain:
+            while self._pending:
+                request = self._pending.popleft()
+                if not request.future.done():
+                    request.future.set_exception(
+                        ServiceClosedError("service stopped before dispatch")
+                    )
+        if self._wake is not None:
+            self._wake.set()
+        if self._task is not None:
+            await self._task
+            self._task = None
+        self._stopped = True
+        if self._dispatch_pool is not None:
+            self._dispatch_pool.shutdown(wait=True)
+            self._dispatch_pool = None
+        if self._close_engine:
+            self.engine.close()
+
+    # ------------------------------------------------------------------
+    # Submission
+    # ------------------------------------------------------------------
+    async def submit(self, names: Sequence[str], *, timeout_s: Optional[float] = None):
+        """Queue one mix for prediction; awaits its result.
+
+        Raises:
+            QueueFullError: The pending queue is at ``max_queue``.
+            DeadlineExpiredError: ``timeout_s`` elapsed before the
+                request's batch was dispatched.
+            ServiceClosedError: The batcher is draining or stopped.
+        """
+        if not self.accepting:
+            raise ServiceClosedError("service is draining; not accepting requests")
+        self._ensure_started()
+        assert self._loop is not None and self._wake is not None
+        if len(self._pending) >= self.max_queue:
+            self.metrics.counter("serve.predict.shed").inc()
+            raise QueueFullError(
+                f"pending queue is full ({self.max_queue} requests); retry later"
+            )
+        now = self._loop.time()
+        request = _PendingRequest(
+            names=tuple(names),
+            future=self._loop.create_future(),
+            enqueued_at=now,
+            deadline=now + timeout_s if timeout_s is not None else None,
+        )
+        self._pending.append(request)
+        self.metrics.counter("serve.predict.requests").inc()
+        self.metrics.gauge("serve.queue.depth").set(len(self._pending))
+        self._wake.set()
+        return await request.future
+
+    # ------------------------------------------------------------------
+    # Flusher
+    # ------------------------------------------------------------------
+    async def _flush_loop(self) -> None:
+        assert self._loop is not None and self._wake is not None
+        while True:
+            if not self._pending:
+                if self._draining:
+                    return
+                self._wake.clear()
+                await self._wake.wait()
+                continue
+            reason = await self._linger()
+            batch = self._take_batch()
+            if batch:
+                self.metrics.counter(f"serve.batch.flush_{reason}").inc()
+                await self._dispatch(batch)
+
+    async def _linger(self) -> str:
+        """Wait for the batch to fill; returns the flush reason."""
+        assert self._loop is not None and self._wake is not None
+        while True:
+            if len(self._pending) >= self.max_batch_size:
+                return "size"
+            if self._draining:
+                return "drain"
+            oldest = self._pending[0].enqueued_at
+            remaining = oldest + self.max_linger_s - self._loop.time()
+            if remaining <= 0:
+                return "linger"
+            self._wake.clear()
+            try:
+                await asyncio.wait_for(self._wake.wait(), remaining)
+            except asyncio.TimeoutError:
+                return "linger"
+
+    def _take_batch(self) -> List[_PendingRequest]:
+        """Pop up to ``max_batch_size`` live requests; expire the dead.
+
+        Requests whose deadline passed while they queued complete with
+        :class:`DeadlineExpiredError` here — before dispatch — so the
+        engine never spends a solve on an answer nobody is waiting for.
+        Cancelled futures (disconnected clients) are dropped the same
+        way.
+        """
+        assert self._loop is not None
+        now = self._loop.time()
+        batch: List[_PendingRequest] = []
+        while self._pending and len(batch) < self.max_batch_size:
+            request = self._pending.popleft()
+            if request.future.done():  # cancelled while queued
+                self.metrics.counter("serve.predict.cancelled").inc()
+                continue
+            if request.deadline is not None and now >= request.deadline:
+                self.metrics.counter("serve.predict.deadline_expired").inc()
+                request.future.set_exception(
+                    DeadlineExpiredError(
+                        "deadline expired after "
+                        f"{now - request.enqueued_at:.3f}s in queue; "
+                        "request was not dispatched"
+                    )
+                )
+                continue
+            batch.append(request)
+        self.metrics.gauge("serve.queue.depth").set(len(self._pending))
+        return batch
+
+    async def _dispatch(self, batch: List[_PendingRequest]) -> None:
+        assert self._loop is not None
+        self.metrics.counter("serve.batch.dispatched").inc()
+        self.metrics.histogram("serve.batch.size").observe(len(batch))
+        start = self._loop.time()
+        for request in batch:
+            self.metrics.histogram("serve.predict.queue_wait_s").observe(
+                start - request.enqueued_at
+            )
+        mixes = [request.names for request in batch]
+        try:
+            results = await self._loop.run_in_executor(
+                self._dispatch_pool, self.engine.predict_mixes, mixes
+            )
+        except Exception as error:  # noqa: BLE001 - forwarded to callers
+            for request in batch:
+                if not request.future.done():
+                    request.future.set_exception(error)
+            return
+        self.metrics.histogram("serve.batch.solve_s").observe(
+            self._loop.time() - start
+        )
+        for request, result in zip(batch, results):
+            if not request.future.done():
+                request.future.set_result(result)
+                self.metrics.counter("serve.predict.completed").inc()

@@ -1,0 +1,255 @@
+"""Stdlib HTTP client and load generator for the prediction service.
+
+:class:`ServeClient` wraps one keep-alive
+:class:`http.client.HTTPConnection` with typed helpers for every
+endpoint; non-2xx responses raise :class:`ServeClientError` carrying
+the status code and decoded error document, so callers can branch on
+shed (429) vs deadline (504) without string matching.
+
+:func:`run_load` is the benchmark driver: N threads, one connection
+each, hammering ``/v1/predict`` with a shared work list and reporting
+aggregate throughput plus a latency summary.  It is deliberately
+simple (closed-loop, no ramp-up) — enough to measure the batching
+win of :mod:`repro.serve` against one-request-per-call dispatch.
+"""
+
+from __future__ import annotations
+
+import http.client
+import json
+import threading
+import time
+from dataclasses import dataclass, field
+from typing import Any, Dict, List, Optional, Sequence, Tuple
+
+__all__ = ["ServeClient", "ServeClientError", "LoadReport", "run_load"]
+
+
+class ServeClientError(Exception):
+    """Non-2xx response from the server."""
+
+    def __init__(self, status: int, document: Dict):
+        self.status = status
+        self.document = document
+        super().__init__(
+            f"HTTP {status}: {document.get('error', document)}"
+        )
+
+
+class ServeClient:
+    """Synchronous JSON client for one server, with keep-alive."""
+
+    def __init__(self, host: str, port: int, timeout: float = 30.0):
+        self.host = host
+        self.port = port
+        self.timeout = timeout
+        self._connection: Optional[http.client.HTTPConnection] = None
+
+    # ------------------------------------------------------------------
+    def _request(
+        self, method: str, path: str, payload: Optional[Dict] = None
+    ) -> Tuple[int, Dict]:
+        body = json.dumps(payload).encode("utf-8") if payload is not None else None
+        headers = {"Content-Type": "application/json"} if body else {}
+        if self._connection is None:
+            self._connection = http.client.HTTPConnection(
+                self.host, self.port, timeout=self.timeout
+            )
+        try:
+            self._connection.request(method, path, body=body, headers=headers)
+            response = self._connection.getresponse()
+            raw = response.read()
+        except (http.client.HTTPException, OSError):
+            # Stale keep-alive connection (server restarted, timeout):
+            # reconnect once before giving up.
+            self.close()
+            self._connection = http.client.HTTPConnection(
+                self.host, self.port, timeout=self.timeout
+            )
+            self._connection.request(method, path, body=body, headers=headers)
+            response = self._connection.getresponse()
+            raw = response.read()
+        document = json.loads(raw.decode("utf-8")) if raw else {}
+        if response.will_close:
+            self.close()
+        return response.status, document
+
+    def _call(self, method: str, path: str, payload: Optional[Dict] = None) -> Dict:
+        status, document = self._request(method, path, payload)
+        if status >= 300:
+            raise ServeClientError(status, document)
+        return document
+
+    # ------------------------------------------------------------------
+    # Endpoints
+    # ------------------------------------------------------------------
+    def healthz(self) -> Dict:
+        return self._call("GET", "/healthz")
+
+    def readyz(self) -> bool:
+        status, document = self._request("GET", "/readyz")
+        return status == 200 and bool(document.get("ready"))
+
+    def metrics(self) -> Dict:
+        return self._call("GET", "/metrics")
+
+    def models(self) -> List[Dict]:
+        return self._call("GET", "/v1/models")["models"]
+
+    def publish(self, name: str, document: Dict) -> Dict:
+        return self._call(
+            "POST", "/v1/models", {"name": name, "document": document}
+        )["published"]
+
+    def predict(
+        self,
+        names: Sequence[str],
+        *,
+        ways: int,
+        model: str = "default",
+        timeout_ms: Optional[float] = None,
+    ) -> Dict:
+        payload: Dict[str, Any] = {
+            "model": model,
+            "names": list(names),
+            "ways": ways,
+        }
+        if timeout_ms is not None:
+            payload["timeout_ms"] = timeout_ms
+        return self._call("POST", "/v1/predict", payload)
+
+    def assign(
+        self,
+        names: Sequence[str],
+        *,
+        suite: str = "default",
+        power_model: str = "power",
+        machine: str = "4-core-server",
+        sets: int = 128,
+        objective: str = "power",
+        greedy: bool = False,
+    ) -> Dict:
+        return self._call(
+            "POST",
+            "/v1/assign",
+            {
+                "suite": suite,
+                "power_model": power_model,
+                "names": list(names),
+                "machine": machine,
+                "sets": sets,
+                "objective": objective,
+                "greedy": greedy,
+            },
+        )
+
+    # ------------------------------------------------------------------
+    def close(self) -> None:
+        if self._connection is not None:
+            self._connection.close()
+            self._connection = None
+
+    def __enter__(self) -> "ServeClient":
+        return self
+
+    def __exit__(self, exc_type, exc, tb) -> None:
+        self.close()
+
+
+# ----------------------------------------------------------------------
+# Load generation
+# ----------------------------------------------------------------------
+@dataclass
+class LoadReport:
+    """Aggregate result of one :func:`run_load` run."""
+
+    requests: int
+    completed: int
+    shed: int
+    errors: int
+    duration_s: float
+    latencies_s: List[float] = field(repr=False, default_factory=list)
+
+    @property
+    def throughput_rps(self) -> float:
+        return self.completed / self.duration_s if self.duration_s > 0 else 0.0
+
+    def latency_quantile(self, q: float) -> float:
+        if not self.latencies_s:
+            return 0.0
+        ordered = sorted(self.latencies_s)
+        index = min(len(ordered) - 1, int(q * len(ordered)))
+        return ordered[index]
+
+
+def run_load(
+    host: str,
+    port: int,
+    mixes: Sequence[Sequence[str]],
+    *,
+    ways: int,
+    model: str = "default",
+    concurrency: int = 32,
+    timeout: float = 120.0,
+) -> LoadReport:
+    """Drive ``/v1/predict`` with ``len(mixes)`` closed-loop requests.
+
+    The work list is split round-robin across ``concurrency`` worker
+    threads, each holding one keep-alive connection.  Shed responses
+    (429) are counted separately from hard errors so benchmark runs
+    under overload stay interpretable.
+    """
+    work: List[List[Tuple[int, Sequence[str]]]] = [
+        [] for _ in range(concurrency)
+    ]
+    for index, mix in enumerate(mixes):
+        work[index % concurrency].append((index, mix))
+    lock = threading.Lock()
+    totals = {"completed": 0, "shed": 0, "errors": 0}
+    latencies: List[float] = []
+    barrier = threading.Barrier(concurrency + 1)
+
+    def _worker(items: List[Tuple[int, Sequence[str]]]) -> None:
+        client = ServeClient(host, port, timeout=timeout)
+        barrier.wait()
+        local_latencies = []
+        completed = shed = errors = 0
+        for _, mix in items:
+            start = time.perf_counter()
+            try:
+                client.predict(mix, ways=ways, model=model)
+                completed += 1
+                local_latencies.append(time.perf_counter() - start)
+            except ServeClientError as error:
+                if error.status == 429:
+                    shed += 1
+                else:
+                    errors += 1
+            except Exception:  # noqa: BLE001 - connection-level failure
+                errors += 1
+        client.close()
+        with lock:
+            totals["completed"] += completed
+            totals["shed"] += shed
+            totals["errors"] += errors
+            latencies.extend(local_latencies)
+
+    threads = [
+        threading.Thread(target=_worker, args=(items,), daemon=True)
+        for items in work
+    ]
+    for thread in threads:
+        thread.start()
+    barrier.wait()
+    start = time.perf_counter()
+    for thread in threads:
+        thread.join()
+    duration = time.perf_counter() - start
+    return LoadReport(
+        requests=len(mixes),
+        completed=totals["completed"],
+        shed=totals["shed"],
+        errors=totals["errors"],
+        duration_s=duration,
+        latencies_s=latencies,
+    )

@@ -1,0 +1,57 @@
+"""Exception types of the serving layer.
+
+All of them subclass :class:`repro.errors.ReproError`, so callers that
+already catch the library-wide base keep working; the HTTP front end
+maps each subclass to a specific status code (see
+:mod:`repro.serve.http`).
+"""
+
+from __future__ import annotations
+
+from repro.errors import ConfigurationError, ReproError
+
+__all__ = [
+    "ServeError",
+    "QueueFullError",
+    "DeadlineExpiredError",
+    "ServiceClosedError",
+    "UnknownModelError",
+]
+
+
+class ServeError(ReproError):
+    """Base class of all serving-layer errors."""
+
+
+class QueueFullError(ServeError):
+    """Admission control shed the request: the pending queue is full.
+
+    Mapped to HTTP 429 — the client should back off and retry; the
+    request was rejected *before* queuing, so it never consumed model
+    capacity and never hangs.
+    """
+
+
+class DeadlineExpiredError(ServeError):
+    """The request's deadline passed while it waited in the queue.
+
+    Expired requests are completed with this error at flush time and
+    are **never dispatched** to the prediction engine — work the
+    client has already given up on is not worth doing.  Mapped to
+    HTTP 504.
+    """
+
+
+class ServiceClosedError(ServeError):
+    """The service is draining or stopped and accepts no new work.
+
+    Mapped to HTTP 503; in-flight requests admitted before the drain
+    began still complete.
+    """
+
+
+class UnknownModelError(ConfigurationError, ServeError):
+    """No artifact with the requested name (or version) is published.
+
+    Mapped to HTTP 404.
+    """

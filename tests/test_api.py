@@ -136,11 +136,42 @@ class TestRoundTrips:
         assert AssignmentPick.from_dict(doc) == pick
 
 
+class TestSaveLoadHelpers:
+    """Facade results persist with save() and restore bit-exactly."""
+
+    def test_prediction_save_load(self, suite, tmp_path):
+        from repro.api import load_prediction
+
+        mix = predict_mix(NAMES, suite, ways=8)
+        path = tmp_path / "mix.json"
+        mix.save(path)
+        assert load_prediction(path) == mix  # frozen dataclass: exact floats
+
+    def test_pick_save_load(self, suite, power, tmp_path):
+        from repro.api import load_pick
+
+        pick = pick_assignment(
+            NAMES, suite, power.model, machine=MACHINE, sets=SETS
+        )
+        path = tmp_path / "pick.json"
+        pick.save(path)
+        assert load_pick(path) == pick
+
+    def test_load_helpers_reject_wrong_kind(self, suite, tmp_path):
+        from repro.api import load_prediction
+
+        path = tmp_path / "suite.json"
+        suite.save(path)
+        with pytest.raises(ConfigurationError, match="kind"):
+            load_prediction(path)
+
+
 class TestPackageSurface:
     def test_facade_reexported_from_package_root(self):
         for name in (
             "profile_suite", "predict_mix", "train_power", "pick_assignment",
-            "load_suite", "ProfileSuiteResult", "MixPrediction",
+            "load_suite", "load_prediction", "load_pick",
+            "ProfileSuiteResult", "MixPrediction",
             "PowerTrainingResult", "AssignmentPick",
         ):
             assert name in repro.__all__

@@ -168,6 +168,32 @@ class TestPredictMixes:
             batch_predict(features, MIXES, ways=8, workers=2, chunk_size=0)
 
 
+class TestPredictorLifecycle:
+    def test_predict_after_close_raises(self, features):
+        predictor = ParallelPredictor(features, ways=8, workers=1)
+        assert predictor.predict_mixes([["mcf", "gzip"]])
+        assert not predictor.closed
+        predictor.close()
+        assert predictor.closed
+        with pytest.raises(RuntimeError, match="closed"):
+            predictor.predict_mixes([["mcf", "gzip"]])
+        with pytest.raises(RuntimeError, match="closed"):
+            predictor.warm_up()
+
+    def test_context_manager_exit_closes(self, features):
+        with ParallelPredictor(features, ways=8, workers=1) as predictor:
+            predictor.predict_mixes([["mcf"]])
+        assert predictor.closed
+        with pytest.raises(RuntimeError, match="create a new predictor"):
+            predictor.predict_mixes([["mcf"]])
+
+    def test_close_is_idempotent(self, features):
+        predictor = ParallelPredictor(features, ways=8, workers=1)
+        predictor.close()
+        predictor.close()
+        assert predictor.closed
+
+
 class TestFacade:
     def test_api_predict_mixes_matches_predict_mix(self, features):
         from repro.api import ProfileSuiteResult
