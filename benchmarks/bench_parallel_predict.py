@@ -54,9 +54,14 @@ def _batches():
 
 def _measure():
     features = [FeatureVector.oracle(BENCHMARKS[n], 2e8) for n in PAPER_EIGHT]
-    serial = ParallelPredictor(features, ways=WAYS, strategy=STRATEGY, workers=1)
+    # Engines are pinned explicitly: this bench prices the process
+    # *pool* against a true serial loop, so neither side may be
+    # auto-routed onto the vectorized engine by host CPU count.
+    serial = ParallelPredictor(
+        features, ways=WAYS, strategy=STRATEGY, workers=1, engine="serial"
+    )
     parallel = ParallelPredictor(
-        features, ways=WAYS, strategy=STRATEGY, workers=WORKERS
+        features, ways=WAYS, strategy=STRATEGY, workers=WORKERS, engine="pool"
     )
     rows, ratios, mismatches = [], [], 0
     with serial, parallel:

@@ -13,10 +13,18 @@ same 32-way-concurrent closed-loop client traffic, and compares:
 
 Every mix in the work list is a *distinct* multiset, so both servers
 run every solve cold (no equilibrium-cache hits flattering either
-side); the bisection strategy keeps the per-solve cost (~1.5 ms)
-representative.  On a host with at least 4 CPUs the batched server
-must clear 3x the baseline throughput; on smaller hosts the ratio is
-reported but not asserted (the parallel engine has no cores to use).
+side).  The two modes pin complementary claims:
+
+- **Full mode** uses the bisection strategy (per-solve cost ~1.5 ms,
+  large enough that chunk IPC does not dominate) and, on a host with
+  at least 4 CPUs, asserts the batched server clears 3x the baseline
+  throughput — the multi-core process-pool win.
+- **Quick mode** uses the ``auto`` (Newton) strategy so coalesced
+  batches reach the stacked
+  :class:`~repro.core.batch_equilibrium.BatchNewtonSolver` through the
+  vectorized engine, and asserts batching beats 1-per-call (> 1.0x)
+  *even on a single CPU* — the win is vectorized math, not extra
+  cores.
 
 Also pinned on every host: zero shed and zero errors — with the
 default queue bound the load here must be admitted completely.
@@ -33,7 +41,8 @@ from repro.serve import run_load
 from repro.workloads.spec import BENCHMARKS, PAPER_EIGHT
 
 WAYS = 16
-STRATEGY = "bisection"
+STRATEGY = "bisection"  # full mode; quick mode uses "auto" (see docstring)
+QUICK_STRATEGY = "auto"
 CONCURRENCY = 32
 REQUESTS = 512
 QUICK_REQUESTS = 64
@@ -63,8 +72,8 @@ def _mixes(count: int):
     return mixes
 
 
-def _drive(mixes, **server_kwargs):
-    with serve({"default": _suite()}, strategy=STRATEGY, **server_kwargs) as handle:
+def _drive(mixes, strategy, **server_kwargs):
+    with serve({"default": _suite()}, strategy=strategy, **server_kwargs) as handle:
         load = run_load(
             handle.host,
             handle.port,
@@ -81,9 +90,10 @@ def _drive(mixes, **server_kwargs):
 
 def _measure(quick: bool):
     mixes = _mixes(QUICK_REQUESTS if quick else REQUESTS)
-    baseline, _ = _drive(mixes, workers=1, max_batch_size=1)
+    strategy = QUICK_STRATEGY if quick else STRATEGY
+    baseline, _ = _drive(mixes, strategy, workers=1, max_batch_size=1)
     batched, batch_sizes = _drive(
-        mixes, workers=4, max_batch_size=32, max_linger_ms=2.0
+        mixes, strategy, workers=4, max_batch_size=32, max_linger_ms=2.0
     )
     return {
         "requests": len(mixes),
@@ -136,15 +146,22 @@ def _render(result) -> str:
     )
 
 
-def _check(result) -> None:
+def _check(result, quick: bool) -> None:
     cpus = os.cpu_count() or 1
     for label in ("baseline", "batched"):
         load = result[label]
         assert load.errors == 0, f"{label} run hit {load.errors} hard errors"
         assert load.shed == 0, f"{label} run shed {load.shed} requests"
         assert load.completed == result["requests"]
-    quick = bool(int(os.environ.get("REPRO_QUICK", "0")))
-    if cpus >= 4 and not quick:
+    if quick:
+        # Vectorized micro-batching must pay on ANY host, 1 CPU
+        # included — that is the whole point of the stacked solver.
+        assert result["ratio"] > 1.0, (
+            f"batched throughput {result['ratio']:.2f}x baseline on a "
+            f"{cpus}-CPU host (vectorized micro-batching must beat "
+            "1-per-call even on one core)"
+        )
+    elif cpus >= 4:
         assert result["ratio"] >= 3.0, (
             f"batched throughput only {result['ratio']:.2f}x baseline "
             f"on a {cpus}-CPU host (need >= 3x)"
@@ -156,7 +173,7 @@ def test_serve_throughput(benchmark):
 
     result = once(benchmark, lambda: _measure(QUICK))
     report("serve_throughput", _render(result))
-    _check(result)
+    _check(result, QUICK)
 
 
 def main(argv) -> int:
@@ -164,7 +181,7 @@ def main(argv) -> int:
     result = _measure(quick)
     text = _render(result)
     print(text)
-    _check(result)
+    _check(result, quick)
     return 0
 
 

@@ -322,13 +322,14 @@ def predict_mixes(
     strategy: str = "auto",
     workers: Optional[int] = None,
     chunk_size: Optional[int] = None,
+    engine: str = "auto",
 ) -> Tuple[MixPrediction, ...]:
     """Price a batch of co-run combinations, optionally in parallel.
 
     Results are ordered like ``mixes`` and are bit-identical for any
-    ``workers`` value: the batch engine solves every mix from the cold
-    start (see :mod:`repro.parallel`), which is also what each
-    independent :func:`predict_mix` call does.
+    ``workers``/``engine`` value: the batch engines solve every mix
+    from the cold start (see :mod:`repro.parallel`), which is also
+    what each independent :func:`predict_mix` call does.
 
     Args:
         mixes: Co-run combinations, each a sequence of process names.
@@ -337,6 +338,9 @@ def predict_mixes(
         strategy: Equilibrium solver strategy.
         workers: Worker processes; ``None``/``0``/``1`` run serially.
         chunk_size: Mixes shipped per worker round trip.
+        engine: ``"auto"`` / ``"serial"`` / ``"vectorized"`` /
+            ``"pool"`` — pure throughput knob (see
+            :class:`~repro.parallel.ParallelPredictor`).
     """
     from repro.parallel import predict_mixes as batch_predict
 
@@ -348,6 +352,7 @@ def predict_mixes(
         strategy=strategy,
         workers=workers,
         chunk_size=chunk_size,
+        engine=engine,
     )
     return tuple(
         MixPrediction(ways=ways, names=tuple(mix), prediction=prediction)
@@ -472,6 +477,7 @@ def serve(
     max_batch_size: int = 32,
     max_linger_ms: float = 2.0,
     max_queue: int = 256,
+    engine: str = "auto",
 ):
     """Boot the asyncio prediction service on a background thread.
 
@@ -495,6 +501,9 @@ def serve(
             request has waited this long.
         max_queue: Admission bound; beyond it requests are shed with
             an explicit 429-style response.
+        engine: Batch execution engine per served predictor
+            (``"auto"`` / ``"serial"`` / ``"vectorized"`` /
+            ``"pool"`` — see :class:`~repro.parallel.ParallelPredictor`).
     """
     from repro.serve import start_server
 
@@ -507,4 +516,5 @@ def serve(
         max_batch_size=max_batch_size,
         max_linger_ms=max_linger_ms,
         max_queue=max_queue,
+        engine=engine,
     )

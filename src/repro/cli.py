@@ -174,7 +174,8 @@ def cmd_predict(args: argparse.Namespace) -> int:
     if args.batch:
         mixes = _load_batch_mixes(args.batch)
         results = predict_mixes(
-            mixes, args.suite, ways=args.ways, workers=args.workers
+            mixes, args.suite, ways=args.ways, workers=args.workers,
+            engine=args.engine,
         )
         if getattr(args, "as_json", False):
             document = {
@@ -326,6 +327,7 @@ def cmd_serve(args: argparse.Namespace) -> int:
         max_batch_size=args.max_batch,
         max_linger_ms=args.linger_ms,
         max_queue=args.max_queue,
+        engine=args.engine,
     )
     published = ", ".join(
         f"{entry['name']}@{entry['version']} ({entry['kind']})"
@@ -441,6 +443,12 @@ def build_parser() -> argparse.ArgumentParser:
         "to serial)",
     )
     predict.add_argument(
+        "--engine", choices=("auto", "serial", "vectorized", "pool"),
+        default="auto",
+        help="batch execution engine for --batch (bit-identical "
+        "results; 'vectorized' is the fastest single-core choice)",
+    )
+    predict.add_argument(
         "--json", dest="as_json", action="store_true",
         help="emit the prediction as JSON instead of a table",
     )
@@ -517,6 +525,12 @@ def build_parser() -> argparse.ArgumentParser:
     serve.add_argument(
         "--max-queue", type=int, default=256,
         help="admission bound; excess requests are shed with HTTP 429",
+    )
+    serve.add_argument(
+        "--engine", choices=("auto", "serial", "vectorized", "pool"),
+        default="auto",
+        help="batch execution engine per served predictor "
+        "(bit-identical responses)",
     )
     serve.set_defaults(func=cmd_serve)
 

@@ -24,6 +24,7 @@ from repro.core.combined import (
     PowerSplit,
     classify_scenario,
 )
+from repro.core.batch_equilibrium import BatchNewtonSolver
 from repro.core.equilibrium import (
     BisectionSolver,
     EquilibriumProcess,
@@ -65,6 +66,7 @@ __all__ = [
     "EquilibriumProcess",
     "EquilibriumResult",
     "NewtonSolver",
+    "BatchNewtonSolver",
     "BisectionSolver",
     "SolverTelemetry",
     "solve_equilibrium",

@@ -216,11 +216,25 @@ def _redistribute_to_capacity(
     no new process saturates.  Requires ``sum(caps) >= total`` — which
     contention guarantees, since caps are the per-process saturation
     sizes clipped at ``total`` — otherwise everyone is left at cap.
+
+    The proportional loop alone has two failure edges: when every free
+    index lands exactly at its cap mid-pass the loop exits with the
+    clipped overshoot unredistributed, and when the free mass is zero
+    the even spread can itself breach a small cap.  A deterministic
+    closure pass afterwards moves the leftover gap onto processes with
+    headroom (raising) or positive mass (lowering), so the invariant
+    ``|Σ out - total| <= 1e-9 · max(1, total)`` holds for any cap
+    vector with ``sum(caps) >= total >= 0`` — including zero caps and
+    all-capped inputs.  Well-conditioned solves close within the
+    proportional loop already; the closure only runs when a gap above
+    float-roundoff (1e-12 relative) survives, so ordinary Newton /
+    bisection results keep their historical bit patterns.
     """
     k = len(sizes)
-    out = [min(float(s), float(c)) for s, c in zip(sizes, caps)]
+    caps = [float(c) for c in caps]
+    out = [min(float(s), c) for s, c in zip(sizes, caps)]
     if sum(caps) <= total:
-        return [float(c) for c in caps]
+        return list(caps)
     capped = [False] * k
     for _ in range(k + 1):
         fixed = sum(s for s, c in zip(out, capped) if c)
@@ -228,9 +242,17 @@ def _redistribute_to_capacity(
         if not free:
             break
         remaining = total - fixed
+        if remaining <= 0.0:
+            # The capped mass alone meets (or overshoots) capacity;
+            # zero the free entries and let the closure pull the
+            # overshoot back out of the capped ones.
+            for i in free:
+                out[i] = 0.0
+            break
         free_sum = sum(out[i] for i in free)
         if free_sum <= 0.0:
-            # Degenerate: spread the remainder evenly instead.
+            # Degenerate: spread the remainder evenly instead (the cap
+            # clip below catches entries this pushes past their cap).
             for i in free:
                 out[i] = remaining / len(free)
         else:
@@ -240,12 +262,74 @@ def _redistribute_to_capacity(
         saturated = False
         for i in free:
             if out[i] >= caps[i]:
-                out[i] = float(caps[i])
+                out[i] = caps[i]
                 capped[i] = True
                 saturated = True
         if not saturated:
             break
+    # Exact-closure pass: deterministically absorb whatever gap the
+    # proportional loop left (it can be the whole overshoot when every
+    # free index saturated mid-pass).  Guarded by a roundoff threshold
+    # so well-behaved results are not perturbed.
+    gap = total - sum(out)
+    tol = 1e-12 * max(1.0, abs(total))
+    if gap > tol:
+        for i in range(k):
+            headroom = caps[i] - out[i]
+            if headroom <= 0.0:
+                continue
+            out[i] += gap if gap <= headroom else headroom
+            gap = total - sum(out)
+            if gap <= tol:
+                break
+    elif gap < -tol:
+        for i in range(k):
+            if out[i] <= 0.0:
+                continue
+            out[i] -= -gap if -gap <= out[i] else out[i]
+            gap = total - sum(out)
+            if gap >= -tol:
+                break
     return out
+
+
+#: Lower bound of the Newton search domain (ways).  Sizes are kept
+#: strictly positive so G⁻¹ and the logarithmic derivatives stay
+#: finite; shared with :mod:`repro.core.batch_equilibrium` so both
+#: paths clamp identically.
+NEWTON_DOMAIN_FLOOR = 0.05
+
+
+def _newton_caps(
+    processes: Sequence[EquilibriumProcess], total_ways: int, lo: float
+) -> List[float]:
+    """Per-process Newton domain caps (shared with the batch solver).
+
+    Keeps iterates strictly inside the domain: ``g_inverse`` is
+    infinite at saturation, so cap each size just below it, and leave
+    room for every other process to sit at the floor.
+    """
+    k = len(processes)
+    return [
+        min(p.occupancy.saturation_size - 1e-3, total_ways - lo * (k - 1))
+        for p in processes
+    ]
+
+
+def _proportional_start(
+    processes: Sequence[EquilibriumProcess], total_ways: int
+) -> List[float]:
+    """Default Newton start: demands scaled onto the capacity plane.
+
+    Shared with :mod:`repro.core.batch_equilibrium`; the batch kernels
+    replicate these exact operations (same left-to-right summation) so
+    the stacked start guess is bit-identical to this one.
+    """
+    demand = [
+        min(p.occupancy.saturation_size, float(total_ways)) for p in processes
+    ]
+    scale = total_ways / sum(demand)
+    return [d * scale for d in demand]
 
 
 def _eq7_residual_norm(
@@ -524,15 +608,7 @@ class NewtonSolver:
     def _caps(
         self, processes: Sequence[EquilibriumProcess], total_ways: int, lo: float
     ) -> np.ndarray:
-        # Keep strictly inside the domain: g_inverse is infinite at
-        # saturation, so cap each size just below it.
-        k = len(processes)
-        return np.array(
-            [
-                min(p.occupancy.saturation_size - 1e-3, total_ways - lo * (k - 1))
-                for p in processes
-            ]
-        )
+        return np.array(_newton_caps(processes, total_ways, lo))
 
     # ------------------------------------------------------------------
     # Debug / verification Jacobians
@@ -598,9 +674,9 @@ class NewtonSolver:
             return _finish(processes, free, self.name, 0, False, telemetry)
 
         k = len(processes)
-        lo = 0.05
-        caps_arr = self._caps(processes, total_ways, lo)
-        caps = caps_arr.tolist()
+        lo = NEWTON_DOMAIN_FLOOR
+        caps = _newton_caps(processes, total_ways, lo)
+        caps_arr = np.array(caps)
         warm_started = initial is not None
         if initial is not None:
             start = [float(v) for v in initial]
@@ -609,12 +685,7 @@ class NewtonSolver:
                     "initial guess must have one size per process"
                 )
         else:
-            demand = [
-                min(p.occupancy.saturation_size, float(total_ways))
-                for p in processes
-            ]
-            scale = total_ways / sum(demand)
-            start = [d * scale for d in demand]
+            start = _proportional_start(processes, total_ways)
         x = [min(max(s, lo), c) for s, c in zip(start, caps)]
 
         if self.jacobian == "analytic":

@@ -141,6 +141,20 @@ class ReuseDistanceHistogram:
             return 0.0
         return float(self._probs[distance])
 
+    @property
+    def tail_table(self) -> np.ndarray:
+        """Upper tail ``P(distance >= d)`` for ``d = 0..top`` (read-only).
+
+        ``mpa(size)`` linearly interpolates this table on the integer
+        support and flattens at ``tail_table[-1]`` (= :attr:`inf_mass`)
+        beyond it.  The batched equilibrium kernels
+        (:mod:`repro.core.batch_equilibrium`) gather from this table to
+        replicate :meth:`mpa` / :meth:`mpa_slope` bit-for-bit.
+        """
+        view = self._tail.view()
+        view.flags.writeable = False
+        return view
+
     def mpa(self, size: float) -> float:
         """Misses per access at effective cache size ``size`` (ways).
 

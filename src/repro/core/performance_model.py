@@ -219,12 +219,19 @@ class PerformanceModel:
             observer.counter("predict.calls").inc()
             return result
 
-    def _predict_impl(
+    def _canonical_plan(
         self,
         names: Sequence[str],
-        frequency_ratios: Optional[Sequence[float]] = None,
-    ) -> CoRunPrediction:
-        """The uninstrumented predict (bench baseline for obs overhead)."""
+        frequency_ratios: Optional[Sequence[float]],
+    ) -> Tuple[List[str], List[float], Tuple, List[int]]:
+        """Validate one mix; returns (canon_names, canon_ratios, key, slot).
+
+        The equilibrium is order-independent, so solves are cached in
+        canonical (sorted) order; ``slot[i]`` is the canonical position
+        of original index ``i``, used to permute the solution back.
+        Equal (name, ratio) duplicates are symmetric, making any
+        consistent tie-break correct.
+        """
         if not names:
             raise ConfigurationError("need at least one process name")
         if len(names) > self.ways:
@@ -239,23 +246,22 @@ class PerformanceModel:
                     "frequency_ratios must have one entry per process"
                 )
             ratios = tuple(float(r) for r in frequency_ratios)
-        # The equilibrium is order-independent, so solve and cache in
-        # canonical (sorted) order and permute the solution back.
-        # Equal (name, ratio) duplicates are symmetric, making any
-        # consistent tie-break correct.
         order = sorted(range(len(names)), key=lambda i: (names[i], ratios[i]))
         canon_names = [names[i] for i in order]
         canon_ratios = [ratios[i] for i in order]
         key = (self.ways, self.strategy, tuple(zip(canon_names, canon_ratios)))
-        result = self.cache.get(key)
-        if result is None:
-            result = self._solve(canon_names, canon_ratios)
-            self.cache.put(key, result)
-            self.cache.record_sizes(canon_names, result.sizes)
-        # slot[i]: canonical position of original index i.
         slot = [0] * len(order)
         for pos, i in enumerate(order):
             slot[i] = pos
+        return canon_names, canon_ratios, key, slot
+
+    def _restore(
+        self,
+        names: Sequence[str],
+        result: EquilibriumResult,
+        slot: Sequence[int],
+    ) -> CoRunPrediction:
+        """Permute a canonical solution back to the caller's order."""
         restored = replace(
             result,
             sizes=tuple(result.sizes[slot[i]] for i in range(len(names))),
@@ -263,6 +269,124 @@ class PerformanceModel:
             spis=tuple(result.spis[slot[i]] for i in range(len(names))),
         )
         return self._package(names, restored)
+
+    def _predict_impl(
+        self,
+        names: Sequence[str],
+        frequency_ratios: Optional[Sequence[float]] = None,
+    ) -> CoRunPrediction:
+        """The uninstrumented predict (bench baseline for obs overhead)."""
+        canon_names, canon_ratios, key, slot = self._canonical_plan(
+            names, frequency_ratios
+        )
+        result = self.cache.get(key)
+        if result is None:
+            result = self._solve(canon_names, canon_ratios)
+            self.cache.put(key, result)
+            self.cache.record_sizes(canon_names, result.sizes)
+        return self._restore(names, result, slot)
+
+    def predict_batch(
+        self,
+        mixes: Sequence[Sequence[str]],
+        frequency_ratios: Optional[Sequence[Optional[Sequence[float]]]] = None,
+    ) -> Tuple[CoRunPrediction, ...]:
+        """Predict many co-runs at once via the stacked batch solver.
+
+        Equivalent to ``tuple(self.predict(mix) for mix in mixes)`` —
+        payload-bit-identical per the
+        :mod:`repro.core.batch_equilibrium` compatibility policy — but
+        cache misses are solved as one stacked-numpy Newton problem
+        instead of one scalar solve per mix.
+
+        The sequential loop is used verbatim (no vectorization) when
+        any of its order-dependent behaviours would be observable:
+        warm-started caches (solution depends on solve order), the
+        ``bisection`` strategy (nothing to vectorize), an enabled
+        observer (per-mix ``predict`` spans keep their exact shape), or
+        a batch too small to win.
+
+        Cache-counter parity with the sequential loop holds for the
+        totals: each mix performs exactly one ``get`` — the first
+        occurrence of a repeated uncached mix probes (miss) before
+        solving, later occurrences re-probe after the solution is
+        stored (hit).  LRU *recency order* inside the cache may differ
+        from the sequential loop's when hits and misses interleave, so
+        eviction order under capacity pressure is the one sequential
+        behaviour not reproduced.
+
+        Args:
+            mixes: Co-run combinations, each a sequence of names.
+            frequency_ratios: Optional per-mix ratio sequences (one
+                entry per mix; ``None`` entries mean homogeneous).
+        """
+        from repro.core.batch_equilibrium import BATCH_MIN_STACK
+
+        mixes = [list(mix) for mix in mixes]
+        if frequency_ratios is None:
+            per_mix_ratios: List[Optional[Sequence[float]]] = [None] * len(mixes)
+        else:
+            if len(frequency_ratios) != len(mixes):
+                raise ConfigurationError(
+                    "frequency_ratios must have one entry per mix"
+                )
+            per_mix_ratios = list(frequency_ratios)
+        if (
+            len(mixes) < BATCH_MIN_STACK
+            or self.cache.warm_start
+            or self.strategy == "bisection"
+            or get_observer().enabled
+        ):
+            return tuple(
+                self.predict(mix, ratios)
+                for mix, ratios in zip(mixes, per_mix_ratios)
+            )
+        plans = [
+            self._canonical_plan(mix, ratios)
+            for mix, ratios in zip(mixes, per_mix_ratios)
+        ]
+        # One get per mix, in order.  First occurrences of uncached
+        # keys go to the batch solver; duplicates of a pending key
+        # defer their (hitting) get until the solution is stored.
+        pending: Dict[Tuple, int] = {}
+        hits: Dict[int, EquilibriumResult] = {}
+        deferred: List[int] = []
+        for index, (_, _, key, _) in enumerate(plans):
+            if key in pending:
+                deferred.append(index)
+                continue
+            cached = self.cache.get(key)
+            if cached is None:
+                pending[key] = index
+            else:
+                hits[index] = cached
+        if pending:
+            solver = self._batch_solver()
+            jobs = [
+                self._equilibrium_inputs(plans[i][0], plans[i][1])
+                for i in pending.values()
+            ]
+            solved = solver.solve_batch(jobs, self.ways)
+            for (key, index), result in zip(pending.items(), solved):
+                self.cache.put(key, result)
+                self.cache.record_sizes(plans[index][0], result.sizes)
+                hits[index] = result
+        for index in deferred:
+            hits[index] = self.cache.get(plans[index][2])
+        return tuple(
+            self._restore(mix, hits[index], plans[index][3])
+            for index, mix in enumerate(mixes)
+        )
+
+    def _batch_solver(self):
+        """Lazy per-model batch solver, rebuilt if ``strategy`` changed."""
+        from repro.core.batch_equilibrium import BatchNewtonSolver
+
+        solver = getattr(self, "_batch_solver_cache", None)
+        if solver is None or solver.fallback_strategy != self.strategy:
+            solver = BatchNewtonSolver(fallback_strategy=self.strategy)
+            self._batch_solver_cache = solver
+        return solver
 
     def _solve(
         self, names: Sequence[str], ratios: Sequence[float]

@@ -106,6 +106,7 @@ class EquilibriumCache:
         self._misses = 0
         self._evictions = 0
         self._warm_starts = 0
+        self._absorbed_documents: set = set()
 
     # ------------------------------------------------------------------
     # Mapping interface
@@ -211,13 +212,26 @@ class EquilibriumCache:
         self,
         entries: Optional[Sequence[Tuple[Hashable, Any]]] = None,
         stats: Optional[CacheStats] = None,
+        document_id: Optional[Hashable] = None,
     ) -> None:
         """Merge a worker cache's entries and/or telemetry into this one.
 
         ``entries`` are inserted through :meth:`put` (LRU/eviction
         rules apply); ``stats`` counters are *added* to this cache's,
         so the parent's telemetry reflects the whole fleet's work.
+
+        ``document_id`` makes the merge idempotent: each distinct id is
+        absorbed exactly once, so a worker chunk replayed after a pool
+        failure (same id) cannot double-count its counter deltas or
+        re-insert its entries (which would churn LRU order and inflate
+        eviction counts).  ``None`` keeps the unconditional merge for
+        callers that manage their own delivery semantics.
         """
+        if document_id is not None:
+            with self._lock:
+                if document_id in self._absorbed_documents:
+                    return
+                self._absorbed_documents.add(document_id)
         if entries is not None:
             for key, value in entries:
                 self.put(key, value)

@@ -37,8 +37,10 @@ travel in chunks to amortise the remaining IPC.
 
 from __future__ import annotations
 
+import itertools
 import math
 import multiprocessing
+import os
 from concurrent.futures import ProcessPoolExecutor
 from dataclasses import dataclass
 from typing import (
@@ -87,6 +89,9 @@ __all__ = [
 
 #: Default number of tasks shipped to a worker per round trip.
 DEFAULT_CHUNK_SIZE = 8
+
+#: Process-wide predictor ids for idempotent cache-absorb documents.
+_ENGINE_IDS = itertools.count(1)
 
 
 # ----------------------------------------------------------------------
@@ -200,7 +205,22 @@ class ParallelPredictor:
             ``warm_start=False`` — warm starts would make results
             depend on solve order and break serial/parallel
             bit-equality.
+        engine: How batches execute — all four return bit-identical
+            predictions, so this is purely a throughput knob:
+
+            - ``"serial"``: one scalar solve per mix, in-process.
+            - ``"vectorized"``: in-process stacked-numpy batch solve
+              (:meth:`PerformanceModel.predict_batch`) — the fastest
+              single-core engine, no pool to start.
+            - ``"pool"``: the process-pool fan-out (needs
+              ``workers > 1``).
+            - ``"auto"`` (default): ``vectorized`` when the predictor
+              is effectively single-core (``workers <= 1``, only one
+              CPU visible, or a batch too small to amortise chunk
+              IPC), otherwise ``pool``.
     """
+
+    _ENGINES = ("auto", "serial", "vectorized", "pool")
 
     def __init__(
         self,
@@ -211,13 +231,26 @@ class ParallelPredictor:
         workers: Optional[int] = None,
         chunk_size: Optional[int] = None,
         cache: Optional[EquilibriumCache] = None,
+        engine: str = "auto",
     ):
         if isinstance(features, Mapping):
             features = [features[name] for name in sorted(features)]
+        if engine not in self._ENGINES:
+            raise ConfigurationError(
+                f"unknown engine {engine!r}; choose from {self._ENGINES}"
+            )
         self.features = list(features)
         self.ways = ways
         self.strategy = strategy
         self.workers = _resolve_workers(workers)
+        if engine == "pool" and self.workers <= 1:
+            raise ConfigurationError(
+                "engine='pool' needs workers > 1; use 'vectorized' (or "
+                "'auto') for single-worker batches"
+            )
+        self.engine = engine
+        if chunk_size is not None and int(chunk_size) < 1:
+            raise ConfigurationError("chunk_size must be >= 1")
         self.chunk_size = chunk_size
         if cache is None:
             cache = EquilibriumCache(warm_start=False)
@@ -231,6 +264,10 @@ class ParallelPredictor:
         self._executor: Optional[ProcessPoolExecutor] = None
         self._serial_model: Optional[PerformanceModel] = None
         self._closed = False
+        self._batch_seq = 0
+        # Distinguishes this predictor's absorb documents from those of
+        # other predictors sharing the same parent cache.
+        self._engine_id = next(_ENGINE_IDS)
 
     # -- lifecycle ------------------------------------------------------
     def __enter__(self) -> "ParallelPredictor":
@@ -281,7 +318,7 @@ class ParallelPredictor:
         excluded from the measured batch.
         """
         self._check_open()
-        if self.workers <= 1:
+        if self.workers <= 1 or self.engine in ("serial", "vectorized"):
             self._serial()
             return
         executor = self._ensure_executor()
@@ -327,6 +364,23 @@ class ParallelPredictor:
             observer.counter("parallel.mixes").inc(len(normalized))
             return results
 
+    def _select_engine(self, n_mixes: int) -> str:
+        """Resolve ``"auto"`` to a concrete engine for this batch.
+
+        The pool only wins when there is real hardware parallelism
+        *and* enough mixes that every worker gets more than chunk-IPC
+        overhead; otherwise the in-process vectorized solver is faster
+        (it beats the serial loop by an order of magnitude on one
+        core, with nothing to fork).
+        """
+        if self.engine != "auto":
+            return self.engine
+        if self.workers <= 1:
+            return "vectorized"
+        if (os.cpu_count() or 1) < 2 or n_mixes < 2 * self.workers:
+            return "vectorized"
+        return "pool"
+
     def _predict_mixes_impl(
         self,
         mixes: List[Tuple[str, ...]],
@@ -336,20 +390,29 @@ class ParallelPredictor:
     ) -> Tuple[CoRunPrediction, ...]:
         if not mixes:
             return ()
-        if self.workers <= 1:
+        engine = self._select_engine(len(mixes))
+        if engine == "serial":
             model = self._serial()
             return tuple(model.predict(list(names)) for names in mixes)
+        if engine == "vectorized":
+            return self._serial().predict_batch([list(n) for n in mixes])
+        self._batch_seq += 1
+        batch_seq = self._batch_seq
         chunks = _chunked(list(enumerate(mixes)), self.workers, self.chunk_size)
         executor = self._ensure_executor()
         futures = [
             executor.submit(_predict_chunk, chunk, observe) for chunk in chunks
         ]
         out: List[Optional[CoRunPrediction]] = [None] * len(mixes)
-        for future in futures:
+        for chunk_index, future in enumerate(futures):
             results, entries, delta, trace_doc, metrics_doc = future.result()
             for index, prediction in results:
                 out[index] = prediction
-            self.cache.absorb(entries=entries, stats=delta)
+            self.cache.absorb(
+                entries=entries,
+                stats=delta,
+                document_id=("predict_mixes", self._engine_id, batch_seq, chunk_index),
+            )
             if observe and observer is not None:
                 observer.absorb(trace_doc, metrics_doc, parent_span_id)
         return tuple(out)  # type: ignore[arg-type]
@@ -364,6 +427,7 @@ def predict_mixes(
     workers: Optional[int] = None,
     chunk_size: Optional[int] = None,
     cache: Optional[EquilibriumCache] = None,
+    engine: str = "auto",
 ) -> Tuple[CoRunPrediction, ...]:
     """One-shot batched prediction (see :class:`ParallelPredictor`)."""
     with ParallelPredictor(
@@ -373,8 +437,9 @@ def predict_mixes(
         workers=workers,
         chunk_size=chunk_size,
         cache=cache,
-    ) as engine:
-        return engine.predict_mixes(mixes)
+        engine=engine,
+    ) as predictor:
+        return predictor.predict_mixes(mixes)
 
 
 # ----------------------------------------------------------------------

@@ -24,9 +24,16 @@ Admission control keeps the queue honest:
 - At most ``max_queue`` requests may wait; beyond that
   :meth:`submit` raises :class:`QueueFullError` *immediately* — shed
   requests never hang and never consume model capacity.
-- A request may carry a deadline.  If it expires while queued, the
-  flusher completes it with :class:`DeadlineExpiredError` and never
-  dispatches it.
+- A request may carry a deadline.  The contract is
+  **expire-at-enqueue and expire-at-dequeue**: a deadline that has
+  already passed (or is exactly due, ``timeout_s <= 0``) is shed at
+  :meth:`submit` before the request ever queues, and a deadline that
+  passes while the request waits is shed when its batch is assembled
+  — both complete with :class:`DeadlineExpiredError` and never reach
+  the engine.  A deadline that passes *during* the in-flight solve
+  does **not** cancel the solve; the request still completes with its
+  result (the work is already paid for, and mid-solve cancellation
+  would make batch latency depend on sibling deadlines).
 - :meth:`stop` (graceful shutdown) rejects new work, flushes
   everything still queued, waits for the in-flight batch, then
   releases the engine.
@@ -172,13 +179,25 @@ class MicroBatcher:
         Raises:
             QueueFullError: The pending queue is at ``max_queue``.
             DeadlineExpiredError: ``timeout_s`` elapsed before the
-                request's batch was dispatched.
+                request's batch was dispatched — including
+                ``timeout_s <= 0``, which is already due at enqueue
+                and is shed immediately without consuming queue
+                capacity (see the module docstring for the full
+                expire-at-enqueue / expire-at-dequeue contract).
             ServiceClosedError: The batcher is draining or stopped.
         """
         if not self.accepting:
             raise ServiceClosedError("service is draining; not accepting requests")
         self._ensure_started()
         assert self._loop is not None and self._wake is not None
+        if timeout_s is not None and timeout_s <= 0:
+            # A deadline exactly equal to "now" must shed deterministically
+            # (504), not race the flusher's clock read at dispatch time.
+            self.metrics.counter("serve.predict.deadline_expired").inc()
+            raise DeadlineExpiredError(
+                f"deadline of {timeout_s:.3f}s was already due at enqueue; "
+                "request was not queued"
+            )
         if len(self._pending) >= self.max_queue:
             self.metrics.counter("serve.predict.shed").inc()
             raise QueueFullError(

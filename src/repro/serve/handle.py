@@ -103,6 +103,7 @@ def start_server(
     max_batch_size: int = 32,
     max_linger_ms: float = 2.0,
     max_queue: int = 256,
+    engine: str = "auto",
     boot_timeout_s: float = 30.0,
 ) -> ServerHandle:
     """Boot a prediction server on a background thread.
@@ -117,6 +118,8 @@ def start_server(
         strategy: Equilibrium solver strategy for served predictions.
         max_batch_size / max_linger_ms / max_queue: Micro-batching
             and admission-control knobs.
+        engine: Batch execution engine per predictor (see
+            :class:`~repro.parallel.ParallelPredictor`).
     """
     registry = ModelRegistry()
     for name, source in (models or {}).items():
@@ -128,6 +131,7 @@ def start_server(
         max_batch_size=max_batch_size,
         max_linger_s=max_linger_ms / 1000.0,
         max_queue=max_queue,
+        engine=engine,
     )
     server = PredictionServer(service, host=host, port=port)
 

@@ -114,6 +114,13 @@ class PredictionService:
         max_batch_size / max_linger_s / max_queue: Batching and
             admission knobs, applied to every batcher (see
             :class:`MicroBatcher`).
+        engine: Batch execution engine handed to every
+            :class:`ParallelPredictor` (``"auto"`` / ``"serial"`` /
+            ``"vectorized"`` / ``"pool"``) — a pure throughput knob,
+            responses are bit-identical under all of them.  The
+            default ``"auto"`` uses the in-process stacked-numpy
+            solver on single-core hosts and the process pool when
+            ``workers > 1`` pays off.
     """
 
     def __init__(
@@ -125,10 +132,12 @@ class PredictionService:
         max_batch_size: int = 32,
         max_linger_s: float = 0.002,
         max_queue: int = 256,
+        engine: str = "auto",
     ):
         self.registry = registry if registry is not None else ModelRegistry()
         self.workers = workers
         self.strategy = strategy
+        self.engine = engine
         self.max_batch_size = max_batch_size
         self.max_linger_s = max_linger_s
         self.max_queue = max_queue
@@ -152,6 +161,7 @@ class PredictionService:
                 ways=ways,
                 strategy=self.strategy,
                 workers=self.workers,
+                engine=self.engine,
             )
             batcher = MicroBatcher(
                 engine,

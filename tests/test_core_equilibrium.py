@@ -2,6 +2,8 @@
 
 import numpy as np
 import pytest
+from hypothesis import given, settings
+from hypothesis import strategies as st
 
 import repro.core.equilibrium as equilibrium_module
 from repro.core.equilibrium import (
@@ -273,3 +275,63 @@ class TestValidation:
             EquilibriumProcess(
                 occupancy=occupancy, mpa=hist.mpa, api=0.01, alpha=1e-8, beta=0.0
             )
+
+
+class TestRedistributeToCapacity:
+    """Σ = A closure invariant under adversarial cap vectors.
+
+    ``_redistribute_to_capacity`` is the solvers' last step before the
+    Eq. 1 assertion, so it must close the capacity sum for *any* cap
+    vector — zero caps, all-capped inputs, zero free mass — not just
+    the well-conditioned ones Newton produces.
+    """
+
+    @staticmethod
+    def _check(sizes, caps, total):
+        from repro.core.equilibrium import _redistribute_to_capacity
+
+        out = _redistribute_to_capacity(sizes, caps, total)
+        assert len(out) == len(sizes)
+        for value, cap in zip(out, caps):
+            assert value >= 0.0
+            assert value <= cap + 1e-9 * max(1.0, cap)
+        if sum(caps) <= total:
+            # Infeasible: everyone is left at cap (documented edge).
+            assert out == [float(c) for c in caps]
+        else:
+            assert abs(sum(out) - total) <= 1e-9 * max(1.0, total)
+        return out
+
+    @given(
+        st.lists(
+            st.tuples(
+                st.floats(min_value=0.0, max_value=32.0),  # size
+                st.floats(min_value=0.0, max_value=32.0),  # cap
+            ),
+            min_size=1,
+            max_size=8,
+        ),
+        st.floats(min_value=0.0, max_value=32.0),
+    )
+    @settings(max_examples=200, deadline=None)
+    def test_invariant_under_adversarial_caps(self, pairs, total):
+        sizes = [s for s, _ in pairs]
+        caps = [c for _, c in pairs]
+        self._check(sizes, caps, total)
+
+    def test_zero_free_mass_spreads_without_breaching_small_cap(self):
+        # All free sizes are zero; the even spread must not overshoot
+        # the tiny cap and the closure must still hit the total.
+        self._check([0.0, 0.0, 5.0], [0.01, 8.0, 5.0], 6.0)
+
+    def test_all_capped_overshoot_is_pulled_back(self):
+        # Capped mass alone exceeds the total: free entries zero out
+        # and the closure lowers the capped ones to close Σ = A.
+        self._check([4.0, 4.0, 0.5], [4.0, 4.0, 8.0], 6.0)
+
+    def test_zero_caps_are_respected(self):
+        out = self._check([3.0, 3.0, 3.0], [0.0, 0.0, 9.0], 6.0)
+        assert out[0] == 0.0 and out[1] == 0.0
+
+    def test_infeasible_caps_return_caps(self):
+        assert self._check([5.0, 5.0], [1.0, 2.0], 6.0) == [1.0, 2.0]

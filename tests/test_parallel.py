@@ -403,3 +403,57 @@ class TestTable1Workers:
         assert [r.__dict__ for r in serial.rows] == [
             r.__dict__ for r in parallel.rows
         ]
+
+
+class TestEngineSelection:
+    """The engine knob is a pure throughput choice: identical bits."""
+
+    def test_all_engines_bit_identical(self, features):
+        serial = batch_predict(features, MIXES, ways=8, engine="serial")
+        vectorized = batch_predict(features, MIXES, ways=8, engine="vectorized")
+        auto = batch_predict(features, MIXES, ways=8)
+        pool = batch_predict(features, MIXES, ways=8, workers=2, engine="pool")
+        assert serial == vectorized == auto == pool
+
+    def test_auto_prefers_vectorized_on_one_worker(self, features):
+        with ParallelPredictor(features, ways=8) as predictor:
+            assert predictor._select_engine(256) == "vectorized"
+
+    def test_auto_pool_needs_cpus_and_batch_size(self, features, monkeypatch):
+        import repro.parallel as parallel_module
+
+        with ParallelPredictor(features, ways=8, workers=4) as predictor:
+            monkeypatch.setattr(parallel_module.os, "cpu_count", lambda: 8)
+            assert predictor._select_engine(256) == "pool"
+            # Too few mixes to amortise chunk IPC across 4 workers.
+            assert predictor._select_engine(7) == "vectorized"
+            # Single visible CPU: the pool cannot win.
+            monkeypatch.setattr(parallel_module.os, "cpu_count", lambda: 1)
+            assert predictor._select_engine(256) == "vectorized"
+
+    def test_explicit_engine_is_never_overridden(self, features, monkeypatch):
+        import repro.parallel as parallel_module
+
+        monkeypatch.setattr(parallel_module.os, "cpu_count", lambda: 8)
+        with ParallelPredictor(
+            features, ways=8, workers=4, engine="vectorized"
+        ) as predictor:
+            assert predictor._select_engine(256) == "vectorized"
+
+    def test_pool_engine_requires_workers(self, features):
+        with pytest.raises(ConfigurationError, match="workers > 1"):
+            ParallelPredictor(features, ways=8, engine="pool")
+
+    def test_unknown_engine_rejected(self, features):
+        with pytest.raises(ConfigurationError, match="engine"):
+            ParallelPredictor(features, ways=8, engine="warp")
+
+    def test_vectorized_fills_shared_cache(self, features):
+        cache = EquilibriumCache(warm_start=False)
+        with ParallelPredictor(
+            features, ways=8, engine="vectorized", cache=cache
+        ) as predictor:
+            predictor.predict_mixes(MIXES)
+        stats = cache.stats
+        assert stats.entries == 4  # one per distinct canonical mix
+        assert stats.hits + stats.misses == len(MIXES)

@@ -632,3 +632,41 @@ class TestCliServe:
             if process.poll() is None:
                 process.kill()
                 process.wait(timeout=10)
+
+
+class TestDeadlineAtEnqueue:
+    """timeout_s <= 0 sheds deterministically at submit (the 504 path)."""
+
+    @pytest.mark.parametrize("timeout_s", [0.0, -0.5])
+    def test_due_deadline_is_shed_before_queuing(self, timeout_s):
+        engine = StubEngine()
+
+        async def main():
+            batcher = MicroBatcher(engine, max_batch_size=100, max_linger_s=30.0)
+            with pytest.raises(DeadlineExpiredError, match="not queued"):
+                await batcher.submit(["a"], timeout_s=timeout_s)
+            depth = batcher.pending
+            alive = asyncio.ensure_future(batcher.submit(["b"]))
+            await asyncio.sleep(0)
+            await batcher.stop()
+            return depth, await alive, batcher.metrics.to_dict()
+
+        depth, alive_result, metrics = asyncio.run(main())
+        assert depth == 0  # shed request never consumed queue capacity
+        assert alive_result == "r:b"
+        assert engine.batches == [[("b",)]]  # engine never saw the shed mix
+        assert metrics["counters"]["serve.predict.deadline_expired"] == 1
+        assert "serve.predict.requests" not in metrics["counters"] or (
+            metrics["counters"]["serve.predict.requests"] == 1
+        )
+
+    def test_positive_deadline_still_queues(self):
+        engine = StubEngine()
+
+        async def main():
+            batcher = MicroBatcher(engine, max_batch_size=1, max_linger_s=30.0)
+            result = await batcher.submit(["a"], timeout_s=10.0)
+            await batcher.stop()
+            return result
+
+        assert asyncio.run(main()) == "r:a"
