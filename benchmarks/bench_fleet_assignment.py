@@ -1,0 +1,213 @@
+"""Scale of the fleet-assignment heuristics (``repro.fleet``).
+
+Places a 10k-process workload (1k in quick mode) onto a heterogeneous
+fleet large enough to hold it and measures, per solver:
+
+- **greedy** — wall-clock of the seeded one-pass packing, plus how
+  much of the work the co-run memo absorbed (machine-state
+  evaluations vs pure lookups).
+- **anneal** — wall-clock of the greedy pack + simulated-annealing
+  refinement under a fixed iteration budget, and the score it reaches
+  relative to greedy (the *score ratio*; <= 1.0 means annealing never
+  made things worse — an exact invariant of the solver, asserted on
+  every run).
+
+The exhaustive oracle is, by construction, unreachable at this size:
+the bench also pins that asking for it raises
+:class:`~repro.errors.AssignmentTooLargeError` *immediately* instead
+of hanging.
+"""
+
+import sys
+import time
+
+from repro.analysis.tables import render_table
+from repro.api import (
+    AssignmentRequest,
+    FleetSpec,
+    MachineGroup,
+    ProfileSuiteResult,
+    solve_assignment,
+)
+from repro.core.feature import FeatureVector, ProfileVector
+from repro.core.power_model import CorePowerModel, PowerTrainingSet
+from repro.errors import AssignmentTooLargeError
+from repro.workloads.spec import BENCHMARKS, PAPER_EIGHT
+
+PROCESSES = 10_000
+QUICK_PROCESSES = 1_000
+ANNEAL_ITERATIONS = 500
+QUICK_ANNEAL_ITERATIONS = 100
+SEED = 42
+
+
+def _suite() -> ProfileSuiteResult:
+    names = sorted(PAPER_EIGHT)
+    return ProfileSuiteResult(
+        machine="4-core-server",
+        features={
+            name: FeatureVector.oracle(BENCHMARKS[name], 2e8) for name in names
+        },
+        profiles={
+            name: ProfileVector(
+                name=name,
+                p_alone=20.0 + 2.0 * i,
+                l1rpi=0.4,
+                l2rpi=0.05,
+                brpi=0.2,
+                fppi=0.01 * i,
+            )
+            for i, name in enumerate(names)
+        },
+    )
+
+
+def _power_model() -> CorePowerModel:
+    import numpy as np
+
+    from repro.events import Event, RATE_EVENTS
+
+    rng = np.random.default_rng(0)
+    training = PowerTrainingSet()
+    for _ in range(40):
+        rates = {event: rng.uniform(0, 1e8) for event in RATE_EVENTS}
+        power = 11.0 + 8e-8 * rates[Event.L1_REFS] + 2e-7 * rates[Event.L2_MISSES]
+        training.add(rates, power)
+    return CorePowerModel().fit(training, idle_core_watts=11.0)
+
+
+def _fleet(process_count: int) -> FleetSpec:
+    # Two machine classes, sized so every process fits at one per core.
+    servers = (process_count * 3 // 4 + 3) // 4
+    workstations = (process_count - process_count * 3 // 4 + 1) // 2
+    return FleetSpec(
+        groups=(
+            MachineGroup(machine="4-core-server", count=max(servers, 1), sets=32),
+            MachineGroup(
+                machine="2-core-workstation", count=max(workstations, 1), sets=32
+            ),
+        )
+    )
+
+
+def _measure(quick: bool):
+    suite = _suite()
+    power_model = _power_model()
+    count = QUICK_PROCESSES if quick else PROCESSES
+    iterations = QUICK_ANNEAL_ITERATIONS if quick else ANNEAL_ITERATIONS
+    names = sorted(PAPER_EIGHT)
+    processes = tuple(names[i % len(names)] for i in range(count))
+    fleet = _fleet(count)
+
+    def run(solver, **kwargs):
+        request = AssignmentRequest(
+            processes=processes,
+            fleet=fleet,
+            solver=solver,
+            max_per_core=1,
+            seed=SEED,
+            **kwargs,
+        )
+        start = time.perf_counter()
+        result = solve_assignment(request, suite, power_model)
+        return result, time.perf_counter() - start
+
+    greedy, greedy_s = run("greedy")
+    anneal, anneal_s = run("anneal", max_iterations=iterations)
+
+    oracle_error = None
+    try:
+        run("exhaustive")
+    except AssignmentTooLargeError as error:
+        oracle_error = error
+
+    return {
+        "processes": count,
+        "fleet": fleet,
+        "iterations": iterations,
+        "greedy": greedy,
+        "greedy_s": greedy_s,
+        "anneal": anneal,
+        "anneal_s": anneal_s,
+        "ratio": anneal.score / greedy.score if greedy.score else 1.0,
+        "oracle_error": oracle_error,
+    }
+
+
+def _render(result) -> str:
+    rows = [
+        (
+            "greedy",
+            result["greedy_s"],
+            result["greedy"].score,
+            result["greedy"].evaluations,
+            len(result["greedy"].busy_machines),
+            "-",
+        ),
+        (
+            "anneal",
+            result["anneal_s"],
+            result["anneal"].score,
+            result["anneal"].evaluations,
+            len(result["anneal"].busy_machines),
+            f"{result['ratio']:.4f}",
+        ),
+    ]
+    fleet = result["fleet"]
+    table = render_table(
+        ["Solver", "Wall (s)", "Score", "Machine evals", "Busy machines",
+         "Score vs greedy"],
+        rows,
+        title=(
+            f"{result['processes']} processes on "
+            f"{fleet.total_machines} machines ({fleet.total_cores} cores), "
+            f"{result['iterations']} anneal iterations, seed {SEED}"
+        ),
+        float_format="{:.4g}",
+    )
+    trace = result["anneal"].improvements
+    lines = [
+        table,
+        "",
+        f"Anneal best-so-far trace: {len(trace)} improvements, "
+        f"first {trace[0]}, last {trace[-1]}",
+        f"Exhaustive oracle refused up front: {result['oracle_error']}",
+    ]
+    return "\n".join(lines)
+
+
+def _check(result) -> None:
+    assert result["anneal"].score <= result["greedy"].score, (
+        "annealing returned a worse score than the greedy packing "
+        f"({result['anneal'].score} > {result['greedy'].score})"
+    )
+    assert result["oracle_error"] is not None, (
+        "exhaustive enumeration at this size must raise "
+        "AssignmentTooLargeError instead of hanging"
+    )
+    placed = sum(
+        len(core_names)
+        for machine in result["anneal"].machines
+        for core_names in machine.assignment.values()
+    )
+    assert placed == result["processes"]
+
+
+def test_fleet_assignment_scale(benchmark):
+    from conftest import QUICK, once, report
+
+    result = once(benchmark, lambda: _measure(QUICK))
+    report("fleet_assignment", _render(result))
+    _check(result)
+
+
+def main(argv) -> int:
+    quick = "--quick" in argv
+    result = _measure(quick)
+    print(_render(result))
+    _check(result)
+    return 0
+
+
+if __name__ == "__main__":
+    sys.exit(main(sys.argv[1:]))

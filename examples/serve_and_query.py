@@ -9,16 +9,26 @@ example is the end-to-end smoke path CI runs:
 
 1. profile a small suite and train a power model (quick scale),
 2. start the server on an ephemeral port with both published,
-3. hit every read endpoint, run one prediction and one assignment,
-4. show that the served prediction is bit-identical to the in-process
-   :func:`repro.api.predict_mix`, and
+3. hit every read endpoint, run one prediction and both assignment
+   endpoints (legacy ``/v1/assign`` and the declarative ``/v2/assign``),
+4. show that the served results are bit-identical to the in-process
+   :func:`repro.api.predict_mix` and :func:`repro.api.solve_assignment`,
+   and
 5. stop gracefully (in-flight batches drain before exit).
 
 Run:
     python examples/serve_and_query.py
 """
 
-from repro.api import pick_assignment, predict_mix, profile_suite, serve, train_power
+from repro.api import (
+    AssignmentRequest,
+    predict_mix,
+    profile_suite,
+    serve,
+    solve_assignment,
+    train_power,
+)
+from repro.io import assignment_request_to_dict, fleet_assignment_to_dict
 from repro.serve import ServeClient
 
 MACHINE = "2-core-workstation"
@@ -57,13 +67,23 @@ def main() -> None:
             print(f"  bit-identical to api.predict_mix: {served == local}")
 
             response = client.assign(NAMES, machine=MACHINE, objective="power")
-            pick = pick_assignment(NAMES, suite, power.model, machine=MACHINE)
             print(f"\nPOST /v1/assign {NAMES} ({response['suite']} + "
                   f"{response['power_model']}):")
             print(f"  assignment: {response['pick']['decision']['assignment']}")
+
+            request = AssignmentRequest(
+                processes=tuple(NAMES), machine=MACHINE, sets=32
+            )
+            response = client.assign_v2(assignment_request_to_dict(request))
+            local = solve_assignment(request, suite, power.model)
+            assignment = response["assignment"]
+            print(f"\nPOST /v2/assign {NAMES} "
+                  f"(solver {assignment['solver']}):")
+            print(f"  score: {assignment['score']:.4f} "
+                  f"({assignment['objective']})")
             print(
-                "  matches local pick_assignment: "
-                f"{response['pick'] == pick.to_dict()}"
+                "  bit-identical to api.solve_assignment: "
+                f"{assignment == fleet_assignment_to_dict(local)}"
             )
 
             metrics = client.metrics()

@@ -18,7 +18,10 @@ The package is organised as:
 - :mod:`repro.experiments` — one driver per paper table/figure.
 - :mod:`repro.api` — one-stop facade (re-exported here): the
   :func:`profile_suite` → :func:`predict_mix` / :func:`train_power` →
-  :func:`pick_assignment` pipeline with frozen result bundles.
+  :func:`solve_assignment` pipeline with frozen result bundles.
+- :mod:`repro.fleet` — heterogeneous fleet assignment: exhaustive
+  oracle plus seeded greedy/annealing heuristics over a
+  :class:`FleetSpec` inventory.
 - :mod:`repro.obs` — opt-in tracing + metrics over the whole pipeline.
 - :mod:`repro.serve` — asyncio HTTP prediction service with a model
   registry, dynamic micro-batching and backpressure.
@@ -28,9 +31,15 @@ See ``examples/quickstart.py`` for an end-to-end walkthrough.
 
 from repro.api import (
     AssignmentPick,
+    AssignmentRequest,
+    FleetAssignment,
+    FleetSpec,
+    MachineAssignment,
+    MachineGroup,
     MixPrediction,
     PowerTrainingResult,
     ProfileSuiteResult,
+    load_fleet_assignment,
     load_pick,
     load_prediction,
     load_suite,
@@ -38,6 +47,7 @@ from repro.api import (
     predict_mix,
     predict_mixes,
     profile_suite,
+    solve_assignment,
     train_power,
 )
 from repro.config import CacheGeometry, SimulationScale
@@ -65,13 +75,20 @@ __all__ = [
     "MixPrediction",
     "PowerTrainingResult",
     "AssignmentPick",
+    "AssignmentRequest",
+    "FleetAssignment",
+    "FleetSpec",
+    "MachineAssignment",
+    "MachineGroup",
     "profile_suite",
     "predict_mix",
     "predict_mixes",
     "train_power",
     "pick_assignment",
+    "solve_assignment",
     "load_suite",
     "load_prediction",
     "load_pick",
+    "load_fleet_assignment",
     "__version__",
 ]

@@ -8,7 +8,12 @@ scripts, notebooks and the CLI all drive the same four entry points:
 - :func:`profile_suite` — stressmark-profile benchmarks on a machine,
 - :func:`predict_mix` — price a co-run combination from profiles,
 - :func:`train_power` — fit the Eq. 9 power model for a machine,
-- :func:`pick_assignment` — search for the best process-to-core map,
+- :func:`solve_assignment` — solve a declarative
+  :class:`AssignmentRequest` (single machine or a whole
+  :class:`~repro.fleet.FleetSpec` fleet) into a
+  :class:`FleetAssignment`,
+- :func:`pick_assignment` — the original positional assignment entry
+  point, kept as a deprecated shim over the same machinery,
 - :func:`serve` — run all of the above as an asyncio HTTP service
   with a model registry and dynamic micro-batching
   (:mod:`repro.serve`).
@@ -22,6 +27,7 @@ honour the process-wide observer installed with
 from __future__ import annotations
 
 import pathlib
+import warnings
 from dataclasses import dataclass
 from typing import Any, Dict, Mapping, Optional, Sequence, Tuple, Union
 
@@ -41,6 +47,12 @@ from repro.core.feature import FeatureVector, ProfileVector
 from repro.core.performance_model import CoRunPrediction, PerformanceModel
 from repro.core.power_model import CorePowerModel
 from repro.errors import ConfigurationError
+from repro.fleet.spec import FleetSpec, MachineGroup
+from repro.fleet.types import (
+    AssignmentRequest,
+    FleetAssignment,
+    MachineAssignment,
+)
 from repro.machine.topology import STANDARD_MACHINES
 from repro.workloads.spec import BENCHMARKS
 
@@ -51,14 +63,21 @@ __all__ = [
     "MixPrediction",
     "PowerTrainingResult",
     "AssignmentPick",
+    "AssignmentRequest",
+    "FleetAssignment",
+    "FleetSpec",
+    "MachineAssignment",
+    "MachineGroup",
     "profile_suite",
     "predict_mix",
     "predict_mixes",
     "train_power",
     "pick_assignment",
+    "solve_assignment",
     "load_suite",
     "load_prediction",
     "load_pick",
+    "load_fleet_assignment",
     "serve",
     "ServerHandle",
 ]
@@ -407,6 +426,43 @@ def pick_assignment(
     greedy: bool = False,
     workers: Optional[int] = None,
 ) -> AssignmentPick:
+    """Deprecated positional entry point; use :func:`solve_assignment`.
+
+    Behaves exactly as it always has (the serving layer's ``/v1``
+    responses are pinned byte-for-byte to it), but new callers should
+    build an :class:`AssignmentRequest` and call
+    :func:`solve_assignment`, which adds fleets, power budgets and the
+    scalable greedy/anneal solvers.
+    """
+    warnings.warn(
+        "pick_assignment is deprecated; build an AssignmentRequest and "
+        "call solve_assignment instead",
+        DeprecationWarning,
+        stacklevel=2,
+    )
+    return _pick_assignment_impl(
+        names,
+        suite,
+        power_model,
+        machine,
+        sets=sets,
+        objective=objective,
+        greedy=greedy,
+        workers=workers,
+    )
+
+
+def _pick_assignment_impl(
+    names: Sequence[str],
+    suite: Union[ProfileSuiteResult, Pathish],
+    power_model: Union[CorePowerModel, Pathish],
+    machine: str = "4-core-server",
+    *,
+    sets: int = 128,
+    objective: str = "power",
+    greedy: bool = False,
+    workers: Optional[int] = None,
+) -> AssignmentPick:
     """Pick the best process-to-core mapping from profiles (Section 6).
 
     Args:
@@ -465,6 +521,61 @@ def pick_assignment(
         strategy="greedy" if greedy else "exhaustive",
         decision=decision,
     )
+
+
+def solve_assignment(
+    request: AssignmentRequest,
+    suite: Union[ProfileSuiteResult, Pathish],
+    power_model: Union[CorePowerModel, Pathish],
+    *,
+    strategy: str = "auto",
+    workers: Optional[int] = None,
+    chunk_size: Optional[int] = None,
+    engine: str = "auto",
+) -> FleetAssignment:
+    """Solve a declarative assignment request (single machine or fleet).
+
+    The successor to :func:`pick_assignment`: the problem lives in a
+    frozen, JSON-round-trippable :class:`AssignmentRequest` (objective,
+    fleet inventory, power caps/budget, solver and search budget), and
+    everything passed here is an execution knob that cannot change the
+    returned bits.  Small instances can use the exhaustive oracle;
+    ``greedy``/``anneal`` scale to fleets of thousands of machines with
+    anytime best-so-far reporting (see :mod:`repro.fleet`).
+
+    Args:
+        request: What to solve.
+        suite: A :class:`ProfileSuiteResult` or path to a saved suite.
+        power_model: A fitted :class:`CorePowerModel` or path to one.
+        strategy: Equilibrium solver strategy.
+        workers / chunk_size / engine: Fan-out knobs for the co-run
+            closure priming (see
+            :class:`~repro.parallel.ParallelPredictor`); results are
+            bit-identical for every setting.
+    """
+    from repro.fleet import solve
+    from repro.io import load_power_model
+
+    resolved = _resolve_suite(suite)
+    if not isinstance(power_model, CorePowerModel):
+        power_model = load_power_model(power_model)
+    return solve(
+        request,
+        resolved.features,
+        resolved.profiles,
+        power_model,
+        strategy=strategy,
+        workers=workers,
+        chunk_size=chunk_size,
+        engine=engine,
+    )
+
+
+def load_fleet_assignment(path: Pathish) -> FleetAssignment:
+    """Load a bundle saved by :meth:`FleetAssignment.save`."""
+    from repro.io import load_fleet_assignment as _load
+
+    return _load(path)
 
 
 def serve(

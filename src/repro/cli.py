@@ -8,7 +8,9 @@ driven without writing Python:
 - ``predict`` — price a co-run combination from saved profiles.
 - ``train-power`` — train the Eq. 9 model, save it to JSON.
 - ``run`` — simulate an assignment and report measured ground truth.
-- ``assign`` — pick the best process-to-core mapping from profiles.
+- ``assign`` — pick the best process-to-core mapping from profiles;
+  ``--solver``/``--power-budget``/``--budget-s`` switch to the
+  declarative fleet pipeline (:func:`repro.api.solve_assignment`).
 - ``serve`` — run the asyncio HTTP prediction service
   (:mod:`repro.serve`) until SIGTERM/SIGINT, then drain and exit.
 - ``experiment`` — regenerate one paper table/figure.
@@ -272,20 +274,60 @@ def cmd_run(args: argparse.Namespace) -> int:
     return 0
 
 
-def cmd_assign(args: argparse.Namespace) -> int:
-    from repro.api import pick_assignment
+#: ``repro assign --objective`` values served by the legacy exhaustive
+#: pick; anything else (or any fleet-only flag) routes through the
+#: declarative :func:`repro.api.solve_assignment` pipeline.
+_LEGACY_OBJECTIVES = ("power", "throughput", "energy_per_instruction")
 
-    pick = pick_assignment(
-        args.names,
-        args.suite,
-        args.power_model,
+
+def cmd_assign(args: argparse.Namespace) -> int:
+    wants_fleet = (
+        args.solver is not None
+        or args.power_budget is not None
+        or args.budget_s is not None
+        or args.iterations is not None
+        or args.objective not in _LEGACY_OBJECTIVES
+    )
+    if not wants_fleet:
+        # Historical output (kind "assignment_pick") stays pinned; the
+        # impl function avoids the shim's DeprecationWarning.
+        from repro.api import _pick_assignment_impl
+
+        pick = _pick_assignment_impl(
+            args.names,
+            args.suite,
+            args.power_model,
+            machine=args.machine,
+            sets=args.sets,
+            objective=args.objective,
+            greedy=args.greedy,
+            workers=args.workers,
+        )
+        print(json.dumps(pick.to_dict(), indent=2, sort_keys=True))
+        return 0
+    if args.greedy:
+        raise ValueError(
+            "--greedy belongs to the legacy exhaustive pick; "
+            "use --solver greedy instead"
+        )
+    from repro.api import AssignmentRequest, solve_assignment
+    from repro.io import fleet_assignment_to_dict
+
+    request = AssignmentRequest(
+        processes=tuple(args.names),
+        objective=args.objective,
+        solver=args.solver or "auto",
         machine=args.machine,
         sets=args.sets,
-        objective=args.objective,
-        greedy=args.greedy,
-        workers=args.workers,
+        power_budget_watts=args.power_budget,
+        budget_s=args.budget_s,
+        max_iterations=args.iterations,
+        seed=args.seed,
     )
-    print(json.dumps(pick.to_dict(), indent=2, sort_keys=True))
+    result = solve_assignment(
+        request, args.suite, args.power_model, workers=args.workers
+    )
+    print(json.dumps(fleet_assignment_to_dict(result), indent=2, sort_keys=True))
     return 0
 
 
@@ -474,10 +516,39 @@ def build_parser() -> argparse.ArgumentParser:
     assign.add_argument("--power-model", required=True)
     assign.add_argument(
         "--objective",
-        choices=("power", "throughput", "energy_per_instruction"),
+        choices=_LEGACY_OBJECTIVES + (
+            "min-power",
+            "max-throughput",
+            "min-energy-per-instruction",
+            "throughput-under-watts-budget",
+        ),
         default="power",
+        help="legacy names keep the historical exhaustive pick output; "
+        "canonical (dashed) names route through the fleet solver",
     )
     assign.add_argument("--greedy", action="store_true")
+    assign.add_argument(
+        "--solver", choices=("auto", "exhaustive", "greedy", "anneal"),
+        default=None,
+        help="fleet solver (implies the declarative pipeline; "
+        "default: legacy exhaustive pick)",
+    )
+    assign.add_argument(
+        "--power-budget", type=float, default=None, metavar="WATTS",
+        help="global power budget; placements over it are infeasible",
+    )
+    assign.add_argument(
+        "--budget-s", type=float, default=None, metavar="SECONDS",
+        help="wall-clock budget for the annealing refinement",
+    )
+    assign.add_argument(
+        "--iterations", type=int, default=None,
+        help="deterministic iteration cap for the annealing refinement",
+    )
+    assign.add_argument(
+        "--seed", type=int, default=0,
+        help="seed for the greedy/anneal heuristic streams",
+    )
     assign.add_argument(
         "--workers", type=int, default=None,
         help="score exhaustive candidates across this many worker "

@@ -19,7 +19,7 @@ from dataclasses import dataclass
 from typing import Callable, Dict, Iterator, List, Mapping, Optional, Sequence, Tuple
 
 from repro.core.combined import Assignment, CombinedModel
-from repro.errors import ConfigurationError
+from repro.errors import AssignmentTooLargeError, ConfigurationError
 from repro.obs import get_observer
 
 #: Objective functions mapping (power_watts, throughput_ips) -> score
@@ -29,6 +29,59 @@ OBJECTIVES: Dict[str, Callable[[float, float], float]] = {
     "throughput": lambda watts, ips: -ips,
     "energy_per_instruction": lambda watts, ips: watts / ips if ips > 0 else float("inf"),
 }
+
+#: Default cap on the raw enumeration size of an exhaustive search.
+#: ``enumerate_candidates`` walks ``num_cores ** num_processes``
+#: placements even when canonical dedup keeps the scored set smaller,
+#: so the guard bounds the enumeration itself.
+DEFAULT_MAX_CANDIDATES = 250_000
+
+
+def candidate_bound(num_cores: int, num_processes: int) -> int:
+    """Raw enumeration size of an exhaustive search (before dedup)."""
+    return num_cores ** num_processes
+
+
+def format_candidate_count(count: int) -> str:
+    """Human-readable placement count; huge bounds print as ~10^N.
+
+    Fleet-scale bounds overflow float and exceed CPython's int→str
+    digit limit, so the decimal exponent comes from the bit length.
+    """
+    if count < 10**15:
+        return str(count)
+    exponent = int((count.bit_length() - 1) * 0.30102999566398120)
+    return f"~10^{exponent}"
+
+
+def check_enumeration_size(
+    num_cores: int,
+    num_processes: int,
+    max_candidates: Optional[int] = None,
+) -> int:
+    """Guard an exhaustive enumeration against combinatorial blow-up.
+
+    Returns the raw placement count when it is within ``max_candidates``
+    (default :data:`DEFAULT_MAX_CANDIDATES`); raises
+    :class:`~repro.errors.AssignmentTooLargeError` otherwise, *before*
+    any candidate is generated or scored.
+    """
+    cap = DEFAULT_MAX_CANDIDATES if max_candidates is None else int(max_candidates)
+    if cap < 1:
+        raise ConfigurationError("max_candidates must be >= 1")
+    count = candidate_bound(num_cores, num_processes)
+    if count > cap:
+        raise AssignmentTooLargeError(
+            f"exhaustive enumeration of {num_processes} processes over "
+            f"{num_cores} cores is {format_candidate_count(count)} "
+            f"placements, above the cap of "
+            f"{cap}; raise max_candidates if you really want this, or use "
+            f'the scalable searchers (greedy=True here, or solver="greedy"'
+            f' / solver="anneal" via repro.fleet)',
+            candidate_count=count,
+            max_candidates=cap,
+        )
+    return count
 
 
 @dataclass(frozen=True)
@@ -115,6 +168,7 @@ def exhaustive_assignment(
     process_names: Sequence[str],
     objective: str = "power",
     max_per_core: Optional[int] = None,
+    max_candidates: Optional[int] = None,
 ) -> AssignmentDecision:
     """Best mapping of the processes onto the machine's cores.
 
@@ -129,6 +183,10 @@ def exhaustive_assignment(
         objective: One of ``power``, ``throughput``,
             ``energy_per_instruction``.
         max_per_core: Optional cap on processes per core.
+        max_candidates: Cap on the raw N^k enumeration size (default
+            :data:`DEFAULT_MAX_CANDIDATES`); exceeding it raises
+            :class:`~repro.errors.AssignmentTooLargeError` up front
+            instead of hanging.
     """
     if objective not in OBJECTIVES:
         raise ConfigurationError(
@@ -136,6 +194,9 @@ def exhaustive_assignment(
         )
     if not process_names:
         raise ConfigurationError("need at least one process to assign")
+    check_enumeration_size(
+        model.topology.num_cores, len(process_names), max_candidates
+    )
     observer = get_observer()
     if not observer.enabled:
         return _exhaustive_impl(model, process_names, objective, max_per_core)

@@ -193,6 +193,26 @@ class CombinedModel:
             self._corun_cache.put(key, cached)
         return cached
 
+    def seed_corun(
+        self,
+        domain_idx: int,
+        combo: Tuple[str, ...],
+        operating: Mapping[str, Tuple[float, float]],
+    ) -> None:
+        """Pre-populate the operating-point cache for one combination.
+
+        Batch frontends (the fleet evaluator) solve co-run closures
+        through :class:`~repro.parallel.ParallelPredictor` and inject
+        the results here, so assignment scoring never re-enters the
+        equilibrium solver.  ``operating`` maps each name of ``combo``
+        to its predicted ``(spi, l2mpr)``; existing entries win (the
+        cache is cold-start deterministic, so they are identical
+        anyway).
+        """
+        key = (domain_idx, tuple(sorted(combo)))
+        if self._corun_cache.get(key) is None:
+            self._corun_cache.put(key, dict(operating))
+
     # ------------------------------------------------------------------
     # Assignment power (Figure 1 + Eq. 10 + Eq. 11)
     # ------------------------------------------------------------------

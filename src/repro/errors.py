@@ -22,6 +22,25 @@ class ConfigurationError(ReproError, ValueError):
     """
 
 
+class AssignmentTooLargeError(ConfigurationError):
+    """An exhaustive assignment enumeration would be intractable.
+
+    Raised *before* any candidate is scored when the raw enumeration
+    size (``num_cores ** num_processes`` placements) exceeds the
+    configured cap, instead of silently hanging for hours.  Carries
+    the offending count so callers can report it, and the error text
+    points at the scalable alternative (``solver="greedy"`` /
+    ``solver="anneal"`` in :mod:`repro.fleet`).
+    """
+
+    def __init__(self, message: str, candidate_count: int = 0, max_candidates: int = 0):
+        super().__init__(message)
+        #: Raw enumeration size that tripped the guard.
+        self.candidate_count = candidate_count
+        #: Configured cap the count exceeded.
+        self.max_candidates = max_candidates
+
+
 class ConvergenceError(ReproError, RuntimeError):
     """An iterative numerical procedure failed to converge.
 

@@ -1,0 +1,655 @@
+"""Fleet assignment search: exhaustive oracle plus anytime heuristics.
+
+Three solvers share one memoised evaluator (:mod:`repro.fleet.evaluator`)
+and one canonical scoring routine, so their scores are directly
+comparable bit-for-bit:
+
+- ``exhaustive`` — enumerate every placement of the processes onto the
+  fleet's ``(machine, core)`` slots, deduplicated by canonical fleet
+  state (machines of a group are interchangeable, as are identical
+  process instances).  Guarded by
+  :class:`~repro.errors.AssignmentTooLargeError` *before* enumeration.
+- ``greedy`` — seeded packing: place processes one at a time on the
+  candidate slot minimising the fleet objective, enumerating one
+  representative per distinct (group, machine state, core content).
+  Scales to 10k+ processes because each step prices only a handful of
+  never-seen machine states.
+- ``anneal`` — simulated-annealing refinement of the greedy solution
+  using :data:`repro.seeding.STREAM_FLEET` streams, with an iteration
+  budget (the deterministic knob) and an optional wall-clock budget
+  (anytime best-so-far).  On instances small enough to enumerate it
+  runs a deterministic exhaustive sweep instead, so it *equals* the
+  oracle there by construction; everywhere it is never worse than
+  greedy (the incumbent starts as the greedy solution).
+
+Every tie is broken by ``(score, candidate index)`` — the first
+candidate in the deterministic enumeration order wins — and all state
+pricing goes through cold-start caches, so for a fixed request the
+result is bit-identical across runs, engines and worker counts.
+"""
+
+from __future__ import annotations
+
+import heapq
+import itertools
+import math
+import time
+from dataclasses import dataclass
+from typing import Dict, List, Mapping, Optional, Sequence, Tuple
+
+import numpy as np
+
+from repro.core.assignment import DEFAULT_MAX_CANDIDATES, format_candidate_count
+from repro.core.feature import FeatureVector, ProfileVector
+from repro.core.power_model import CorePowerModel
+from repro.errors import AssignmentTooLargeError, ConfigurationError
+from repro.fleet.evaluator import (
+    FleetEvaluator,
+    MachineState,
+    canonical_objective,
+    canonical_state,
+    fleet_score,
+)
+from repro.fleet.spec import FleetSpec
+from repro.fleet.types import AssignmentRequest, FleetAssignment, MachineAssignment
+from repro.obs import get_observer
+from repro.seeding import STREAM_FLEET, stream_seed
+
+__all__ = [
+    "DEFAULT_ANNEAL_ITERATIONS",
+    "DEFAULT_SWEEP_LIMIT",
+    "solve",
+]
+
+#: Raw enumeration sizes up to this run the deterministic exhaustive
+#: sweep inside ``anneal`` (and steer ``auto`` to ``exhaustive``).
+DEFAULT_SWEEP_LIMIT = 65_536
+
+#: Default annealing iteration budget when the request sets none.
+DEFAULT_ANNEAL_ITERATIONS = 2_000
+
+#: One fleet slot: (group index, machine index within group, core id).
+Slot = Tuple[int, int, int]
+
+
+@dataclass
+class _Context:
+    """Everything the solver implementations share for one request."""
+
+    request: AssignmentRequest
+    evaluator: FleetEvaluator
+    fleet: FleetSpec
+    processes: Tuple[str, ...]
+    objective: str  #: canonical objective name
+    caps: List[Optional[float]]  #: effective per-machine cap per group
+    budget: Optional[float]
+    max_per_core: Optional[int]
+    slots: List[Slot]
+    sweep_limit: int
+
+    @property
+    def bound(self) -> int:
+        """Raw enumeration size of the fleet exhaustive search."""
+        return len(self.slots) ** len(self.processes)
+
+
+def _effective_caps(
+    fleet: FleetSpec, machine_cap: Optional[float]
+) -> List[Optional[float]]:
+    caps: List[Optional[float]] = []
+    for group in fleet.groups:
+        cap = group.power_cap_watts
+        if machine_cap is not None:
+            cap = machine_cap if cap is None else min(cap, machine_cap)
+        caps.append(cap)
+    return caps
+
+
+def _score_states(
+    ctx: _Context, states: Sequence[Tuple[int, MachineState]]
+) -> Tuple[float, float, float]:
+    """Canonical ``(score, watts, ips)`` of a busy-machine multiset.
+
+    ``states`` must be sorted; summing in that fixed order is what
+    makes reported scores identical no matter which solver (or which
+    incremental arithmetic) found the configuration.
+    """
+    evaluator = ctx.evaluator
+    watts = evaluator.total_idle_watts()
+    ips = 0.0
+    for group_index, state in states:
+        config = evaluator.group_configs[group_index]
+        machine_watts, machine_ips = evaluator.state_metrics(config, state)
+        cap = ctx.caps[group_index]
+        if cap is not None and machine_watts > cap:
+            return float("inf"), watts, ips
+        watts += machine_watts - config.idle_watts
+        ips += machine_ips
+    return fleet_score(ctx.objective, watts, ips, ctx.budget), watts, ips
+
+
+# ----------------------------------------------------------------------
+# Exhaustive oracle
+# ----------------------------------------------------------------------
+def _solve_exhaustive(
+    ctx: _Context, max_candidates: Optional[int] = None
+) -> Tuple[List[Slot], int, List[Tuple[int, float]]]:
+    """Globally optimal placement (small instances only).
+
+    Returns ``(placements, candidates_scored, improvements)``.
+    """
+    cap = DEFAULT_MAX_CANDIDATES if max_candidates is None else int(max_candidates)
+    if cap < 1:
+        raise ConfigurationError("max_candidates must be >= 1")
+    bound = ctx.bound
+    if bound > cap:
+        raise AssignmentTooLargeError(
+            f"exhaustive fleet search over {len(ctx.processes)} processes "
+            f"and {len(ctx.slots)} (machine, core) slots enumerates "
+            f"{format_candidate_count(bound)} placements, above the cap of "
+            f"{cap}; raise max_candidates or "
+            f'use solver="greedy" / solver="anneal", which scale to fleets '
+            f"this size",
+            candidate_count=bound,
+            max_candidates=cap,
+        )
+    processes = ctx.processes
+    slots = ctx.slots
+    seen = set()
+    best: Optional[Tuple[float, int, Tuple[int, ...]]] = None
+    improvements: List[Tuple[int, float]] = []
+    scored = 0
+    for placement in itertools.product(range(len(slots)), repeat=len(processes)):
+        per_machine: Dict[Tuple[int, int], Dict[int, List[str]]] = {}
+        feasible = True
+        for name, slot_index in zip(processes, placement):
+            group_index, machine_index, core = slots[slot_index]
+            assignment = per_machine.setdefault((group_index, machine_index), {})
+            names = assignment.setdefault(core, [])
+            names.append(name)
+            if ctx.max_per_core is not None and len(names) > ctx.max_per_core:
+                feasible = False
+                break
+        if not feasible:
+            continue
+        states = tuple(
+            sorted(
+                (group_index, canonical_state(assignment))
+                for (group_index, _machine), assignment in per_machine.items()
+            )
+        )
+        if states in seen:
+            continue
+        seen.add(states)
+        score, _watts, _ips = _score_states(ctx, states)
+        index = scored
+        scored += 1
+        if math.isinf(score):
+            continue
+        if best is None or (score, index) < (best[0], best[1]):
+            best = (score, index, placement)
+            improvements.append((index, score))
+    if best is None:
+        raise ConfigurationError(
+            "no feasible fleet assignment under the given power caps / "
+            "budget / max_per_core constraints"
+        )
+    return [slots[i] for i in best[2]], scored, improvements
+
+
+# ----------------------------------------------------------------------
+# Greedy packing
+# ----------------------------------------------------------------------
+def _heap_representative(
+    heap_map: Dict[MachineState, List[int]],
+    state: MachineState,
+    states_of: List[MachineState],
+) -> Optional[int]:
+    """Lowest machine index currently in ``state`` (lazy-invalidating).
+
+    Heap entries go stale when a machine changes state; they are
+    dropped on sight, keeping each lookup amortised O(log n).
+    """
+    heap = heap_map.get(state)
+    while heap:
+        machine_index = heap[0]
+        if states_of[machine_index] == state:
+            return machine_index
+        heapq.heappop(heap)
+    if heap is not None:
+        del heap_map[state]
+    return None
+
+
+def _solve_greedy(ctx: _Context) -> List[Slot]:
+    """One-at-a-time packing over deduplicated candidate slots.
+
+    Machines of a group in identical states are interchangeable, as
+    are a machine's cores with identical contents — so each step
+    scores one representative per distinct (group, state, content),
+    keeping the per-step candidate count small and independent of the
+    fleet's machine count.
+    """
+    evaluator = ctx.evaluator
+    fleet = ctx.fleet
+    machines: List[List[Dict[int, List[str]]]] = [
+        [{} for _ in range(group.count)] for group in fleet.groups
+    ]
+    metrics: List[List[Tuple[float, float]]] = [
+        [(evaluator.group_configs[g].idle_watts, 0.0)] * group.count
+        for g, group in enumerate(fleet.groups)
+    ]
+    metrics = [list(row) for row in metrics]
+    states_of: List[List[MachineState]] = [
+        [()] * group.count for group in fleet.groups
+    ]
+    heaps: List[Dict[MachineState, List[int]]] = [
+        {(): list(range(group.count))} for group in fleet.groups
+    ]
+    total_watts = evaluator.total_idle_watts()
+    total_ips = 0.0
+    placements: List[Slot] = []
+    for name in ctx.processes:
+        best: Optional[Tuple[Tuple[float, int], int, int, int, float, float,
+                             float, float]] = None
+        candidate_index = 0
+        for group_index, group in enumerate(fleet.groups):
+            config = evaluator.group_configs[group_index]
+            cap = ctx.caps[group_index]
+            for state in sorted(heaps[group_index]):
+                rep = _heap_representative(
+                    heaps[group_index], state, states_of[group_index]
+                )
+                if rep is None:
+                    continue
+                assignment = machines[group_index][rep]
+                seen_contents = set()
+                for core in range(config.num_cores):
+                    content = tuple(sorted(assignment.get(core, ())))
+                    if content in seen_contents:
+                        continue
+                    seen_contents.add(content)
+                    index = candidate_index
+                    candidate_index += 1
+                    if (
+                        ctx.max_per_core is not None
+                        and len(content) >= ctx.max_per_core
+                    ):
+                        continue
+                    trial = {c: list(v) for c, v in assignment.items()}
+                    trial.setdefault(core, []).append(name)
+                    trial_state = canonical_state(trial)
+                    watts, ips = evaluator.state_metrics(config, trial_state)
+                    if cap is not None and watts > cap:
+                        continue
+                    old_watts, old_ips = metrics[group_index][rep]
+                    new_total_watts = total_watts - old_watts + watts
+                    new_total_ips = total_ips - old_ips + ips
+                    score = fleet_score(
+                        ctx.objective, new_total_watts, new_total_ips, ctx.budget
+                    )
+                    if math.isinf(score):
+                        continue
+                    key = (score, index)
+                    if best is None or key < best[0]:
+                        best = (
+                            key, group_index, rep, core,
+                            watts, ips, new_total_watts, new_total_ips,
+                        )
+        if best is None:
+            raise ConfigurationError(
+                f"greedy packing found no feasible slot for {name!r} under "
+                "the given power caps / budget / max_per_core constraints"
+            )
+        _key, group_index, rep, core, watts, ips, total_watts, total_ips = best
+        machines[group_index][rep].setdefault(core, []).append(name)
+        new_state = canonical_state(machines[group_index][rep])
+        states_of[group_index][rep] = new_state
+        metrics[group_index][rep] = (watts, ips)
+        heapq.heappush(heaps[group_index].setdefault(new_state, []), rep)
+        placements.append((group_index, rep, core))
+    return placements
+
+
+# ----------------------------------------------------------------------
+# Simulated-annealing refinement
+# ----------------------------------------------------------------------
+def _solve_anneal(
+    ctx: _Context,
+) -> Tuple[List[Slot], str, int, List[Tuple[int, float]]]:
+    """Greedy construction plus refinement.
+
+    Returns ``(placements, refinement, iterations, improvements)``.
+    Small instances (raw enumeration within ``sweep_limit``) take the
+    deterministic exhaustive sweep — the heuristic then *is* the
+    oracle.  Larger ones run seeded simulated annealing from the
+    greedy incumbent; the incumbent only ever improves, so the result
+    is never worse than greedy.
+    """
+    greedy = _solve_greedy(ctx)
+    if ctx.bound <= ctx.sweep_limit:
+        placements, scored, improvements = _solve_exhaustive(
+            ctx, max_candidates=ctx.sweep_limit
+        )
+        return placements, "sweep", scored, improvements
+    return _anneal_from(ctx, greedy)
+
+
+def _states_of_placements(
+    ctx: _Context, placements: Sequence[Slot]
+) -> Tuple[Tuple[int, MachineState], ...]:
+    per_machine: Dict[Tuple[int, int], Dict[int, List[str]]] = {}
+    for name, (group_index, machine_index, core) in zip(ctx.processes, placements):
+        per_machine.setdefault((group_index, machine_index), {}).setdefault(
+            core, []
+        ).append(name)
+    return tuple(
+        sorted(
+            (group_index, canonical_state(assignment))
+            for (group_index, _machine), assignment in per_machine.items()
+        )
+    )
+
+
+def _anneal_from(
+    ctx: _Context, start: List[Slot]
+) -> Tuple[List[Slot], str, int, List[Tuple[int, float]]]:
+    evaluator = ctx.evaluator
+    processes = ctx.processes
+    slots = ctx.slots
+    k = len(processes)
+    # Rebuild mutable state from the greedy placement.
+    machines: List[List[Dict[int, List[str]]]] = [
+        [{} for _ in range(group.count)] for group in ctx.fleet.groups
+    ]
+    for name, (group_index, machine_index, core) in zip(processes, start):
+        machines[group_index][machine_index].setdefault(core, []).append(name)
+    metrics: Dict[Tuple[int, int], Tuple[float, float]] = {}
+    for group_index, group in enumerate(ctx.fleet.groups):
+        config = evaluator.group_configs[group_index]
+        for machine_index in range(group.count):
+            state = canonical_state(machines[group_index][machine_index])
+            metrics[(group_index, machine_index)] = evaluator.state_metrics(
+                config, state
+            )
+    start_states = _states_of_placements(ctx, start)
+    current_score, total_watts, total_ips = _score_states(ctx, start_states)
+    placement = list(start)
+    best_placement = list(start)
+    best_score = current_score
+    improvements: List[Tuple[int, float]] = [(0, current_score)]
+
+    iterations = (
+        DEFAULT_ANNEAL_ITERATIONS
+        if ctx.request.max_iterations is None
+        else int(ctx.request.max_iterations)
+    )
+    rng = np.random.default_rng(stream_seed(ctx.request.seed, STREAM_FLEET, 0))
+    t_start = 0.02 * max(1.0, abs(current_score))
+    t_end = 1e-3 * t_start
+    deadline = (
+        None
+        if ctx.request.budget_s is None
+        else time.monotonic() + float(ctx.request.budget_s)
+    )
+    executed = 0
+    for iteration in range(1, iterations + 1):
+        if deadline is not None and time.monotonic() > deadline:
+            break
+        executed = iteration
+        temperature = t_start * (t_end / t_start) ** (
+            (iteration - 1) / max(1, iterations - 1)
+        )
+        swap = k >= 2 and rng.random() < 0.5
+        if swap:
+            p = int(rng.integers(k))
+            q = int(rng.integers(k))
+            if p == q or processes[p] == processes[q] or placement[p] == placement[q]:
+                continue
+            moves = [(p, placement[q]), (q, placement[p])]
+        else:
+            p = int(rng.integers(k))
+            target = slots[int(rng.integers(len(slots)))]
+            if placement[p] == target:
+                continue
+            moves = [(p, target)]
+        # Trial states of the (at most four) touched machines.
+        touched: Dict[Tuple[int, int], Dict[int, List[str]]] = {}
+
+        def trial_machine(machine_key: Tuple[int, int]) -> Dict[int, List[str]]:
+            if machine_key not in touched:
+                group_index, machine_index = machine_key
+                touched[machine_key] = {
+                    c: list(v)
+                    for c, v in machines[group_index][machine_index].items()
+                }
+            return touched[machine_key]
+
+        feasible = True
+        for proc, _target in moves:
+            group_index, machine_index, core = placement[proc]
+            trial_machine((group_index, machine_index))[core].remove(
+                processes[proc]
+            )
+        for proc, target in moves:
+            group_index, machine_index, core = target
+            names = trial_machine((group_index, machine_index)).setdefault(
+                core, []
+            )
+            names.append(processes[proc])
+            if ctx.max_per_core is not None and len(names) > ctx.max_per_core:
+                feasible = False
+        if not feasible:
+            continue
+        new_total_watts = total_watts
+        new_total_ips = total_ips
+        new_metrics: Dict[Tuple[int, int], Tuple[float, float]] = {}
+        for machine_key in sorted(touched):
+            group_index = machine_key[0]
+            config = evaluator.group_configs[group_index]
+            state = canonical_state(touched[machine_key])
+            watts, ips = evaluator.state_metrics(config, state)
+            cap = ctx.caps[group_index]
+            if cap is not None and watts > cap:
+                feasible = False
+                break
+            old_watts, old_ips = metrics[machine_key]
+            new_total_watts += watts - old_watts
+            new_total_ips += ips - old_ips
+            new_metrics[machine_key] = (watts, ips)
+        if not feasible:
+            continue
+        trial_score = fleet_score(
+            ctx.objective, new_total_watts, new_total_ips, ctx.budget
+        )
+        if math.isinf(trial_score):
+            continue
+        delta = trial_score - current_score
+        if delta > 0 and rng.random() >= math.exp(-delta / temperature):
+            continue
+        # Accept: fold the trial into the live state.
+        for machine_key, assignment in touched.items():
+            group_index, machine_index = machine_key
+            machines[group_index][machine_index] = {
+                c: v for c, v in assignment.items() if v
+            }
+        metrics.update(new_metrics)
+        for proc, target in moves:
+            placement[proc] = target
+        total_watts, total_ips = new_total_watts, new_total_ips
+        current_score = trial_score
+        if current_score < best_score:
+            best_score = current_score
+            best_placement = list(placement)
+            improvements.append((iteration, current_score))
+    # Guard against pathological float drift between the incremental
+    # search arithmetic and the canonical report: never return a
+    # configuration whose canonical score is worse than the start's.
+    final_score, _w, _i = _score_states(
+        ctx, _states_of_placements(ctx, best_placement)
+    )
+    start_score, _w, _i = _score_states(ctx, start_states)
+    if final_score > start_score:
+        best_placement = list(start)
+        improvements = [(0, start_score)]
+    return best_placement, "anneal", executed, improvements
+
+
+# ----------------------------------------------------------------------
+# Entry point
+# ----------------------------------------------------------------------
+def _materialize(
+    ctx: _Context,
+    placements: Sequence[Slot],
+    solver_name: str,
+    refinement: str,
+    iterations: int,
+    improvements: Optional[Sequence[Tuple[int, float]]],
+) -> FleetAssignment:
+    evaluator = ctx.evaluator
+    machines_acc: List[List[Dict[int, List[str]]]] = [
+        [{} for _ in range(group.count)] for group in ctx.fleet.groups
+    ]
+    for name, (group_index, machine_index, core) in zip(ctx.processes, placements):
+        machines_acc[group_index][machine_index].setdefault(core, []).append(name)
+    states = tuple(
+        sorted(
+            (group_index, canonical_state(machines_acc[group_index][machine_index]))
+            for group_index, group in enumerate(ctx.fleet.groups)
+            for machine_index in range(group.count)
+            if canonical_state(machines_acc[group_index][machine_index])
+        )
+    )
+    score, watts, ips = _score_states(ctx, states)
+    machine_assignments: List[MachineAssignment] = []
+    for group_index, group in enumerate(ctx.fleet.groups):
+        config = evaluator.group_configs[group_index]
+        for machine_index in range(group.count):
+            state = canonical_state(machines_acc[group_index][machine_index])
+            machine_watts, machine_ips = evaluator.state_metrics(config, state)
+            machine_assignments.append(
+                MachineAssignment(
+                    machine=group.machine,
+                    group=group_index,
+                    index=machine_index,
+                    assignment={core: names for core, names in state},
+                    predicted_watts=machine_watts,
+                    predicted_ips=machine_ips,
+                )
+            )
+    if improvements is None:
+        improvements = [(0, score)]
+    return FleetAssignment(
+        objective=ctx.request.objective,
+        solver=solver_name,
+        refinement=refinement,
+        fleet=ctx.fleet,
+        processes=ctx.processes,
+        machines=tuple(machine_assignments),
+        predicted_watts=watts,
+        predicted_ips=ips,
+        score=score,
+        evaluations=evaluator.evaluations,
+        iterations=iterations,
+        improvements=tuple(improvements),
+        seed=ctx.request.seed,
+    )
+
+
+def solve(
+    request: AssignmentRequest,
+    features: Mapping[str, FeatureVector],
+    profiles: Mapping[str, ProfileVector],
+    power_model: CorePowerModel,
+    *,
+    strategy: str = "auto",
+    workers: Optional[int] = None,
+    chunk_size: Optional[int] = None,
+    engine: str = "auto",
+    max_candidates: Optional[int] = None,
+    sweep_limit: Optional[int] = None,
+) -> FleetAssignment:
+    """Solve a declarative fleet-assignment request.
+
+    The request says *what* to solve; everything here is an execution
+    knob (fan-out engine, worker count, enumeration caps) that cannot
+    change the returned bits — only how fast they arrive.
+    """
+    fleet = request.resolved_fleet()
+    objective = canonical_objective(request.objective)
+    evaluator = FleetEvaluator(
+        features,
+        profiles,
+        power_model,
+        fleet,
+        strategy=strategy,
+        workers=workers,
+        chunk_size=chunk_size,
+        engine=engine,
+    )
+    ctx = _Context(
+        request=request,
+        evaluator=evaluator,
+        fleet=fleet,
+        processes=request.processes,
+        objective=objective,
+        caps=_effective_caps(fleet, request.machine_power_cap_watts),
+        budget=request.power_budget_watts,
+        max_per_core=request.max_per_core,
+        slots=[
+            (group_index, machine_index, core)
+            for group_index, group in enumerate(fleet.groups)
+            for machine_index in range(group.count)
+            for core in range(evaluator.group_configs[group_index].num_cores)
+        ],
+        sweep_limit=DEFAULT_SWEEP_LIMIT if sweep_limit is None else int(sweep_limit),
+    )
+    if ctx.max_per_core is not None and len(ctx.processes) > len(ctx.slots) * ctx.max_per_core:
+        raise ConfigurationError(
+            f"{len(ctx.processes)} processes cannot fit {len(ctx.slots)} cores "
+            f"at max_per_core={ctx.max_per_core}"
+        )
+    solver_name = request.solver
+    if solver_name == "auto":
+        solver_name = "exhaustive" if ctx.bound <= ctx.sweep_limit else "anneal"
+    observer = get_observer()
+    if not observer.enabled:
+        return _solve_impl(ctx, solver_name, max_candidates)
+    with observer.span(
+        "fleet.solve",
+        solver=solver_name,
+        objective=objective,
+        processes=len(ctx.processes),
+        machines=fleet.total_machines,
+    ) as span:
+        result = _solve_impl(ctx, solver_name, max_candidates)
+        span.annotate(
+            score=result.score,
+            evaluations=result.evaluations,
+            iterations=result.iterations,
+        )
+        observer.counter("fleet.solves").inc()
+        observer.counter("fleet.machine_evals").inc(result.evaluations)
+        observer.counter("fleet.iterations").inc(result.iterations)
+        observer.histogram("fleet.score").observe(result.score)
+        return result
+
+
+def _solve_impl(
+    ctx: _Context, solver_name: str, max_candidates: Optional[int]
+) -> FleetAssignment:
+    ctx.evaluator.prime(ctx.processes)
+    if solver_name == "exhaustive":
+        placements, scored, improvements = _solve_exhaustive(ctx, max_candidates)
+        return _materialize(
+            ctx, placements, "exhaustive", "none", scored, improvements
+        )
+    if solver_name == "greedy":
+        placements = _solve_greedy(ctx)
+        return _materialize(
+            ctx, placements, "greedy", "none", len(ctx.processes), None
+        )
+    placements, refinement, iterations, improvements = _solve_anneal(ctx)
+    return _materialize(
+        ctx, placements, "anneal", refinement, iterations, improvements
+    )

@@ -462,6 +462,265 @@ def assignment_pick_from_dict(data: Dict):
 
 
 # ----------------------------------------------------------------------
+# Fleet assignment (repro.fleet)
+# ----------------------------------------------------------------------
+def _field(data: Any, key: str, path: str) -> Any:
+    """Required-field lookup that names the exact JSON path on failure.
+
+    The fleet documents are accepted over HTTP (``/v2/assign``), where
+    "``fleet.groups[1].count`` is missing" beats a bare ``KeyError``.
+    """
+    if not isinstance(data, dict):
+        raise ConfigurationError(f"{path} must be a JSON object")
+    if key not in data:
+        raise ConfigurationError(f"{path}.{key} is missing")
+    return data[key]
+
+
+def _cast(value: Any, caster, path: str) -> Any:
+    try:
+        return caster(value)
+    except (TypeError, ValueError):
+        raise ConfigurationError(
+            f"{path} has invalid value {value!r}"
+        ) from None
+
+
+def _optional(data: Dict, key: str, caster, path: str) -> Any:
+    value = data.get(key)
+    if value is None:
+        return None
+    return _cast(value, caster, f"{path}.{key}")
+
+
+def fleet_spec_to_dict(spec) -> Dict:
+    return {
+        "kind": "fleet_spec",
+        "version": FORMAT_VERSION,
+        "groups": [
+            {
+                "machine": group.machine,
+                "count": group.count,
+                "sets": group.sets,
+                "power_cap_watts": group.power_cap_watts,
+            }
+            for group in spec.groups
+        ],
+    }
+
+
+def fleet_spec_from_dict(data: Dict, path: str = "fleet"):
+    from repro.fleet.spec import FleetSpec, MachineGroup
+
+    _check_header(data, "fleet_spec")
+    groups_doc = _field(data, "groups", path)
+    if not isinstance(groups_doc, list):
+        raise ConfigurationError(f"{path}.groups must be a list")
+    groups = []
+    for index, group_doc in enumerate(groups_doc):
+        group_path = f"{path}.groups[{index}]"
+        if not isinstance(group_doc, dict):
+            raise ConfigurationError(f"{group_path} must be a JSON object")
+        groups.append(
+            MachineGroup(
+                machine=_cast(
+                    _field(group_doc, "machine", group_path),
+                    str,
+                    f"{group_path}.machine",
+                ),
+                count=_cast(
+                    group_doc.get("count", 1), int, f"{group_path}.count"
+                ),
+                sets=_cast(group_doc.get("sets", 128), int, f"{group_path}.sets"),
+                power_cap_watts=_optional(
+                    group_doc, "power_cap_watts", float, group_path
+                ),
+            )
+        )
+    return FleetSpec(groups=tuple(groups))
+
+
+def assignment_request_to_dict(request) -> Dict:
+    return {
+        "kind": "assignment_request",
+        "version": FORMAT_VERSION,
+        "processes": list(request.processes),
+        "objective": request.objective,
+        "solver": request.solver,
+        "fleet": (
+            fleet_spec_to_dict(request.fleet)
+            if request.fleet is not None
+            else None
+        ),
+        "machine": request.machine,
+        "sets": request.sets,
+        "max_per_core": request.max_per_core,
+        "power_budget_watts": request.power_budget_watts,
+        "machine_power_cap_watts": request.machine_power_cap_watts,
+        "budget_s": request.budget_s,
+        "max_iterations": request.max_iterations,
+        "seed": request.seed,
+    }
+
+
+def assignment_request_from_dict(data: Dict):
+    from repro.fleet.types import AssignmentRequest
+
+    _check_header(data, "assignment_request")
+    path = "assignment_request"
+    processes = _field(data, "processes", path)
+    if not isinstance(processes, list) or not all(
+        isinstance(name, str) for name in processes
+    ):
+        raise ConfigurationError(f"{path}.processes must be a list of strings")
+    fleet_doc = data.get("fleet")
+    fleet = (
+        fleet_spec_from_dict(fleet_doc, path=f"{path}.fleet")
+        if fleet_doc is not None
+        else None
+    )
+    return AssignmentRequest(
+        processes=tuple(processes),
+        objective=_cast(
+            data.get("objective", "min-power"), str, f"{path}.objective"
+        ),
+        solver=_cast(data.get("solver", "auto"), str, f"{path}.solver"),
+        fleet=fleet,
+        machine=_cast(
+            data.get("machine", "4-core-server"), str, f"{path}.machine"
+        ),
+        sets=_cast(data.get("sets", 128), int, f"{path}.sets"),
+        max_per_core=_optional(data, "max_per_core", int, path),
+        power_budget_watts=_optional(data, "power_budget_watts", float, path),
+        machine_power_cap_watts=_optional(
+            data, "machine_power_cap_watts", float, path
+        ),
+        budget_s=_optional(data, "budget_s", float, path),
+        max_iterations=_optional(data, "max_iterations", int, path),
+        seed=_cast(data.get("seed", 0), int, f"{path}.seed"),
+    )
+
+
+def machine_assignment_to_dict(machine) -> Dict:
+    return {
+        "kind": "machine_assignment",
+        "version": FORMAT_VERSION,
+        "machine": machine.machine,
+        "group": machine.group,
+        "index": machine.index,
+        # JSON object keys are strings; core ids are re-parsed on load.
+        "assignment": {
+            str(core): list(names) for core, names in machine.assignment.items()
+        },
+        "predicted_watts": machine.predicted_watts,
+        "predicted_ips": machine.predicted_ips,
+    }
+
+
+def machine_assignment_from_dict(data: Dict, path: str = "machine_assignment"):
+    from repro.fleet.types import MachineAssignment
+
+    _check_header(data, "machine_assignment")
+    assignment_doc = _field(data, "assignment", path)
+    if not isinstance(assignment_doc, dict):
+        raise ConfigurationError(f"{path}.assignment must be a JSON object")
+    return MachineAssignment(
+        machine=_cast(_field(data, "machine", path), str, f"{path}.machine"),
+        group=_cast(_field(data, "group", path), int, f"{path}.group"),
+        index=_cast(_field(data, "index", path), int, f"{path}.index"),
+        assignment={
+            _cast(core, int, f"{path}.assignment[{core!r}]"): tuple(names)
+            for core, names in assignment_doc.items()
+        },
+        predicted_watts=_cast(
+            _field(data, "predicted_watts", path),
+            float,
+            f"{path}.predicted_watts",
+        ),
+        predicted_ips=_cast(
+            _field(data, "predicted_ips", path), float, f"{path}.predicted_ips"
+        ),
+    )
+
+
+def fleet_assignment_to_dict(result) -> Dict:
+    return {
+        "kind": "fleet_assignment",
+        "version": FORMAT_VERSION,
+        "objective": result.objective,
+        "solver": result.solver,
+        "refinement": result.refinement,
+        "fleet": fleet_spec_to_dict(result.fleet),
+        "processes": list(result.processes),
+        "machines": [machine_assignment_to_dict(m) for m in result.machines],
+        "predicted_watts": result.predicted_watts,
+        "predicted_ips": result.predicted_ips,
+        "score": result.score,
+        "evaluations": result.evaluations,
+        "iterations": result.iterations,
+        "improvements": [
+            [iteration, score] for iteration, score in result.improvements
+        ],
+        "seed": result.seed,
+    }
+
+
+def fleet_assignment_from_dict(data: Dict):
+    from repro.fleet.types import FleetAssignment
+
+    _check_header(data, "fleet_assignment")
+    path = "fleet_assignment"
+    machines_doc = _field(data, "machines", path)
+    if not isinstance(machines_doc, list):
+        raise ConfigurationError(f"{path}.machines must be a list")
+    improvements_doc = data.get("improvements", [])
+    improvements = tuple(
+        (
+            _cast(entry[0], int, f"{path}.improvements[{index}][0]"),
+            _cast(entry[1], float, f"{path}.improvements[{index}][1]"),
+        )
+        for index, entry in enumerate(improvements_doc)
+    )
+    return FleetAssignment(
+        objective=_cast(
+            _field(data, "objective", path), str, f"{path}.objective"
+        ),
+        solver=_cast(_field(data, "solver", path), str, f"{path}.solver"),
+        refinement=_cast(
+            data.get("refinement", "none"), str, f"{path}.refinement"
+        ),
+        fleet=fleet_spec_from_dict(
+            _field(data, "fleet", path), path=f"{path}.fleet"
+        ),
+        processes=tuple(_field(data, "processes", path)),
+        machines=tuple(
+            machine_assignment_from_dict(doc, path=f"{path}.machines[{index}]")
+            for index, doc in enumerate(machines_doc)
+        ),
+        predicted_watts=_cast(
+            _field(data, "predicted_watts", path),
+            float,
+            f"{path}.predicted_watts",
+        ),
+        predicted_ips=_cast(
+            _field(data, "predicted_ips", path), float, f"{path}.predicted_ips"
+        ),
+        score=_cast(_field(data, "score", path), float, f"{path}.score"),
+        evaluations=_cast(
+            data.get("evaluations", 0), int, f"{path}.evaluations"
+        ),
+        iterations=_cast(data.get("iterations", 0), int, f"{path}.iterations"),
+        improvements=improvements,
+        seed=_cast(data.get("seed", 0), int, f"{path}.seed"),
+    )
+
+
+def load_fleet_assignment(path: Pathish):
+    """Load a bundle saved by :meth:`FleetAssignment.save`."""
+    return fleet_assignment_from_dict(load_json(path))
+
+
+# ----------------------------------------------------------------------
 # Suites and files
 # ----------------------------------------------------------------------
 def _require_finite(node: Any, path: str = "$") -> None:

@@ -59,6 +59,7 @@ from repro.config import BENCH_SCALE, SimulationScale
 from repro.core.assignment import (
     AssignmentDecision,
     OBJECTIVES,
+    check_enumeration_size,
     enumerate_candidates,
     score_assignment,
 )
@@ -666,6 +667,7 @@ def parallel_exhaustive_assignment(
     max_per_core: Optional[int] = None,
     workers: Optional[int] = None,
     chunk_size: Optional[int] = None,
+    max_candidates: Optional[int] = None,
 ) -> AssignmentDecision:
     """Exhaustive search with candidates scored across a worker pool.
 
@@ -689,6 +691,7 @@ def parallel_exhaustive_assignment(
         features = [features[name] for name in sorted(features)]
     features = list(features)
     topology = STANDARD_MACHINES[machine](sets=sets)
+    check_enumeration_size(topology.num_cores, len(process_names), max_candidates)
     candidates = list(
         enumerate_candidates(topology.num_cores, process_names, max_per_core)
     )

@@ -40,6 +40,7 @@ STREAM_POLICY = 2  #: per-domain replacement policies (index: domain)
 STREAM_METER = 3  #: the power meter of one machine (index: 0)
 STREAM_PHASE = 4  #: per-phase generators inside one process (index: phase)
 STREAM_TASK = 5  #: per-task streams of a parallel batch (index: task)
+STREAM_FLEET = 6  #: fleet assignment search (index: restart / chain id)
 
 
 def spawn_sequence(seed: int, *key: int) -> np.random.SeedSequence:

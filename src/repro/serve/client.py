@@ -143,6 +143,27 @@ class ServeClient:
             },
         )
 
+    def assign_v2(
+        self,
+        request: Dict,
+        *,
+        suite: str = "default",
+        power_model: str = "power",
+    ) -> Dict:
+        """POST an ``assignment_request`` document to ``/v2/assign``.
+
+        ``request`` is the JSON form of
+        :class:`repro.api.AssignmentRequest` (see
+        :func:`repro.io.assignment_request_to_dict`); the server solves
+        it against the published suite and power model and returns a
+        ``serve_fleet_assignment`` document.
+        """
+        return self._call(
+            "POST",
+            "/v2/assign",
+            {"suite": suite, "power_model": power_model, "request": request},
+        )
+
     # ------------------------------------------------------------------
     def close(self) -> None:
         if self._connection is not None:

@@ -14,6 +14,7 @@ __all__ = [
     "ServeError",
     "QueueFullError",
     "DeadlineExpiredError",
+    "FleetTooLargeError",
     "ServiceClosedError",
     "UnknownModelError",
 ]
@@ -54,4 +55,14 @@ class UnknownModelError(ConfigurationError, ServeError):
     """No artifact with the requested name (or version) is published.
 
     Mapped to HTTP 404.
+    """
+
+
+class FleetTooLargeError(ServeError):
+    """A ``/v2/assign`` request exceeds the service's fleet limits.
+
+    Solving is synchronous per request; a fleet beyond the configured
+    process/machine ceilings would monopolise the assign executor, so
+    it is rejected up front.  Mapped to HTTP 413 — batch the work or
+    run :func:`repro.api.solve_assignment` directly.
     """

@@ -12,6 +12,7 @@ surface is deliberately small:
 ``POST /v1/models``   publish / hot-swap an artifact
 ``POST /v1/predict``  batched co-run prediction (see below)
 ``POST /v1/assign``   process-to-core assignment search
+``POST /v2/assign``   declarative fleet assignment (see below)
 ====================  ======================================================
 
 ``/v1/predict`` requests —
@@ -22,10 +23,20 @@ persistent :class:`~repro.parallel.ParallelPredictor`, so the returned
 ``prediction`` document is bit-identical to what
 :func:`repro.api.predict_mix` computes for the same suite and mix.
 
-Error mapping: unknown model → 404, shed (queue full) → 429, deadline
-expired in queue → 504, draining/stopped → 503, any other library
-error → 400, unexpected exception → 500.  Every error body is
-``{"error": ..., "type": ...}``.
+``/v2/assign`` requests carry a full
+:class:`~repro.api.AssignmentRequest` document —
+``{"suite": "...", "power_model": "...", "request": {...}}`` — and are
+solved by :func:`repro.api.solve_assignment` off the event loop.  The
+``/v1/assign`` schema (and its response bytes) is frozen; new
+capabilities (fleets, power budgets, greedy/anneal solvers) land only
+in ``/v2``.  Malformed request documents come back as 400 with the
+offending JSON field path; fleets beyond the service's size ceilings
+come back as 413.
+
+Error mapping: unknown model → 404, oversized fleet → 413, shed
+(queue full) → 429, deadline expired in queue → 504, draining/stopped
+→ 503, any other library error → 400, unexpected exception → 500.
+Every error body is ``{"error": ..., "type": ...}``.
 """
 
 from __future__ import annotations
@@ -45,6 +56,7 @@ from repro.parallel import ParallelPredictor
 from repro.serve.batcher import MicroBatcher
 from repro.serve.errors import (
     DeadlineExpiredError,
+    FleetTooLargeError,
     QueueFullError,
     ServiceClosedError,
     UnknownModelError,
@@ -56,6 +68,12 @@ __all__ = ["PredictionService", "PredictionServer", "SERVE_FORMAT_VERSION"]
 logger = logging.getLogger(__name__)
 
 SERVE_FORMAT_VERSION = 1
+
+# Ceilings for /v2/assign: solving is synchronous per request, so a
+# pathological fleet would monopolise the assign executor.  Oversized
+# requests are rejected up front with 413.
+MAX_FLEET_PROCESSES = 50_000
+MAX_FLEET_MACHINES = 4096
 
 _REASONS = {
     200: "OK",
@@ -230,7 +248,9 @@ class PredictionService:
         self._check_names(suite, names)
         power = self.registry.get(power_ref)
         power_model = power.power_model()
-        from repro.api import pick_assignment
+        # The implementation function, not the public shim: /v1 must
+        # stay byte-identical and must not log DeprecationWarnings.
+        from repro.api import _pick_assignment_impl
 
         if self._assign_pool is None:
             self._assign_pool = ThreadPoolExecutor(
@@ -240,7 +260,7 @@ class PredictionService:
         pick = await loop.run_in_executor(
             self._assign_pool,
             functools.partial(
-                pick_assignment,
+                _pick_assignment_impl,
                 list(names),
                 suite.obj,
                 power_model,
@@ -257,6 +277,65 @@ class PredictionService:
             "suite": suite.ref,
             "power_model": power.ref,
             "pick": pick.to_dict(),
+        }
+
+    async def assign_v2(self, payload: Dict) -> Dict:
+        """Solve a declarative :class:`AssignmentRequest` off the loop."""
+        if self._closed:
+            raise ServiceClosedError("service is stopped")
+        suite = self.registry.get(_field(payload, "suite", str, default="default"))
+        if suite.kind != "profile_suite":
+            raise ConfigurationError(
+                f"'suite' must reference a profile_suite artifact; "
+                f"{suite.ref} is a {suite.kind}"
+            )
+        power = self.registry.get(
+            _field(payload, "power_model", str, default="power")
+        )
+        power_model = power.power_model()
+        document = payload.get("request")
+        if not isinstance(document, dict):
+            raise _BadRequest("field 'request' must be a JSON object")
+        from repro.api import solve_assignment
+        from repro.io import assignment_request_from_dict, fleet_assignment_to_dict
+
+        request = assignment_request_from_dict(document)
+        if len(request.processes) > MAX_FLEET_PROCESSES:
+            raise FleetTooLargeError(
+                f"request has {len(request.processes)} processes; this "
+                f"service accepts at most {MAX_FLEET_PROCESSES}"
+            )
+        fleet = request.resolved_fleet()
+        if fleet.total_machines > MAX_FLEET_MACHINES:
+            raise FleetTooLargeError(
+                f"fleet has {fleet.total_machines} machines; this "
+                f"service accepts at most {MAX_FLEET_MACHINES}"
+            )
+        self._check_names(suite, request.processes)
+        if self._assign_pool is None:
+            self._assign_pool = ThreadPoolExecutor(
+                max_workers=1, thread_name_prefix="repro-serve-assign"
+            )
+        loop = asyncio.get_running_loop()
+        result = await loop.run_in_executor(
+            self._assign_pool,
+            functools.partial(
+                solve_assignment,
+                request,
+                suite.obj,
+                power_model,
+                strategy=self.strategy,
+                workers=self.workers,
+                engine=self.engine,
+            ),
+        )
+        self.metrics.counter("serve.assign_v2.completed").inc()
+        return {
+            "kind": "serve_fleet_assignment",
+            "version": SERVE_FORMAT_VERSION,
+            "suite": suite.ref,
+            "power_model": power.ref,
+            "assignment": fleet_assignment_to_dict(result),
         }
 
     @staticmethod
@@ -477,6 +556,8 @@ class PredictionServer:
             status, document = 404, _error_doc(error)
         except _MethodNotAllowed as error:
             status, document = 405, _error_doc(error)
+        except FleetTooLargeError as error:
+            status, document = 413, _error_doc(error)
         except QueueFullError as error:
             status, document = 429, _error_doc(error)
         except DeadlineExpiredError as error:
@@ -545,6 +626,11 @@ class PredictionServer:
                 objective=_field(payload, "objective", str, default="power"),
                 greedy=bool(payload.get("greedy", False)),
             )
+            return 200, document
+        if path == "/v2/assign":
+            self._require(method, "POST")
+            payload = _parse_json(body)
+            document = await self.service.assign_v2(payload)
             return 200, document
         raise _NotFound(f"no such endpoint: {path}")
 

@@ -11,11 +11,11 @@ from repro.api import (
     PowerTrainingResult,
     ProfileSuiteResult,
     load_suite,
-    pick_assignment,
     predict_mix,
     profile_suite,
     train_power,
 )
+from repro.api import _pick_assignment_impl as pick_assignment
 from repro.core.power_model import CorePowerModel
 from repro.errors import ConfigurationError
 

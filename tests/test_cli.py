@@ -200,6 +200,50 @@ class TestAssignFlow:
         assert placed == ["gzip", "mcf"]
         assert data["decision"]["predicted_watts"] > 0
 
+    def test_assign_fleet_flags_route_to_solver(
+        self, tmp_path, capsys, synthetic_power_model
+    ):
+        suite = tmp_path / "suite.json"
+        model = tmp_path / "power.json"
+        save_power_model(synthetic_power_model, model)
+        assert main(
+            ["--sets", "32", "--quick", "profile",
+             "--machine", "2-core-workstation", "--out", str(suite),
+             "mcf", "gzip"]
+        ) == 0
+        capsys.readouterr()
+        code = main(
+            ["--sets", "32", "assign", "--machine", "2-core-workstation",
+             "--suite", str(suite), "--power-model", str(model),
+             "--solver", "greedy", "--objective", "min-power",
+             "mcf", "gzip"]
+        )
+        assert code == 0
+        data = json.loads(capsys.readouterr().out)
+        assert data["kind"] == "fleet_assignment"
+        assert data["solver"] == "greedy"
+        assert data["objective"] == "min-power"
+        # A canonical objective alone also routes to the fleet solver.
+        code = main(
+            ["--sets", "32", "assign", "--machine", "2-core-workstation",
+             "--suite", str(suite), "--power-model", str(model),
+             "--objective", "throughput-under-watts-budget",
+             "--power-budget", "500", "mcf", "gzip"]
+        )
+        assert code == 0
+        data = json.loads(capsys.readouterr().out)
+        assert data["kind"] == "fleet_assignment"
+        assert data["predicted_watts"] <= 500.0
+        # --greedy belongs to the legacy pick; combining it with the
+        # fleet path is a clean usage error, not a silent reroute.
+        code = main(
+            ["--sets", "32", "assign", "--machine", "2-core-workstation",
+             "--suite", str(suite), "--power-model", str(model),
+             "--solver", "anneal", "--greedy", "mcf", "gzip"]
+        )
+        assert code == 2
+        assert "--solver greedy" in capsys.readouterr().err
+
 
 class TestObservabilityFlags:
     def test_trace_and_metrics_files(self, tmp_path, capsys):

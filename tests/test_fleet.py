@@ -1,0 +1,472 @@
+"""Tests for :mod:`repro.fleet` — declarative fleet assignment.
+
+Four layers, pinned separately:
+
+- **Types**: :class:`AssignmentRequest` / :class:`FleetAssignment`
+  validation, bit-exact JSON round-trips, field-path error messages,
+  and the :func:`pick_assignment` deprecation shim.
+- **Oracle equality**: on small instances (≤ 4 cores, ≤ 6 processes)
+  the greedy+anneal heuristic returns *exactly* the exhaustive
+  oracle's score — property-tested with hypothesis.
+- **Monotonicity**: annealing never returns a worse score than the
+  greedy packing it refines, on fleets far beyond the sweep limit.
+- **Determinism**: same seed ⇒ identical :class:`FleetAssignment`
+  (dataclass equality, so float-for-float) across repeated runs and
+  across ``engine="serial"`` vs ``engine="pool"``.
+"""
+
+import json
+import warnings
+
+import numpy as np
+import pytest
+from hypothesis import given, settings
+from hypothesis import strategies as st
+
+from repro.api import (
+    AssignmentRequest,
+    FleetSpec,
+    MachineGroup,
+    ProfileSuiteResult,
+    _pick_assignment_impl,
+    pick_assignment,
+    solve_assignment,
+)
+from repro.core.assignment import (
+    DEFAULT_MAX_CANDIDATES,
+    candidate_bound,
+    check_enumeration_size,
+)
+from repro.core.feature import FeatureVector, ProfileVector
+from repro.core.power_model import CorePowerModel, PowerTrainingSet
+from repro.errors import AssignmentTooLargeError, ConfigurationError
+from repro.events import Event, RATE_EVENTS
+from repro.fleet import (
+    CANONICAL_OBJECTIVES,
+    canonical_objective,
+    fleet_score,
+)
+from repro.io import (
+    assignment_request_from_dict,
+    assignment_request_to_dict,
+    fleet_assignment_from_dict,
+    fleet_assignment_to_dict,
+    fleet_spec_from_dict,
+)
+from repro.workloads.spec import BENCHMARKS
+
+NAMES = ["mcf", "gzip", "art", "vpr"]
+
+
+def _oracle_suite(names=NAMES, machine="4-core-server"):
+    return ProfileSuiteResult(
+        machine=machine,
+        features={n: FeatureVector.oracle(BENCHMARKS[n], 2e8) for n in names},
+        profiles={
+            n: ProfileVector(
+                name=n,
+                p_alone=20.0 + 2.0 * i,
+                l1rpi=0.4,
+                l2rpi=0.05,
+                brpi=0.2,
+                fppi=0.01 * i,
+            )
+            for i, n in enumerate(names)
+        },
+    )
+
+
+@pytest.fixture(scope="module")
+def suite():
+    return _oracle_suite()
+
+
+@pytest.fixture(scope="module")
+def power_model():
+    rng = np.random.default_rng(0)
+    training = PowerTrainingSet()
+    for _ in range(40):
+        rates = {event: rng.uniform(0, 1e8) for event in RATE_EVENTS}
+        power = 11.0 + 8e-8 * rates[Event.L1_REFS] + 2e-7 * rates[Event.L2_MISSES]
+        training.add(rates, power)
+    return CorePowerModel().fit(training, idle_core_watts=11.0)
+
+
+# ----------------------------------------------------------------------
+# Request / result types
+# ----------------------------------------------------------------------
+class TestAssignmentRequest:
+    def test_defaults(self):
+        request = AssignmentRequest(processes=("mcf", "gzip"))
+        assert request.objective == "min-power"
+        assert request.solver == "auto"
+        assert request.fleet is None
+        assert request.resolved_fleet().groups[0].machine == "4-core-server"
+
+    def test_rejects_unknown_objective(self):
+        with pytest.raises(ConfigurationError, match="objective"):
+            AssignmentRequest(processes=("mcf",), objective="fastest")
+
+    def test_rejects_unknown_solver(self):
+        with pytest.raises(ConfigurationError, match="solver"):
+            AssignmentRequest(processes=("mcf",), solver="brute")
+
+    def test_rejects_empty_processes(self):
+        with pytest.raises(ConfigurationError, match="process"):
+            AssignmentRequest(processes=())
+
+    def test_budget_objective_requires_budget(self):
+        with pytest.raises(ConfigurationError, match="power_budget_watts"):
+            AssignmentRequest(
+                processes=("mcf",), objective="throughput-under-watts-budget"
+            )
+
+    def test_legacy_objective_aliases_canonicalised(self):
+        assert canonical_objective("power") == "min-power"
+        assert canonical_objective("throughput") == "max-throughput"
+        assert (
+            canonical_objective("energy_per_instruction")
+            == "min-energy-per-instruction"
+        )
+        for name in CANONICAL_OBJECTIVES:
+            assert canonical_objective(name) == name
+
+    def test_round_trip_is_bit_exact(self):
+        request = AssignmentRequest(
+            processes=("mcf", "gzip", "mcf"),
+            objective="throughput-under-watts-budget",
+            solver="anneal",
+            fleet=FleetSpec(
+                groups=(
+                    MachineGroup(machine="4-core-server", count=3, sets=64),
+                    MachineGroup(
+                        machine="2-core-laptop",
+                        count=2,
+                        power_cap_watts=35.5,
+                    ),
+                )
+            ),
+            power_budget_watts=123.456789,
+            budget_s=1.5,
+            max_iterations=777,
+            seed=42,
+        )
+        wire = json.loads(json.dumps(assignment_request_to_dict(request)))
+        assert assignment_request_from_dict(wire) == request
+
+    def test_field_path_in_errors(self):
+        with pytest.raises(
+            ConfigurationError, match=r"assignment_request\.processes is missing"
+        ):
+            assignment_request_from_dict(
+                {"kind": "assignment_request", "version": 1}
+            )
+        with pytest.raises(
+            ConfigurationError,
+            match=r"fleet\.groups\[0\]\.machine is missing",
+        ):
+            fleet_spec_from_dict(
+                {"kind": "fleet_spec", "version": 1, "groups": [{}]}
+            )
+
+    def test_reexported_from_package_root(self):
+        import repro
+
+        assert repro.AssignmentRequest is AssignmentRequest
+        assert repro.FleetSpec is FleetSpec
+        assert repro.solve_assignment is solve_assignment
+
+
+class TestFleetAssignmentResult:
+    def test_round_trip_is_bit_exact(self, suite, power_model):
+        request = AssignmentRequest(
+            processes=("mcf", "gzip", "art"),
+            machine="2-core-workstation",
+            sets=32,
+            solver="anneal",
+            seed=3,
+        )
+        result = solve_assignment(request, suite, power_model)
+        wire = json.loads(json.dumps(fleet_assignment_to_dict(result)))
+        assert fleet_assignment_from_dict(wire) == result
+
+    def test_save_and_load(self, tmp_path, suite, power_model):
+        from repro.api import load_fleet_assignment
+
+        request = AssignmentRequest(
+            processes=("mcf", "gzip"), machine="2-core-workstation", sets=32
+        )
+        result = solve_assignment(request, suite, power_model)
+        path = tmp_path / "fleet.json"
+        result.save(path)
+        assert load_fleet_assignment(path) == result
+
+    def test_busy_machines_excludes_idle(self, suite, power_model):
+        request = AssignmentRequest(
+            processes=("mcf",),
+            fleet=FleetSpec(
+                groups=(
+                    MachineGroup(machine="2-core-workstation", count=3, sets=32),
+                )
+            ),
+            sets=32,
+        )
+        result = solve_assignment(request, suite, power_model)
+        assert len(result.machines) == 3
+        assert len(result.busy_machines) == 1
+
+
+class TestDeprecationShim:
+    def test_pick_assignment_warns_and_matches_impl(self, suite, power_model):
+        with pytest.warns(DeprecationWarning, match="solve_assignment"):
+            pick = pick_assignment(
+                ["mcf", "gzip"],
+                suite,
+                power_model,
+                machine="2-core-workstation",
+                sets=32,
+            )
+        with warnings.catch_warnings():
+            warnings.simplefilter("error")  # the impl must NOT warn
+            impl = _pick_assignment_impl(
+                ["mcf", "gzip"],
+                suite,
+                power_model,
+                machine="2-core-workstation",
+                sets=32,
+            )
+        assert pick == impl
+
+
+# ----------------------------------------------------------------------
+# Solvers
+# ----------------------------------------------------------------------
+def _solve(suite, power_model, names, solver, **kwargs):
+    request = AssignmentRequest(
+        processes=tuple(names),
+        machine=kwargs.pop("machine", "2-core-workstation"),
+        sets=32,
+        solver=solver,
+        **kwargs,
+    )
+    return solve_assignment(request, suite, power_model)
+
+
+class TestOracleEquality:
+    @settings(max_examples=10, deadline=None)
+    @given(
+        names=st.lists(st.sampled_from(NAMES), min_size=1, max_size=4),
+        objective=st.sampled_from(["min-power", "max-throughput"]),
+    )
+    def test_anneal_matches_exhaustive_on_small_instances(
+        self, suite, power_model, names, objective
+    ):
+        oracle = _solve(suite, power_model, names, "exhaustive", objective=objective)
+        heuristic = _solve(suite, power_model, names, "anneal", objective=objective)
+        assert heuristic.score == oracle.score
+        assert heuristic.predicted_watts == oracle.predicted_watts
+
+    def test_pinned_four_core_six_process_equality(self, power_model):
+        suite = _oracle_suite()
+        names = ["mcf", "gzip", "art", "vpr", "mcf", "gzip"]
+        oracle = _solve(
+            suite, power_model, names, "exhaustive", machine="4-core-server"
+        )
+        heuristic = _solve(
+            suite, power_model, names, "anneal", machine="4-core-server"
+        )
+        assert heuristic.score == oracle.score
+        assert heuristic.refinement == "sweep"
+
+    def test_auto_solver_uses_exhaustive_on_small_instances(
+        self, suite, power_model
+    ):
+        result = _solve(suite, power_model, ["mcf", "gzip"], "auto")
+        assert result.solver == "exhaustive"
+
+
+class TestHeuristicMonotonicity:
+    @pytest.fixture(scope="class")
+    def big_fleet(self):
+        return FleetSpec(
+            groups=(
+                MachineGroup(machine="4-core-server", count=6, sets=32),
+                MachineGroup(machine="2-core-workstation", count=4, sets=32),
+            )
+        )
+
+    def test_anneal_never_worse_than_greedy(self, suite, power_model, big_fleet):
+        names = tuple(NAMES * 5)  # 20 processes, bound >> sweep limit
+        greedy = solve_assignment(
+            AssignmentRequest(
+                processes=names, fleet=big_fleet, solver="greedy", seed=1
+            ),
+            suite,
+            power_model,
+        )
+        anneal = solve_assignment(
+            AssignmentRequest(
+                processes=names,
+                fleet=big_fleet,
+                solver="anneal",
+                seed=1,
+                max_iterations=200,
+            ),
+            suite,
+            power_model,
+        )
+        assert anneal.refinement == "anneal"
+        assert anneal.score <= greedy.score
+        assert anneal.improvements[0][1] == greedy.score  # starts from greedy
+
+    def test_improvements_trace_is_monotone(self, suite, power_model, big_fleet):
+        result = solve_assignment(
+            AssignmentRequest(
+                processes=tuple(NAMES * 5),
+                fleet=big_fleet,
+                solver="anneal",
+                seed=7,
+                max_iterations=200,
+            ),
+            suite,
+            power_model,
+        )
+        scores = [score for _, score in result.improvements]
+        assert scores == sorted(scores, reverse=True)
+        iterations = [it for it, _ in result.improvements]
+        assert iterations == sorted(iterations)
+
+
+class TestDeterminism:
+    def test_same_seed_same_result_across_runs(self, suite, power_model):
+        fleet = FleetSpec(
+            groups=(MachineGroup(machine="4-core-server", count=4, sets=32),)
+        )
+        request = AssignmentRequest(
+            processes=tuple(NAMES * 3),
+            fleet=fleet,
+            solver="anneal",
+            seed=11,
+            max_iterations=100,
+        )
+        first = solve_assignment(request, suite, power_model)
+        second = solve_assignment(request, suite, power_model)
+        assert first == second
+
+    def test_serial_and_pool_engines_agree(self, suite, power_model):
+        request = AssignmentRequest(
+            processes=("mcf", "gzip", "art", "vpr"),
+            machine="4-core-server",
+            sets=32,
+            solver="anneal",
+            seed=5,
+        )
+        serial = solve_assignment(
+            request, suite, power_model, engine="serial"
+        )
+        pool = solve_assignment(
+            request, suite, power_model, engine="pool", workers=2
+        )
+        assert serial == pool
+
+    def test_different_seeds_may_differ_but_stay_valid(self, suite, power_model):
+        fleet = FleetSpec(
+            groups=(MachineGroup(machine="2-core-workstation", count=3, sets=32),)
+        )
+        names = tuple(NAMES * 3)
+        for seed in (0, 1):
+            result = solve_assignment(
+                AssignmentRequest(
+                    processes=names,
+                    fleet=fleet,
+                    solver="anneal",
+                    seed=seed,
+                    max_iterations=50,
+                ),
+                suite,
+                power_model,
+            )
+            placed = sorted(
+                name
+                for machine in result.machines
+                for core_names in machine.assignment.values()
+                for name in core_names
+            )
+            assert placed == sorted(names)
+
+
+# ----------------------------------------------------------------------
+# Enumeration guard
+# ----------------------------------------------------------------------
+class TestEnumerationGuard:
+    def test_candidate_bound(self):
+        assert candidate_bound(4, 6) == 4**6
+
+    def test_check_raises_over_cap(self):
+        with pytest.raises(AssignmentTooLargeError) as excinfo:
+            check_enumeration_size(10, 10, max_candidates=1000)
+        error = excinfo.value
+        assert error.candidate_count == 10**10
+        assert error.max_candidates == 1000
+        assert "greedy" in str(error)
+
+    def test_default_cap_allows_small_instances(self):
+        check_enumeration_size(4, 6)  # 4096 << DEFAULT_MAX_CANDIDATES
+        assert candidate_bound(4, 6) < DEFAULT_MAX_CANDIDATES
+
+    def test_fleet_exhaustive_raises_instead_of_hanging(
+        self, suite, power_model
+    ):
+        fleet = FleetSpec(
+            groups=(MachineGroup(machine="4-core-server", count=64, sets=32),)
+        )
+        request = AssignmentRequest(
+            processes=tuple(NAMES * 4), fleet=fleet, solver="exhaustive"
+        )
+        with pytest.raises(AssignmentTooLargeError, match="greedy"):
+            solve_assignment(request, suite, power_model)
+
+    def test_capacity_overflow_is_a_configuration_error(
+        self, suite, power_model
+    ):
+        request = AssignmentRequest(
+            processes=tuple(NAMES * 2),
+            machine="2-core-workstation",
+            sets=32,
+            max_per_core=1,
+        )
+        with pytest.raises(ConfigurationError, match="capacity|slots|fit"):
+            solve_assignment(request, suite, power_model)
+
+
+# ----------------------------------------------------------------------
+# Objectives and constraints
+# ----------------------------------------------------------------------
+class TestObjectives:
+    def test_fleet_score_directions(self):
+        assert fleet_score("min-power", 10.0, 5.0) == 10.0
+        assert fleet_score("max-throughput", 10.0, 5.0) == -5.0
+        assert fleet_score("min-energy-per-instruction", 10.0, 5.0) == 2.0
+        assert fleet_score(
+            "throughput-under-watts-budget", 10.0, 5.0, power_budget_watts=20.0
+        ) == -5.0
+
+    def test_global_budget_makes_overruns_infeasible(self):
+        assert fleet_score(
+            "throughput-under-watts-budget", 30.0, 5.0, power_budget_watts=20.0
+        ) == float("inf")
+        assert fleet_score(
+            "min-power", 30.0, 5.0, power_budget_watts=20.0
+        ) == float("inf")
+
+    def test_budget_objective_end_to_end(self, suite, power_model):
+        request = AssignmentRequest(
+            processes=("mcf", "gzip"),
+            machine="2-core-workstation",
+            sets=32,
+            objective="throughput-under-watts-budget",
+            power_budget_watts=500.0,
+        )
+        result = solve_assignment(request, suite, power_model)
+        assert result.predicted_watts <= 500.0
+        assert result.score < 0  # negated throughput

@@ -11,7 +11,8 @@ import numpy as np
 import pytest
 
 from repro import obs
-from repro.api import pick_assignment, predict_mix, predict_mixes
+from repro.api import _pick_assignment_impl as pick_assignment
+from repro.api import predict_mix, predict_mixes
 from repro.config import SimulationScale
 from repro.core.assignment import enumerate_candidates, exhaustive_assignment
 from repro.core.combined import CombinedModel

@@ -28,7 +28,7 @@ import time
 import numpy as np
 import pytest
 
-from repro.api import ProfileSuiteResult, pick_assignment, predict_mix
+from repro.api import ProfileSuiteResult, _pick_assignment_impl, predict_mix
 from repro.core.feature import FeatureVector, ProfileVector
 from repro.core.power_model import CorePowerModel, PowerTrainingSet
 from repro.errors import ConfigurationError
@@ -397,7 +397,7 @@ class TestHttpEndpoints:
         response = client.assign(
             ["mcf", "gzip"], machine=MACHINE, objective="power"
         )
-        local = pick_assignment(
+        local = _pick_assignment_impl(
             ["mcf", "gzip"], suite, power_model, machine=MACHINE
         )
         assert response["pick"] == local.to_dict()
@@ -468,6 +468,112 @@ class TestHttpEndpoints:
         connection.close()
         assert response.status == 400
         assert "invalid JSON" in document["error"]
+
+
+class TestV2Assign:
+    @staticmethod
+    def _request_doc(**overrides):
+        document = {
+            "kind": "assignment_request",
+            "version": 1,
+            "processes": ["mcf", "gzip"],
+            "objective": "min-power",
+            "solver": "auto",
+            "machine": MACHINE,
+            "sets": 128,
+        }
+        document.update(overrides)
+        return document
+
+    def test_v2_assign_matches_local_solve(self, client, suite, power_model):
+        from repro.api import AssignmentRequest, solve_assignment
+        from repro.io import assignment_request_from_dict, fleet_assignment_to_dict
+
+        document = self._request_doc()
+        status, response = client._request(
+            "POST", "/v2/assign", {"request": document}
+        )
+        assert status == 200
+        assert response["kind"] == "serve_fleet_assignment"
+        assert response["suite"] == "default@1"
+        assert response["power_model"] == "power@1"
+        request = assignment_request_from_dict(document)
+        assert isinstance(request, AssignmentRequest)
+        local = solve_assignment(request, suite, power_model)
+        assert response["assignment"] == json.loads(
+            json.dumps(fleet_assignment_to_dict(local))
+        )
+
+    def test_v1_assign_response_shape_is_frozen(self, client):
+        # /v2 landing must not leak into the /v1 document.
+        response = client.assign(["mcf", "gzip"], machine=MACHINE)
+        assert response["kind"] == "serve_assignment"
+        assert set(response) == {
+            "kind", "version", "suite", "power_model", "pick"
+        }
+
+    def test_v1_assign_does_not_emit_deprecation_warning(self, client):
+        # The served /v1 path must go through the impl function, not
+        # the deprecated shim; an error filter would turn a warning in
+        # the server's assign thread into a 500.
+        import warnings
+
+        with warnings.catch_warnings():
+            warnings.simplefilter("error", DeprecationWarning)
+            response = client.assign(["mcf", "gzip"], machine=MACHINE)
+        assert response["kind"] == "serve_assignment"
+
+    def test_v2_missing_field_is_400_with_path(self, client):
+        with pytest.raises(ServeClientError) as err:
+            client._call(
+                "POST",
+                "/v2/assign",
+                {"request": {"kind": "assignment_request", "version": 1}},
+            )
+        assert err.value.status == 400
+        assert "assignment_request.processes is missing" in str(err.value)
+
+    def test_v2_request_must_be_an_object(self, client):
+        with pytest.raises(ServeClientError) as err:
+            client._call("POST", "/v2/assign", {"request": "mcf,gzip"})
+        assert err.value.status == 400
+
+    def test_v2_oversized_fleet_is_413(self, client, monkeypatch):
+        import repro.serve.http as http_mod
+
+        monkeypatch.setattr(http_mod, "MAX_FLEET_PROCESSES", 3)
+        with pytest.raises(ServeClientError) as err:
+            client._call(
+                "POST",
+                "/v2/assign",
+                {"request": self._request_doc(processes=["mcf"] * 4)},
+            )
+        assert err.value.status == 413
+        monkeypatch.setattr(http_mod, "MAX_FLEET_MACHINES", 2)
+        fleet = {
+            "kind": "fleet_spec",
+            "version": 1,
+            "groups": [
+                {"machine": MACHINE, "count": 3, "sets": 128,
+                 "power_cap_watts": None}
+            ],
+        }
+        with pytest.raises(ServeClientError) as err:
+            client._call(
+                "POST",
+                "/v2/assign",
+                {"request": self._request_doc(fleet=fleet)},
+            )
+        assert err.value.status == 413
+
+    def test_v2_unknown_process_names_rejected(self, client):
+        with pytest.raises(ServeClientError) as err:
+            client._call(
+                "POST",
+                "/v2/assign",
+                {"request": self._request_doc(processes=["not-a-benchmark"])},
+            )
+        assert err.value.status == 400
 
 
 class TestBackpressureAndShutdown:
