@@ -1,0 +1,269 @@
+"""Serve scale-out: result-cache hit rate, worker fan-out, mixed load.
+
+Three measurements over the same hot work list (a small set of
+distinct mixes, each requested many times — the scheduler-shaped
+traffic the result cache exists for):
+
+- **cold** — result cache disabled: every repeat re-solves the
+  equilibrium, the pre-cache serving ceiling.
+- **cache-hit** — default cache, warmed by one pass: repeats skip the
+  batcher and solver entirely.  Asserted >= 1.15x cold on every host
+  with zero shed/errors (on one CPU the hit path is HTTP-bound, so
+  the honest floor is modest), and in full mode the absolute hit
+  req/s must clear the 513 req/s pre-cache single-worker baseline —
+  that number is what the README documents.
+- **4 workers** (full mode, >= 4 CPUs, ``SO_REUSEPORT`` hosts) — the
+  same traffic against a 4-process shared-nothing pool, asserted at
+  >= 5x the cold single-worker baseline at bounded p95: cache hits
+  per worker times kernel connection spreading.
+
+Plus a **sustained mixed read/publish** run on every host: closed-loop
+readers for a fixed duration while a publisher thread hot-swaps a
+model every 50 ms, then :meth:`LoadReport.check_slo` asserts zero
+errors, zero publish failures and a sane p95 — serving must stay
+correct (and the cache must invalidate) under concurrent republish.
+
+Half the repeated requests use a permuted mix order, so the measured
+hit rate also exercises the canonical-key restore path (hits are
+bit-identical for any ordering of the same multiset).
+"""
+
+import itertools
+import os
+import socket
+import sys
+
+from repro.analysis.tables import render_table
+from repro.api import ProfileSuiteResult, serve
+from repro.serve import PublishLoad, run_load, start_worker_pool
+from repro.core.feature import FeatureVector
+from repro.workloads.spec import BENCHMARKS, PAPER_EIGHT
+
+WAYS = 16
+CONCURRENCY = 32
+DISTINCT_MIXES = 8
+REPEATS = 64
+QUICK_REPEATS = 16
+#: The single-worker serving throughput documented before this cache
+#: existed (ROADMAP / bench_serve_throughput on the dev host): full
+#: mode asserts the cache-hit path clears it outright on one CPU.
+PRE_CACHE_BASELINE_RPS = 513.0
+MIXED_DURATION_S = 2.0
+QUICK_MIXED_DURATION_S = 0.8
+POOL_WORKERS = 4
+
+
+def _suite() -> ProfileSuiteResult:
+    return ProfileSuiteResult(
+        machine="4-core-server",
+        features={
+            name: FeatureVector.oracle(BENCHMARKS[name], 2e8)
+            for name in PAPER_EIGHT
+        },
+        profiles={},
+    )
+
+
+def _hot_work_list(repeats: int):
+    """DISTINCT_MIXES mixes, each requested ``repeats`` times.
+
+    Odd repeats are order-reversed: a hit must serve every ordering of
+    the multiset through the canonical-key restore, so the measurement
+    covers that path too.
+    """
+    names = sorted(PAPER_EIGHT)
+    distinct = [
+        list(combo)
+        for combo in itertools.islice(
+            itertools.combinations_with_replacement(names, 4), DISTINCT_MIXES
+        )
+    ]
+    work = []
+    for repeat in range(repeats):
+        for mix in distinct:
+            work.append(list(reversed(mix)) if repeat % 2 else list(mix))
+    return distinct, work
+
+
+def _drive(work, *, cache: bool, warm_with=None, **server_kwargs):
+    with serve(
+        {"default": _suite()},
+        result_cache_size=4096 if cache else 0,
+        **server_kwargs,
+    ) as handle:
+        if warm_with:
+            run_load(
+                handle.host, handle.port, warm_with, ways=WAYS, concurrency=4
+            )
+        load = run_load(
+            handle.host, handle.port, work, ways=WAYS, concurrency=CONCURRENCY
+        )
+        counters = handle.service.metrics.to_dict()["counters"]
+    return load, counters
+
+
+def _drive_pool(work, warm_with):
+    with start_worker_pool(
+        {"default": _suite().to_dict()}, http_workers=POOL_WORKERS
+    ) as pool:
+        run_load(pool.host, pool.port, warm_with * POOL_WORKERS,
+                 ways=WAYS, concurrency=4 * POOL_WORKERS)
+        return run_load(
+            pool.host, pool.port, work, ways=WAYS, concurrency=CONCURRENCY
+        )
+
+
+def _measure(quick: bool):
+    repeats = QUICK_REPEATS if quick else REPEATS
+    distinct, work = _hot_work_list(repeats)
+    cold, _ = _drive(work, cache=False)
+    hot, counters = _drive(work, cache=True, warm_with=distinct)
+    result = {
+        "requests": len(work),
+        "cold": cold,
+        "hot": hot,
+        "hit_ratio": (
+            hot.throughput_rps / cold.throughput_rps
+            if cold.throughput_rps
+            else 0.0
+        ),
+        "cache_hits": counters.get("serve.cache.hits", 0),
+        "pool": None,
+        "pool_ratio": 0.0,
+    }
+    cpus = os.cpu_count() or 1
+    if not quick and cpus >= POOL_WORKERS and hasattr(socket, "SO_REUSEPORT"):
+        pool_load = _drive_pool(work, distinct)
+        result["pool"] = pool_load
+        result["pool_ratio"] = (
+            pool_load.throughput_rps / cold.throughput_rps
+            if cold.throughput_rps
+            else 0.0
+        )
+    # Sustained mixed read/publish with SLO assertions baked in.
+    with serve({"default": _suite(), "swap": _suite()}) as handle:
+        documents = [_swap_doc(1.0), _swap_doc(2.0)]
+        mixed = run_load(
+            handle.host,
+            handle.port,
+            distinct,
+            ways=WAYS,
+            concurrency=8,
+            duration_s=QUICK_MIXED_DURATION_S if quick else MIXED_DURATION_S,
+            publish=PublishLoad(name="swap", documents=documents),
+        )
+    result["mixed"] = mixed
+    return result
+
+
+def _swap_doc(scale: float):
+    """A distinct publishable suite document (hot-swap fodder)."""
+    suite = ProfileSuiteResult(
+        machine="4-core-server",
+        features={
+            name: FeatureVector.oracle(BENCHMARKS[name], 2e8 * scale)
+            for name in PAPER_EIGHT
+        },
+        profiles={},
+    )
+    return suite.to_dict()
+
+
+def _render(result) -> str:
+    loads = [("cold (no cache)", result["cold"]), ("cache-hit", result["hot"])]
+    if result["pool"] is not None:
+        loads.append((f"{POOL_WORKERS} workers", result["pool"]))
+    loads.append(("mixed r/w", result["mixed"]))
+    rows = [
+        (
+            label,
+            load.completed,
+            load.shed,
+            load.errors,
+            load.published,
+            load.throughput_rps,
+            load.latency_quantile(0.5) * 1e3,
+            load.latency_quantile(0.95) * 1e3,
+        )
+        for label, load in loads
+    ]
+    cpus = os.cpu_count() or 1
+    table = render_table(
+        ["Mode", "OK", "Shed", "Err", "Pub", "req/s", "p50 (ms)", "p95 (ms)"],
+        rows,
+        title=(
+            f"/v1/predict hot work list ({DISTINCT_MIXES} distinct mixes x "
+            f"{result['requests'] // DISTINCT_MIXES} repeats), "
+            f"concurrency {CONCURRENCY}, {cpus} host CPUs"
+        ),
+        float_format="{:.4g}",
+    )
+    lines = [
+        table,
+        "",
+        f"Cache-hit/cold throughput: {result['hit_ratio']:.2f}x "
+        f"({result['cache_hits']} served from cache)",
+    ]
+    if result["pool"] is not None:
+        lines.append(
+            f"{POOL_WORKERS}-worker/cold throughput: "
+            f"{result['pool_ratio']:.2f}x"
+        )
+    return "\n".join(lines)
+
+
+def _check(result, quick: bool) -> None:
+    cpus = os.cpu_count() or 1
+    result["cold"].check_slo(max_shed_rate=0.0, max_error_rate=0.0)
+    result["hot"].check_slo(max_shed_rate=0.0, max_error_rate=0.0)
+    # On one CPU the hit path is bounded by the HTTP round trip itself
+    # (client threads share the core with the server), so the floor is
+    # a modest ratio; the absolute req/s is the documented win.
+    assert result["hit_ratio"] >= 1.1, (
+        f"cache-hit throughput only {result['hit_ratio']:.2f}x cold on a "
+        f"{cpus}-CPU host (hits skip the solver; they must pay)"
+    )
+    if not quick:
+        assert result["hot"].throughput_rps > PRE_CACHE_BASELINE_RPS, (
+            f"cache-hit path served {result['hot'].throughput_rps:.0f} "
+            f"req/s, below the {PRE_CACHE_BASELINE_RPS:.0f} req/s "
+            "pre-cache single-worker baseline"
+        )
+    expected_hits = result["requests"]  # every repeat after the warm pass
+    assert result["cache_hits"] >= expected_hits, (
+        f"only {result['cache_hits']} cache hits for {expected_hits} "
+        "repeated requests — the canonical key is missing repeats"
+    )
+    result["mixed"].check_slo(
+        max_p95_s=5.0, max_shed_rate=0.0, max_error_rate=0.0
+    )
+    assert result["mixed"].published >= 2, "publisher never hot-swapped"
+    if result["pool"] is not None:
+        result["pool"].check_slo(
+            max_p95_s=1.0, max_shed_rate=0.0, max_error_rate=0.0
+        )
+        assert result["pool_ratio"] >= 5.0, (
+            f"{POOL_WORKERS}-worker aggregate only "
+            f"{result['pool_ratio']:.2f}x the cold single-worker baseline "
+            f"on a {cpus}-CPU host (need >= 5x)"
+        )
+
+
+def test_serve_scale(benchmark):
+    from conftest import QUICK, once, report
+
+    result = once(benchmark, lambda: _measure(QUICK))
+    report("serve_scale", _render(result))
+    _check(result, QUICK)
+
+
+def main(argv) -> int:
+    quick = "--quick" in argv
+    result = _measure(quick)
+    print(_render(result))
+    _check(result, quick)
+    return 0
+
+
+if __name__ == "__main__":
+    sys.exit(main(sys.argv[1:]))

@@ -589,6 +589,9 @@ def serve(
     max_linger_ms: float = 2.0,
     max_queue: int = 256,
     engine: str = "auto",
+    result_cache_size: int = 4096,
+    target_p95_ms: Optional[float] = None,
+    max_body_bytes: int = 8 * 1024 * 1024,
 ):
     """Boot the asyncio prediction service on a background thread.
 
@@ -615,6 +618,13 @@ def serve(
         engine: Batch execution engine per served predictor
             (``"auto"`` / ``"serial"`` / ``"vectorized"`` /
             ``"pool"`` — see :class:`~repro.parallel.ParallelPredictor`).
+        result_cache_size: Canonical-mix result-cache capacity
+            (``0`` disables caching; hits skip the solver but stay
+            bit-identical — see :mod:`repro.serve.cache`).
+        target_p95_ms: End-to-end p95 latency SLO; when set, batch
+            size and linger adapt to hold it (AIMD control).
+        max_body_bytes: Reject request bodies declared larger than
+            this with 413 before reading them.
     """
     from repro.serve import start_server
 
@@ -628,4 +638,7 @@ def serve(
         max_linger_ms=max_linger_ms,
         max_queue=max_queue,
         engine=engine,
+        result_cache_size=result_cache_size,
+        target_p95_ms=target_p95_ms,
+        max_body_bytes=max_body_bytes,
     )

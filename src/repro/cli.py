@@ -336,7 +336,8 @@ def cmd_serve(args: argparse.Namespace) -> int:
 
     Both signals trigger the same graceful shutdown ``stop()``
     performs: stop listening, drain queued prediction batches, then
-    exit 0.
+    exit 0.  With ``--http-workers N > 1`` the same address is served
+    by N shared-nothing worker processes behind ``SO_REUSEPORT``.
     """
     import signal
     import threading
@@ -360,22 +361,41 @@ def cmd_serve(args: argparse.Namespace) -> int:
             "nothing to serve: give --suite FILE, --power-model FILE "
             "and/or --model NAME=FILE"
         )
-    handle = serve(
-        models,
-        host=args.host,
-        port=args.port,
+    if args.http_workers < 1:
+        raise ValueError("--http-workers must be >= 1")
+    common = dict(
         workers=args.workers,
         strategy=args.strategy,
         max_batch_size=args.max_batch,
         max_linger_ms=args.linger_ms,
         max_queue=args.max_queue,
         engine=args.engine,
+        result_cache_size=args.cache_size,
+        target_p95_ms=args.target_p95_ms,
+        max_body_bytes=args.max_body_bytes,
     )
-    published = ", ".join(
-        f"{entry['name']}@{entry['version']} ({entry['kind']})"
-        for entry in handle.registry.list()
-    )
-    print(f"serving {published}", file=sys.stderr)
+    if args.http_workers > 1:
+        from repro.serve import start_worker_pool
+
+        handle = start_worker_pool(
+            models,
+            host=args.host,
+            port=args.port,
+            http_workers=args.http_workers,
+            **common,
+        )
+        print(
+            f"serving {', '.join(sorted(models))} on "
+            f"{handle.workers} workers (pids {handle.pids})",
+            file=sys.stderr,
+        )
+    else:
+        handle = serve(models, host=args.host, port=args.port, **common)
+        published = ", ".join(
+            f"{entry['name']}@{entry['version']} ({entry['kind']})"
+            for entry in handle.registry.list()
+        )
+        print(f"serving {published}", file=sys.stderr)
     print(f"listening on http://{handle.host}:{handle.port}", flush=True)
     stop_event = threading.Event()
 
@@ -602,6 +622,25 @@ def build_parser() -> argparse.ArgumentParser:
         default="auto",
         help="batch execution engine per served predictor "
         "(bit-identical responses)",
+    )
+    serve.add_argument(
+        "--http-workers", type=int, default=1,
+        help="server worker processes sharing the port via SO_REUSEPORT "
+        "(default 1 = single in-process server)",
+    )
+    serve.add_argument(
+        "--cache-size", type=int, default=4096,
+        help="canonical-mix result-cache capacity per worker "
+        "(0 disables; hits skip the solver, bit-identical)",
+    )
+    serve.add_argument(
+        "--target-p95-ms", type=float, default=None,
+        help="p95 latency SLO in ms; when set, batch size and linger "
+        "adapt to hold it",
+    )
+    serve.add_argument(
+        "--max-body-bytes", type=int, default=8 * 1024 * 1024,
+        help="reject request bodies declared larger than this with 413",
     )
     serve.set_defaults(func=cmd_serve)
 

@@ -47,6 +47,7 @@ from repro.obs.metrics import (
     NULL_COUNTER,
     NULL_GAUGE,
     NULL_HISTOGRAM,
+    quantile_from_buckets,
 )
 from repro.obs.trace import NULL_SPAN, Span, TRACE_FORMAT_VERSION, Tracer
 
@@ -64,6 +65,7 @@ __all__ = [
     "Tracer",
     "METRICS_FORMAT_VERSION",
     "TRACE_FORMAT_VERSION",
+    "quantile_from_buckets",
 ]
 
 

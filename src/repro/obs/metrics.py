@@ -56,16 +56,67 @@ class Gauge:
         self.value = float(value)
 
 
-class Histogram:
-    """Streaming count/sum/min/max summary of observed samples."""
+#: Resolution floor of the histogram's quantile buckets.  Bucket 0
+#: holds every sample <= this value; bucket ``i`` holds samples in
+#: ``(_BUCKET_BASE * 2**(i-1), _BUCKET_BASE * 2**i]``.  1 µs is fine
+#: for latencies (the dominant quantile consumer) and harmless for
+#: unitless samples — quantiles are then simply coarse at the low end.
+_BUCKET_BASE = 1e-6
+_BUCKET_LIMIT = 64  # 1e-6 * 2**63 ≈ 9.2e12: everything above saturates
 
-    __slots__ = ("count", "total", "min", "max")
+
+def _bucket_index(value: float) -> int:
+    if value <= _BUCKET_BASE:
+        return 0
+    index = 1 + int(math.log2(value / _BUCKET_BASE))
+    # Guard the exact-power-of-two edge: log2 can round up.
+    if _BUCKET_BASE * 2.0 ** (index - 1) >= value:
+        index -= 1
+    return min(_BUCKET_LIMIT, max(1, index))
+
+
+def quantile_from_buckets(buckets: Dict[int, int], q: float) -> float:
+    """Upper-bound ``q``-quantile of a ``bucket index -> count`` map.
+
+    The estimate is the upper edge of the bucket holding the q-th
+    sample, i.e. conservative within one power of two — good enough to
+    drive a latency-SLO control loop, not a precision statistic.
+    Returns 0.0 for an empty map.  Use with
+    :meth:`Histogram.bucket_counts` deltas to get *windowed* quantiles
+    from the cumulative histograms in a metrics registry.
+    """
+    if not 0.0 <= q <= 1.0:
+        raise ConfigurationError(f"quantile must be in [0, 1], got {q}")
+    total = sum(buckets.values())
+    if total <= 0:
+        return 0.0
+    rank = q * total
+    seen = 0
+    for index in sorted(buckets):
+        seen += buckets[index]
+        if seen >= rank:
+            return _BUCKET_BASE * 2.0 ** index if index else _BUCKET_BASE
+    return _BUCKET_BASE * 2.0 ** max(buckets)
+
+
+class Histogram:
+    """Streaming count/sum/min/max summary of observed samples.
+
+    Also keeps O(1)-memory log2-spaced bucket counts so consumers can
+    read coarse quantiles (:meth:`quantile`) or windowed deltas
+    (:meth:`bucket_counts`); the JSON export schema is unchanged —
+    buckets feed in-process control loops (the serve layer's adaptive
+    batcher), not documents.
+    """
+
+    __slots__ = ("count", "total", "min", "max", "_buckets")
 
     def __init__(self) -> None:
         self.count = 0
         self.total = 0.0
         self.min = math.inf
         self.max = -math.inf
+        self._buckets: Dict[int, int] = {}
 
     def observe(self, value: float) -> None:
         value = float(value)
@@ -75,6 +126,16 @@ class Histogram:
             self.min = value
         if value > self.max:
             self.max = value
+        index = _bucket_index(value)
+        self._buckets[index] = self._buckets.get(index, 0) + 1
+
+    def bucket_counts(self) -> Dict[int, int]:
+        """Copy of the log2 bucket counts (``index -> count``)."""
+        return dict(self._buckets)
+
+    def quantile(self, q: float) -> float:
+        """Conservative ``q``-quantile over every observed sample."""
+        return quantile_from_buckets(self._buckets, q)
 
     @property
     def mean(self) -> float:

@@ -19,7 +19,17 @@ long-running surface, stdlib-only:
   synchronous code (this is what :func:`repro.api.serve` and the
   ``repro serve`` CLI command use).
 - :class:`ServeClient` / :func:`run_load` — stdlib client and the
-  load generator behind ``benchmarks/bench_serve_throughput.py``.
+  load generator behind ``benchmarks/bench_serve_throughput.py`` and
+  ``benchmarks/bench_serve_scale.py`` (sustained mixed read/publish
+  runs via :class:`PublishLoad`, SLO assertions via
+  :meth:`LoadReport.check_slo`).
+- :class:`PredictionResultCache` — bounded LRU over canonical mixes
+  keyed by registry content digest; hits skip the solver entirely and
+  stay bit-identical (see :mod:`repro.serve.cache`).
+- :class:`AdaptiveBatchController` — AIMD tuning of batch size and
+  linger against a p95 latency SLO.
+- :class:`WorkerPool` / :func:`start_worker_pool` — N shared-nothing
+  server processes behind ``SO_REUSEPORT`` for multi-core scale-out.
 
 Served predictions are **bit-identical** to :func:`repro.api.predict_mix`
 for the same suite/mix: batches run through cold-start equilibrium
@@ -27,8 +37,15 @@ caches, so a solution depends only on the co-run itself, never on
 batching, concurrency, or request order.
 """
 
-from repro.serve.batcher import MicroBatcher
-from repro.serve.client import LoadReport, ServeClient, ServeClientError, run_load
+from repro.serve.batcher import AdaptiveBatchController, MicroBatcher
+from repro.serve.cache import PredictionResultCache, canonical_mix
+from repro.serve.client import (
+    LoadReport,
+    PublishLoad,
+    ServeClient,
+    ServeClientError,
+    run_load,
+)
 from repro.serve.errors import (
     DeadlineExpiredError,
     QueueFullError,
@@ -39,15 +56,19 @@ from repro.serve.errors import (
 from repro.serve.handle import ServerHandle, start_server
 from repro.serve.http import PredictionServer, PredictionService
 from repro.serve.registry import Artifact, ModelRegistry, parse_model_ref
+from repro.serve.workers import WorkerPool, start_worker_pool
 
 __all__ = [
+    "AdaptiveBatchController",
     "Artifact",
     "DeadlineExpiredError",
     "LoadReport",
     "MicroBatcher",
     "ModelRegistry",
+    "PredictionResultCache",
     "PredictionServer",
     "PredictionService",
+    "PublishLoad",
     "QueueFullError",
     "ServeClient",
     "ServeClientError",
@@ -55,7 +76,10 @@ __all__ = [
     "ServerHandle",
     "ServiceClosedError",
     "UnknownModelError",
+    "WorkerPool",
+    "canonical_mix",
     "parse_model_ref",
     "run_load",
     "start_server",
+    "start_worker_pool",
 ]

@@ -48,14 +48,121 @@ from dataclasses import dataclass
 from typing import Deque, List, Optional, Sequence, Tuple
 
 from repro.errors import ConfigurationError
-from repro.obs import MetricsRegistry
+from repro.obs import MetricsRegistry, quantile_from_buckets
 from repro.serve.errors import (
     DeadlineExpiredError,
     QueueFullError,
     ServiceClosedError,
 )
 
-__all__ = ["MicroBatcher"]
+__all__ = ["AdaptiveBatchController", "MicroBatcher"]
+
+
+class AdaptiveBatchController:
+    """AIMD tuner of a batcher's size/linger against a p95 latency SLO.
+
+    The batching trade-off is one-dimensional: more coalescing (bigger
+    batches, longer linger) buys throughput and costs tail latency.
+    The controller collapses both knobs onto a single aggressiveness
+    ``level`` in ``[level_floor, 1.0]`` — the configured
+    ``max_batch_size`` / ``max_linger_s`` are the *ceilings* scaled by
+    it — and walks the level with the classic congestion-control law:
+
+    - **Multiplicative decrease** when the windowed p95 of end-to-end
+      request latency (``serve.predict.latency_s``, queue wait +
+      solve) exceeds ``target_p95_s``: halve the level, shedding
+      linger delay immediately.
+    - **Additive increase** when p95 sits below
+      ``low_watermark * target_p95_s``: nudge the level back up,
+      re-earning throughput.
+
+    The p95 comes from the metric registry's own histogram buckets
+    (see :func:`repro.obs.quantile_from_buckets`): the controller
+    snapshots the cumulative bucket counts each tick and quantiles the
+    *delta*, so every control decision reflects only traffic since the
+    last one.  Ticks are rate-limited by both wall time
+    (``interval_s``) and sample count (``min_samples``) to keep the
+    loop stable under bursty load.  Control state is exported as
+    gauges (``serve.batch.adaptive.level`` / ``.max_batch`` /
+    ``.linger_s`` and ``serve.slo.p95_s``) so ``/metrics`` shows the
+    law in action.
+    """
+
+    def __init__(
+        self,
+        batcher: "MicroBatcher",
+        target_p95_s: float,
+        *,
+        interval_s: float = 0.25,
+        min_samples: int = 16,
+        decrease: float = 0.5,
+        increase: float = 0.08,
+        low_watermark: float = 0.8,
+        level_floor: float = 0.02,
+    ):
+        if target_p95_s <= 0:
+            raise ConfigurationError("target_p95_s must be positive")
+        if not 0.0 < decrease < 1.0:
+            raise ConfigurationError("decrease must be in (0, 1)")
+        if increase <= 0:
+            raise ConfigurationError("increase must be positive")
+        self.batcher = batcher
+        self.target_p95_s = target_p95_s
+        self.interval_s = interval_s
+        self.min_samples = min_samples
+        self.decrease = decrease
+        self.increase = increase
+        self.low_watermark = low_watermark
+        self.level_floor = level_floor
+        self.level = 1.0
+        self.batch_ceiling = batcher.max_batch_size
+        self.linger_ceiling = batcher.max_linger_s
+        self._last_tick: Optional[float] = None
+        self._snapshot: dict = {}
+        self._export()
+
+    def maybe_adapt(self, now: float) -> None:
+        """One control tick if enough time and samples have passed."""
+        histogram = self.batcher.metrics.histogram("serve.predict.latency_s")
+        counts = histogram.bucket_counts()
+        if self._last_tick is not None and now - self._last_tick < self.interval_s:
+            return
+        delta = {
+            index: counts[index] - self._snapshot.get(index, 0)
+            for index in counts
+            if counts[index] - self._snapshot.get(index, 0) > 0
+        }
+        if sum(delta.values()) < self.min_samples:
+            return
+        self._last_tick = now
+        self._snapshot = counts
+        p95 = quantile_from_buckets(delta, 0.95)
+        metrics = self.batcher.metrics
+        metrics.gauge("serve.slo.p95_s").set(p95)
+        if p95 > self.target_p95_s:
+            self.level = max(self.level_floor, self.level * self.decrease)
+            metrics.counter("serve.batch.adaptive.decrease").inc()
+        elif p95 < self.low_watermark * self.target_p95_s and self.level < 1.0:
+            self.level = min(1.0, self.level + self.increase)
+            metrics.counter("serve.batch.adaptive.increase").inc()
+        else:
+            return
+        self._apply()
+
+    def _apply(self) -> None:
+        self.batcher.max_batch_size = max(1, round(self.level * self.batch_ceiling))
+        self.batcher.max_linger_s = self.level * self.linger_ceiling
+        self._export()
+
+    def _export(self) -> None:
+        metrics = self.batcher.metrics
+        metrics.gauge("serve.batch.adaptive.level").set(self.level)
+        metrics.gauge("serve.batch.adaptive.max_batch").set(
+            self.batcher.max_batch_size
+        )
+        metrics.gauge("serve.batch.adaptive.linger_s").set(
+            self.batcher.max_linger_s
+        )
 
 
 @dataclass
@@ -81,6 +188,12 @@ class MicroBatcher:
         metrics: Registry that receives the batcher's counters /
             histograms (default: a private one).
         close_engine: Close the engine during :meth:`stop`.
+        target_p95_s: When set, an :class:`AdaptiveBatchController`
+            tunes ``max_batch_size`` / ``max_linger_s`` (treating the
+            configured values as ceilings) against this end-to-end
+            p95 latency target.
+        control_interval_s / control_min_samples: Tick rate limits of
+            the adaptive controller (exposed for tests).
     """
 
     def __init__(
@@ -92,6 +205,9 @@ class MicroBatcher:
         max_queue: int = 256,
         metrics: Optional[MetricsRegistry] = None,
         close_engine: bool = True,
+        target_p95_s: Optional[float] = None,
+        control_interval_s: float = 0.25,
+        control_min_samples: int = 16,
     ):
         if max_batch_size < 1:
             raise ConfigurationError("max_batch_size must be >= 1")
@@ -105,6 +221,14 @@ class MicroBatcher:
         self.max_queue = max_queue
         self.metrics = metrics if metrics is not None else MetricsRegistry()
         self._close_engine = close_engine
+        self.controller: Optional[AdaptiveBatchController] = None
+        if target_p95_s is not None:
+            self.controller = AdaptiveBatchController(
+                self,
+                target_p95_s,
+                interval_s=control_interval_s,
+                min_samples=control_min_samples,
+            )
         self._pending: Deque[_PendingRequest] = deque()
         self._wake: Optional[asyncio.Event] = None
         self._task: Optional["asyncio.Task"] = None
@@ -302,10 +426,13 @@ class MicroBatcher:
                 if not request.future.done():
                     request.future.set_exception(error)
             return
-        self.metrics.histogram("serve.batch.solve_s").observe(
-            self._loop.time() - start
-        )
+        now = self._loop.time()
+        self.metrics.histogram("serve.batch.solve_s").observe(now - start)
+        latency = self.metrics.histogram("serve.predict.latency_s")
         for request, result in zip(batch, results):
+            latency.observe(now - request.enqueued_at)
             if not request.future.done():
                 request.future.set_result(result)
                 self.metrics.counter("serve.predict.completed").inc()
+        if self.controller is not None:
+            self.controller.maybe_adapt(now)

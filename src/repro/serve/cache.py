@@ -1,0 +1,158 @@
+"""Bounded canonical-mix prediction result cache for the serve layer.
+
+PPT-Multicore-style reuse: an analytical co-run price never changes
+for a given (model content, cache geometry, mix), so a hot repeated
+mix should never reach the solver twice.  The cache key is
+
+    ``(artifact SHA-256 digest, ways, sorted mix multiset)``
+
+which makes invalidation free: publishing new content under a name
+produces a new digest (see :mod:`repro.serve.registry`), so every
+request resolving the new version misses and re-solves, while pinned
+``name@old`` requests keep hitting their old entries until LRU
+pressure evicts them.
+
+**Canonical order and bit-identity.**  The equilibrium solver is
+order-independent by construction —
+:meth:`~repro.core.performance_model.PerformanceModel._canonical_plan`
+sorts every mix, solves in canonical order, and permutes the solution
+back — so one cached solve serves *every* ordering of the same
+multiset.  The cache stores the per-process predictions in canonical
+(sorted-name) order and rebuilds a
+:class:`~repro.core.performance_model.CoRunPrediction` for the
+caller's order with exactly the permutation the model itself uses
+(stable sort by name): a cache-hit response is bit-identical to what
+a cold solve of the same request would have produced.
+
+The cache is a plain bounded LRU guarded by one lock: the HTTP
+handler probes it on the event loop, and nothing here blocks.
+"""
+
+from __future__ import annotations
+
+import threading
+from collections import OrderedDict
+from typing import Dict, List, Optional, Sequence, Tuple
+
+from repro.errors import ConfigurationError
+from repro.obs import MetricsRegistry
+
+__all__ = ["PredictionResultCache", "canonical_mix", "restore_order"]
+
+
+def canonical_mix(names: Sequence[str]) -> Tuple[str, ...]:
+    """The sorted multiset a mix solves as (cache-key component)."""
+    return tuple(sorted(names))
+
+
+def _slots(names: Sequence[str]) -> List[int]:
+    """``slot[i]`` = canonical position of original index ``i``.
+
+    Identical to the model's ``_canonical_plan`` permutation for the
+    homogeneous-frequency serve path: a stable sort by name, so
+    duplicate names map to canonical rows in first-seen order.
+    """
+    order = sorted(range(len(names)), key=lambda i: names[i])
+    slots = [0] * len(order)
+    for position, index in enumerate(order):
+        slots[index] = position
+    return slots
+
+
+def restore_order(entry: "CacheEntry", names: Sequence[str]):
+    """Rebuild a ``CoRunPrediction`` for ``names``'s own order."""
+    from repro.core.performance_model import CoRunPrediction
+
+    slots = _slots(names)
+    return CoRunPrediction(
+        processes=tuple(entry.processes[slots[i]] for i in range(len(names))),
+        solver=entry.solver,
+        contended=entry.contended,
+    )
+
+
+class CacheEntry:
+    """One cached solve, held in canonical (sorted-name) order."""
+
+    __slots__ = ("processes", "solver", "contended")
+
+    def __init__(self, processes: Tuple, solver: str, contended: bool):
+        self.processes = processes
+        self.solver = solver
+        self.contended = contended
+
+    @classmethod
+    def from_prediction(cls, names: Sequence[str], prediction) -> "CacheEntry":
+        """Permute a request-order prediction into canonical order."""
+        slots = _slots(names)
+        canonical: List = [None] * len(names)
+        for index, process in enumerate(prediction.processes):
+            canonical[slots[index]] = process
+        return cls(
+            processes=tuple(canonical),
+            solver=prediction.solver,
+            contended=prediction.contended,
+        )
+
+
+class PredictionResultCache:
+    """Bounded LRU of served co-run predictions.
+
+    Args:
+        capacity: Maximum entries; must be >= 1 (a disabled cache is
+            expressed by *not constructing one* — see
+            :class:`~repro.serve.http.PredictionService`).
+        metrics: Registry receiving ``serve.cache.hits`` /
+            ``serve.cache.misses`` / ``serve.cache.evictions`` counters
+            and the ``serve.cache.size`` gauge (default: private).
+    """
+
+    def __init__(self, capacity: int, metrics: Optional[MetricsRegistry] = None):
+        if capacity < 1:
+            raise ConfigurationError("cache capacity must be >= 1")
+        self.capacity = capacity
+        self.metrics = metrics if metrics is not None else MetricsRegistry()
+        self._lock = threading.Lock()
+        self._entries: "OrderedDict[Tuple, CacheEntry]" = OrderedDict()
+
+    def __len__(self) -> int:
+        with self._lock:
+            return len(self._entries)
+
+    @staticmethod
+    def key(digest: str, ways: int, names: Sequence[str]) -> Tuple:
+        return (digest, ways, canonical_mix(names))
+
+    def get(self, digest: str, ways: int, names: Sequence[str]):
+        """The cached ``CoRunPrediction`` in ``names``'s order, or None."""
+        key = self.key(digest, ways, names)
+        with self._lock:
+            entry = self._entries.get(key)
+            if entry is None:
+                self.metrics.counter("serve.cache.misses").inc()
+                return None
+            self._entries.move_to_end(key)
+            self.metrics.counter("serve.cache.hits").inc()
+        return restore_order(entry, names)
+
+    def put(self, digest: str, ways: int, names: Sequence[str], prediction) -> None:
+        """Store a request-order prediction under its canonical key."""
+        key = self.key(digest, ways, names)
+        entry = CacheEntry.from_prediction(names, prediction)
+        with self._lock:
+            self._entries[key] = entry
+            self._entries.move_to_end(key)
+            while len(self._entries) > self.capacity:
+                self._entries.popitem(last=False)
+                self.metrics.counter("serve.cache.evictions").inc()
+            self.metrics.gauge("serve.cache.size").set(len(self._entries))
+
+    def stats(self) -> Dict[str, float]:
+        """Counter snapshot (hits / misses / evictions / size)."""
+        counters = self.metrics.to_dict()["counters"]
+        return {
+            "hits": counters.get("serve.cache.hits", 0),
+            "misses": counters.get("serve.cache.misses", 0),
+            "evictions": counters.get("serve.cache.evictions", 0),
+            "size": len(self),
+        }

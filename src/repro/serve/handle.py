@@ -104,6 +104,11 @@ def start_server(
     max_linger_ms: float = 2.0,
     max_queue: int = 256,
     engine: str = "auto",
+    result_cache_size: int = 4096,
+    target_p95_ms: Optional[float] = None,
+    max_body_bytes: int = 8 * 1024 * 1024,
+    reuse_port: bool = False,
+    worker_id: Optional[int] = None,
     boot_timeout_s: float = 30.0,
 ) -> ServerHandle:
     """Boot a prediction server on a background thread.
@@ -120,6 +125,15 @@ def start_server(
             and admission-control knobs.
         engine: Batch execution engine per predictor (see
             :class:`~repro.parallel.ParallelPredictor`).
+        result_cache_size: Canonical-mix result-cache capacity; ``0``
+            disables caching (see :mod:`repro.serve.cache`).
+        target_p95_ms: End-to-end p95 latency SLO driving adaptive
+            batching; ``None`` keeps the static knobs.
+        max_body_bytes: Request bodies above this declared size are
+            rejected with 413 before being read.
+        reuse_port / worker_id: Multi-worker plumbing — bind with
+            ``SO_REUSEPORT`` and stamp responses with an
+            ``X-Repro-Worker`` header (see :mod:`repro.serve.workers`).
     """
     registry = ModelRegistry()
     for name, source in (models or {}).items():
@@ -132,8 +146,17 @@ def start_server(
         max_linger_s=max_linger_ms / 1000.0,
         max_queue=max_queue,
         engine=engine,
+        result_cache_size=result_cache_size,
+        target_p95_ms=target_p95_ms,
     )
-    server = PredictionServer(service, host=host, port=port)
+    server = PredictionServer(
+        service,
+        host=host,
+        port=port,
+        max_body_bytes=max_body_bytes,
+        reuse_port=reuse_port,
+        worker_id=worker_id,
+    )
 
     started = threading.Event()
     boot: dict = {}

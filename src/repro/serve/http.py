@@ -54,6 +54,7 @@ from repro.errors import ConfigurationError, ReproError
 from repro.obs import MetricsRegistry
 from repro.parallel import ParallelPredictor
 from repro.serve.batcher import MicroBatcher
+from repro.serve.cache import PredictionResultCache
 from repro.serve.errors import (
     DeadlineExpiredError,
     FleetTooLargeError,
@@ -139,6 +140,14 @@ class PredictionService:
             default ``"auto"`` uses the in-process stacked-numpy
             solver on single-core hosts and the process pool when
             ``workers > 1`` pays off.
+        result_cache_size: Capacity of the canonical-mix prediction
+            result cache (see :mod:`repro.serve.cache`); ``0``
+            disables it.  Cache-hit responses are bit-identical to
+            cold solves — the key carries the artifact's SHA-256
+            digest, so hot swaps invalidate for free.
+        target_p95_ms: End-to-end p95 latency SLO; when set, every
+            batcher's size/linger is tuned adaptively against it (see
+            :class:`~repro.serve.batcher.AdaptiveBatchController`).
     """
 
     def __init__(
@@ -151,6 +160,8 @@ class PredictionService:
         max_linger_s: float = 0.002,
         max_queue: int = 256,
         engine: str = "auto",
+        result_cache_size: int = 4096,
+        target_p95_ms: Optional[float] = None,
     ):
         self.registry = registry if registry is not None else ModelRegistry()
         self.workers = workers
@@ -159,13 +170,34 @@ class PredictionService:
         self.max_batch_size = max_batch_size
         self.max_linger_s = max_linger_s
         self.max_queue = max_queue
+        self.target_p95_s = (
+            target_p95_ms / 1000.0 if target_p95_ms is not None else None
+        )
         self.metrics = MetricsRegistry()
+        self.result_cache: Optional[PredictionResultCache] = (
+            PredictionResultCache(result_cache_size, metrics=self.metrics)
+            if result_cache_size
+            else None
+        )
+        self.registry.add_listener(self._on_publish)
         # Keyed by (name, version, ways): a hot swap publishes a new
         # version and naturally gets a fresh engine; pinned requests
         # against the old version keep their old batcher.
         self._batchers: Dict[Tuple[str, int, int], MicroBatcher] = {}
         self._assign_pool: Optional[ThreadPoolExecutor] = None
         self._closed = False
+
+    def _on_publish(self, artifact: Artifact, previous: Optional[Artifact]) -> None:
+        """Registry listener: count publishes and hot swaps.
+
+        Invalidation itself is free — cache keys and batcher keys both
+        carry the version/digest, so requests resolving the new
+        default version miss and re-solve while pinned requests keep
+        their old entries.
+        """
+        self.metrics.counter("serve.models.published").inc()
+        if previous is not None:
+            self.metrics.counter("serve.models.hot_swaps").inc()
 
     # ------------------------------------------------------------------
     # Endpoints' backing operations
@@ -187,6 +219,7 @@ class PredictionService:
                 max_linger_s=self.max_linger_s,
                 max_queue=self.max_queue,
                 metrics=self.metrics,
+                target_p95_s=self.target_p95_s,
             )
             self._batchers[key] = batcher
         return batcher
@@ -211,9 +244,18 @@ class PredictionService:
                 f"{artifact.ref} is a {artifact.kind}"
             )
         self._check_names(artifact, names)
-        prediction = await self._batcher_for(artifact, ways).submit(
-            names, timeout_s=timeout_s
-        )
+        prediction = None
+        if self.result_cache is not None:
+            # Probed before the batcher: a hot repeated mix skips the
+            # queue and the solver entirely.  The key carries the
+            # artifact digest, so a hot swap misses by construction.
+            prediction = self.result_cache.get(artifact.digest, ways, names)
+        if prediction is None:
+            prediction = await self._batcher_for(artifact, ways).submit(
+                names, timeout_s=timeout_s
+            )
+            if self.result_cache is not None:
+                self.result_cache.put(artifact.digest, ways, names, prediction)
         from repro.api import MixPrediction
 
         mix = MixPrediction(ways=ways, names=tuple(names), prediction=prediction)
@@ -376,6 +418,14 @@ class PredictionServer:
     the thread-backed :class:`~repro.serve.handle.ServerHandle` from
     synchronous code.  ``port=0`` binds an ephemeral port; the real
     one is available from :attr:`port` after :meth:`start`.
+
+    ``reuse_port=True`` binds with ``SO_REUSEPORT`` so N shared-nothing
+    worker processes can listen on one address and let the kernel
+    spread connections across them (see :mod:`repro.serve.workers`);
+    ``worker_id`` stamps every response with an ``X-Repro-Worker``
+    header — response *bodies* stay bit-identical across workers, the
+    header exists so consistency tests can prove they exercised more
+    than one.
     """
 
     def __init__(
@@ -385,11 +435,15 @@ class PredictionServer:
         port: int = 0,
         *,
         max_body_bytes: int = 8 * 1024 * 1024,
+        reuse_port: bool = False,
+        worker_id: Optional[int] = None,
     ):
         self.service = service
         self.requested_host = host
         self.requested_port = port
         self.max_body_bytes = max_body_bytes
+        self.reuse_port = reuse_port
+        self.worker_id = worker_id
         self._server: Optional[asyncio.AbstractServer] = None
         self._connections: set = set()
         self._active_requests = 0
@@ -412,8 +466,11 @@ class PredictionServer:
         return self._ready
 
     async def start(self) -> None:
+        kwargs = {}
+        if self.reuse_port:
+            kwargs["reuse_port"] = True
         self._server = await asyncio.start_server(
-            self._handle_client, self.requested_host, self.requested_port
+            self._handle_client, self.requested_host, self.requested_port, **kwargs
         )
         self._ready = True
 
@@ -460,12 +517,13 @@ class PredictionServer:
                 keep_alive = await self._handle_one(reader, writer)
                 if not keep_alive:
                     break
-        except (
-            ConnectionResetError,
-            BrokenPipeError,
-            asyncio.IncompleteReadError,
-        ):
-            pass
+        except asyncio.IncompleteReadError:
+            # Client hung up mid-body: close quietly — it is the
+            # client's loss, not a server error, so no traceback spam,
+            # just an operator-visible counter.
+            self.service.metrics.counter("serve.http.truncated_request").inc()
+        except (ConnectionResetError, BrokenPipeError):
+            self.service.metrics.counter("serve.http.disconnects").inc()
         finally:
             self._connections.discard(writer)
             writer.close()
@@ -499,11 +557,20 @@ class PredictionServer:
         try:
             length = int(length_text)
         except ValueError:
+            length = -1
+        if length < 0:
+            # Non-numeric and negative lengths are both client bugs; a
+            # negative value must never reach readexactly (ValueError
+            # escaping the handler as an unlogged task exception).
             await self._respond(
                 writer, 400, {"error": "bad Content-Length", "type": "BadRequest"}
             )
             return False
         if length > self.max_body_bytes:
+            # Reject on the declared size BEFORE reading a single body
+            # byte: Content-Length is attacker-controlled, and
+            # readexactly(length) would otherwise allocate it all.
+            self.service.metrics.counter("serve.http.oversized_request").inc()
             await self._respond(
                 writer,
                 413,
@@ -533,11 +600,17 @@ class PredictionServer:
         payload = json.dumps(
             sanitize_non_finite(document), sort_keys=True
         ).encode("utf-8")
+        worker_header = (
+            f"X-Repro-Worker: {self.worker_id}\r\n"
+            if self.worker_id is not None
+            else ""
+        )
         head = (
             f"HTTP/1.1 {status} {_REASONS.get(status, 'Unknown')}\r\n"
             "Content-Type: application/json\r\n"
             f"Content-Length: {len(payload)}\r\n"
             f"Connection: {'keep-alive' if keep_alive else 'close'}\r\n"
+            f"{worker_header}"
             "\r\n"
         )
         writer.write(head.encode("latin-1") + payload)

@@ -126,6 +126,17 @@ class ModelRegistry:
     def __init__(self) -> None:
         self._lock = threading.Lock()
         self._versions: Dict[str, List[Artifact]] = {}
+        self._listeners: List = []
+
+    def add_listener(self, listener) -> None:
+        """Register ``listener(artifact, previous)`` for new versions.
+
+        Called outside the registry lock after a publish creates a new
+        version (idempotent republishes do not fire); ``previous`` is
+        the superseded default artifact, or ``None`` for a first
+        publish.  The serve layer uses this for hot-swap accounting.
+        """
+        self._listeners.append(listener)
 
     # ------------------------------------------------------------------
     # Publish
@@ -159,6 +170,7 @@ class ModelRegistry:
             versions = self._versions.setdefault(name, [])
             if versions and versions[-1].digest == digest:
                 return versions[-1]
+            previous = versions[-1] if versions else None
             artifact = Artifact(
                 name=name,
                 version=len(versions) + 1,
@@ -168,7 +180,9 @@ class ModelRegistry:
                 obj=obj,
             )
             versions.append(artifact)
-            return artifact
+        for listener in self._listeners:
+            listener(artifact, previous)
+        return artifact
 
     @staticmethod
     def _as_document(source: Any) -> Tuple[Dict, Optional[Any]]:
