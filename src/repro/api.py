@@ -317,6 +317,7 @@ def predict_mix(
     *,
     ways: int,
     strategy: str = "auto",
+    frequency_ratios: Optional[Sequence[float]] = None,
 ) -> MixPrediction:
     """Price a co-run combination from saved profiles (Section 3.3).
 
@@ -325,11 +326,20 @@ def predict_mix(
         suite: A :class:`ProfileSuiteResult` or path to a saved suite.
         ways: Associativity of the shared cache being modelled.
         strategy: Equilibrium solver strategy.
+        frequency_ratios: Optional per-process core-clock ratios
+            relative to the profiled clock (heterogeneous machines /
+            DVFS P-states); ``None`` or all-1.0 is the homogeneous
+            path, bit for bit.
     """
     resolved = _resolve_suite(suite)
     model = PerformanceModel(ways=ways, strategy=strategy)
     model.register_all(list(resolved.features.values()))
-    prediction = model.predict(list(names))
+    prediction = model.predict(
+        list(names),
+        frequency_ratios=(
+            list(frequency_ratios) if frequency_ratios is not None else None
+        ),
+    )
     return MixPrediction(ways=ways, names=tuple(names), prediction=prediction)
 
 
@@ -342,6 +352,7 @@ def predict_mixes(
     workers: Optional[int] = None,
     chunk_size: Optional[int] = None,
     engine: str = "auto",
+    frequency_ratios: Optional[Sequence[Optional[Sequence[float]]]] = None,
 ) -> Tuple[MixPrediction, ...]:
     """Price a batch of co-run combinations, optionally in parallel.
 
@@ -360,6 +371,9 @@ def predict_mixes(
         engine: ``"auto"`` / ``"serial"`` / ``"vectorized"`` /
             ``"pool"`` — pure throughput knob (see
             :class:`~repro.parallel.ParallelPredictor`).
+        frequency_ratios: Optional per-mix core-clock ratios — one
+            entry per mix, each ``None`` or a per-process ratio
+            sequence; identical across engines, bit for bit.
     """
     from repro.parallel import predict_mixes as batch_predict
 
@@ -372,6 +386,7 @@ def predict_mixes(
         workers=workers,
         chunk_size=chunk_size,
         engine=engine,
+        frequency_ratios=frequency_ratios,
     )
     return tuple(
         MixPrediction(ways=ways, names=tuple(mix), prediction=prediction)

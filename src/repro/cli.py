@@ -9,8 +9,10 @@ driven without writing Python:
 - ``train-power`` — train the Eq. 9 model, save it to JSON.
 - ``run`` — simulate an assignment and report measured ground truth.
 - ``assign`` — pick the best process-to-core mapping from profiles;
-  ``--solver``/``--power-budget``/``--budget-s`` switch to the
-  declarative fleet pipeline (:func:`repro.api.solve_assignment`).
+  ``--solver``/``--power-budget``/``--budget-s``/``--fleet`` switch to
+  the declarative fleet pipeline (:func:`repro.api.solve_assignment`);
+  ``--fleet FILE`` loads a fleet spec whose groups may carry
+  heterogeneous core-type/P-state specs (:mod:`repro.hetero`).
 - ``serve`` — run the asyncio HTTP prediction service
   (:mod:`repro.serve`) until SIGTERM/SIGINT, then drain and exit.
 - ``experiment`` — regenerate one paper table/figure.
@@ -77,6 +79,10 @@ def cmd_machines(args: argparse.Namespace) -> int:
             machines[name] = {
                 "cores": topo.num_cores,
                 "frequency_hz": topo.frequency_hz,
+                "core_frequency_scales": [
+                    float(scale) for scale in topo.core_frequency_scales
+                ],
+                "heterogeneous": topo.heterogeneous,
                 "domains": [
                     {
                         "cores": list(d.core_ids),
@@ -286,6 +292,7 @@ def cmd_assign(args: argparse.Namespace) -> int:
         or args.power_budget is not None
         or args.budget_s is not None
         or args.iterations is not None
+        or getattr(args, "fleet", None) is not None
         or args.objective not in _LEGACY_OBJECTIVES
     )
     if not wants_fleet:
@@ -311,12 +318,16 @@ def cmd_assign(args: argparse.Namespace) -> int:
             "use --solver greedy instead"
         )
     from repro.api import AssignmentRequest, solve_assignment
-    from repro.io import fleet_assignment_to_dict
+    from repro.io import fleet_assignment_to_dict, fleet_spec_from_dict, load_json
 
+    fleet = None
+    if getattr(args, "fleet", None) is not None:
+        fleet = fleet_spec_from_dict(load_json(args.fleet))
     request = AssignmentRequest(
         processes=tuple(args.names),
         objective=args.objective,
         solver=args.solver or "auto",
+        fleet=fleet,
         machine=args.machine,
         sets=args.sets,
         power_budget_watts=args.power_budget,
@@ -556,6 +567,12 @@ def build_parser() -> argparse.ArgumentParser:
     assign.add_argument(
         "--power-budget", type=float, default=None, metavar="WATTS",
         help="global power budget; placements over it are infeasible",
+    )
+    assign.add_argument(
+        "--fleet", default=None, metavar="FILE",
+        help="fleet spec JSON (kind fleet_spec; groups may carry hetero "
+        "core-type/P-state specs); implies the declarative pipeline "
+        "and overrides --machine/--sets",
     )
     assign.add_argument(
         "--budget-s", type=float, default=None, metavar="SECONDS",

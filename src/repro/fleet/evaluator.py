@@ -39,6 +39,12 @@ from repro.core.power_model import CorePowerModel
 from repro.core.solver_cache import EquilibriumCache
 from repro.errors import ConfigurationError
 from repro.fleet.spec import FleetSpec
+from repro.hetero.model import (
+    HeteroPricer,
+    HeteroState,
+    canonical_hetero_state,
+)
+from repro.hetero.types import HeteroMachineSpec
 from repro.machine.topology import MachineTopology
 from repro.obs import get_observer
 from repro.parallel import ParallelPredictor
@@ -129,7 +135,7 @@ def canonical_state(assignment: Mapping[int, Sequence[str]]) -> MachineState:
 
 @dataclass
 class _MachineConfig:
-    """Shared evaluation state for one ``(machine, sets)`` pair."""
+    """Shared evaluation state for one ``(machine, sets, hetero)`` triple."""
 
     machine: str
     sets: int
@@ -138,6 +144,9 @@ class _MachineConfig:
     idle_watts: float
     num_cores: int
     width: int  #: widest cache domain (max co-run size on this machine)
+    key_id: int = 0  #: unique per distinct config; memo key component
+    hetero: Optional[HeteroMachineSpec] = None
+    pricer: Optional[HeteroPricer] = None
 
 
 class FleetEvaluator:
@@ -178,14 +187,18 @@ class FleetEvaluator:
         self.engine = engine
         self._models_by_ways: Dict[int, PerformanceModel] = {}
         self._caches_by_ways: Dict[int, EquilibriumCache] = {}
-        self._configs: Dict[Tuple[str, int], _MachineConfig] = {}
+        self._configs: Dict[
+            Tuple[str, int, Optional[HeteroMachineSpec]], _MachineConfig
+        ] = {}
         self.group_configs: List[_MachineConfig] = [
-            self._config_for(group.machine, group.sets)
+            self._config_for(group.machine, group.sets, group.hetero)
             for group in fleet.groups
         ]
-        # (machine, sets, state) -> (watts, ips); machines of a group
+        # (config key_id, state) -> (watts, ips); machines of a group
         # are interchangeable, so one entry serves them all.
-        self._state_memo: Dict[Tuple[str, int, MachineState], Tuple[float, float]] = {}
+        self._state_memo: Dict[
+            Tuple[int, Union[MachineState, HeteroState]], Tuple[float, float]
+        ] = {}
         self.evaluations = 0  #: machine states priced by the model
         self.lookups = 0  #: machine-state queries (memo hits included)
 
@@ -204,8 +217,13 @@ class FleetEvaluator:
             self._caches_by_ways[ways] = cache
         return model
 
-    def _config_for(self, machine: str, sets: int) -> _MachineConfig:
-        key = (machine, sets)
+    def _config_for(
+        self,
+        machine: str,
+        sets: int,
+        hetero: Optional[HeteroMachineSpec] = None,
+    ) -> _MachineConfig:
+        key = (machine, sets, hetero)
         config = self._configs.get(key)
         if config is None:
             from repro.machine.topology import STANDARD_MACHINES
@@ -221,14 +239,27 @@ class FleetEvaluator:
                 profiles=self.profiles,
                 corun_cache=EquilibriumCache(warm_start=False),
             )
+            pricer = None
+            idle_watts = topology.num_cores * self.power_model.p_idle
+            if hetero is not None:
+                pricer = HeteroPricer(
+                    hetero, topology, combined, self.profiles
+                )
+                # For a unit spec this is the same float expression as
+                # the homogeneous branch (parity); otherwise it sums
+                # the per-core deepest-P-state idle draws.
+                idle_watts = pricer.idle_watts
             config = _MachineConfig(
                 machine=machine,
                 sets=sets,
                 topology=topology,
                 combined=combined,
-                idle_watts=topology.num_cores * self.power_model.p_idle,
+                idle_watts=idle_watts,
                 num_cores=topology.num_cores,
                 width=max(len(d.core_ids) for d in topology.domains),
+                key_id=len(self._configs),
+                hetero=hetero,
+                pricer=pricer,
             )
             self._configs[key] = config
         return config
@@ -334,27 +365,56 @@ class FleetEvaluator:
         )
 
     def machine_metrics(
-        self, group_index: int, assignment: Mapping[int, Sequence[str]]
+        self,
+        group_index: int,
+        assignment: Mapping[int, Sequence[str]],
+        pstate_of: Optional[Mapping[int, int]] = None,
     ) -> Tuple[float, float]:
-        """Memoised ``(watts, ips)`` of one machine of a group."""
+        """Memoised ``(watts, ips)`` of one machine of a group.
+
+        For hetero groups, ``pstate_of`` maps busy cores to P-state
+        indices (missing cores default to index 0, the nominal state).
+        """
         config = self.group_configs[group_index]
-        state = canonical_state(assignment)
+        if config.hetero is not None:
+            pstates = dict(pstate_of or {})
+            state: Union[MachineState, HeteroState] = canonical_hetero_state(
+                assignment,
+                {
+                    core: pstates.get(core, 0)
+                    for core, names in assignment.items()
+                    if names
+                },
+            )
+        else:
+            state = canonical_state(assignment)
         return self.state_metrics(config, state)
 
     def state_metrics(
-        self, config: _MachineConfig, state: MachineState
+        self,
+        config: _MachineConfig,
+        state: Union[MachineState, HeteroState],
     ) -> Tuple[float, float]:
-        """``(watts, ips)`` of a canonical machine state (memoised)."""
+        """``(watts, ips)`` of a canonical machine state (memoised).
+
+        Hetero configs take :data:`~repro.hetero.model.HeteroState`
+        (``(core, names, pstate_index)`` entries) and price through the
+        config's :class:`~repro.hetero.model.HeteroPricer`; homogeneous
+        configs keep the two-element entries and the original path.
+        """
         self.lookups += 1
         if not state:
             return (config.idle_watts, 0.0)
-        key = (config.machine, config.sets, state)
+        key = (config.key_id, state)
         cached = self._state_memo.get(key)
         if cached is not None:
             return cached
-        scoring = {core: list(names) for core, names in state}
-        watts = config.combined.estimate_assignment_power(scoring).watts
-        ips = config.combined.estimate_assignment_throughput(scoring)
+        if config.pricer is not None:
+            watts, ips = config.pricer.state_metrics(state)
+        else:
+            scoring = {core: list(names) for core, names in state}
+            watts = config.combined.estimate_assignment_power(scoring).watts
+            ips = config.combined.estimate_assignment_throughput(scoring)
         self.evaluations += 1
         result = (float(watts), float(ips))
         self._state_memo[key] = result

@@ -52,6 +52,7 @@ from repro.fleet.evaluator import (
 )
 from repro.fleet.spec import FleetSpec
 from repro.fleet.types import AssignmentRequest, FleetAssignment, MachineAssignment
+from repro.hetero.types import HeteroMachineSpec
 from repro.obs import get_observer
 from repro.seeding import STREAM_FLEET, stream_seed
 
@@ -71,6 +72,11 @@ DEFAULT_ANNEAL_ITERATIONS = 2_000
 #: One fleet slot: (group index, machine index within group, core id).
 Slot = Tuple[int, int, int]
 
+#: Chosen P-states of the busy hetero cores: ``(group, machine) ->
+#: {core: pstate index}``.  Cores absent from a machine's map default
+#: to index 0 (the nominal state); homogeneous machines never appear.
+PStateMap = Dict[Tuple[int, int], Dict[int, int]]
+
 
 @dataclass
 class _Context:
@@ -86,11 +92,70 @@ class _Context:
     max_per_core: Optional[int]
     slots: List[Slot]
     sweep_limit: int
+    #: Per group: the hetero spec, or ``None`` for homogeneous groups.
+    hetero: Tuple[Optional[HeteroMachineSpec], ...] = ()
+    #: Per group: per-core P-state counts (``None`` when homogeneous).
+    pstate_counts: Tuple[Optional[Tuple[int, ...]], ...] = ()
+
+    @property
+    def has_pstate_choice(self) -> bool:
+        """True when any core anywhere has more than one P-state."""
+        return any(
+            counts is not None and any(count > 1 for count in counts)
+            for counts in self.pstate_counts
+        )
+
+    @property
+    def pstate_bound(self) -> int:
+        """Upper bound on per-placement P-state combinations.
+
+        At most ``min(processes, hetero cores)`` hetero cores can be
+        busy at once, and each busy core multiplies the enumeration by
+        its P-state count; the product of the largest such counts is a
+        safe (reachable) upper bound.
+        """
+        counts: List[int] = []
+        for group_index, group in enumerate(self.fleet.groups):
+            per_core = self.pstate_counts[group_index]
+            if per_core is None:
+                continue
+            counts.extend(per_core for _ in range(group.count))
+        flat = sorted(
+            (count for per_core in counts for count in per_core),
+            reverse=True,
+        )
+        factor = 1
+        for count in flat[: len(self.processes)]:
+            factor *= count
+        return factor
 
     @property
     def bound(self) -> int:
         """Raw enumeration size of the fleet exhaustive search."""
-        return len(self.slots) ** len(self.processes)
+        return len(self.slots) ** len(self.processes) * self.pstate_bound
+
+
+def _machine_state(
+    ctx: _Context,
+    group_index: int,
+    assignment: Mapping[int, Sequence[str]],
+    pstate_of: Mapping[int, int],
+):
+    """Canonical state of one machine — hetero-aware.
+
+    Homogeneous groups keep the original two-element entries (and the
+    original float/score behavior, bit for bit); hetero groups append
+    the busy core's P-state index, defaulting to 0 where unset.
+    """
+    if ctx.hetero[group_index] is None:
+        return canonical_state(assignment)
+    return tuple(
+        sorted(
+            (int(core), tuple(sorted(names)), int(pstate_of.get(core, 0)))
+            for core, names in assignment.items()
+            if names
+        )
+    )
 
 
 def _effective_caps(
@@ -133,20 +198,29 @@ def _score_states(
 # ----------------------------------------------------------------------
 def _solve_exhaustive(
     ctx: _Context, max_candidates: Optional[int] = None
-) -> Tuple[List[Slot], int, List[Tuple[int, float]]]:
-    """Globally optimal placement (small instances only).
+) -> Tuple[List[Slot], PStateMap, int, List[Tuple[int, float]]]:
+    """Globally optimal (placement x P-state) choice (small instances).
 
-    Returns ``(placements, candidates_scored, improvements)``.
+    Returns ``(placements, pstates, candidates_scored, improvements)``.
+    For each placement, every combination of P-state indices over the
+    busy hetero cores is enumerated — the oracle the P-state-aware
+    heuristics are pinned against.
     """
     cap = DEFAULT_MAX_CANDIDATES if max_candidates is None else int(max_candidates)
     if cap < 1:
         raise ConfigurationError("max_candidates must be >= 1")
     bound = ctx.bound
     if bound > cap:
+        pstate_note = (
+            " (including per-core P-state choices)"
+            if ctx.has_pstate_choice
+            else ""
+        )
         raise AssignmentTooLargeError(
             f"exhaustive fleet search over {len(ctx.processes)} processes "
             f"and {len(ctx.slots)} (machine, core) slots enumerates "
-            f"{format_candidate_count(bound)} placements, above the cap of "
+            f"{format_candidate_count(bound)} placements{pstate_note}, "
+            f"above the cap of "
             f"{cap}; raise max_candidates or "
             f'use solver="greedy" / solver="anneal", which scale to fleets '
             f"this size",
@@ -156,7 +230,7 @@ def _solve_exhaustive(
     processes = ctx.processes
     slots = ctx.slots
     seen = set()
-    best: Optional[Tuple[float, int, Tuple[int, ...]]] = None
+    best: Optional[Tuple[float, int, Tuple[int, ...], PStateMap]] = None
     improvements: List[Tuple[int, float]] = []
     scored = 0
     for placement in itertools.product(range(len(slots)), repeat=len(processes)):
@@ -172,29 +246,60 @@ def _solve_exhaustive(
                 break
         if not feasible:
             continue
-        states = tuple(
-            sorted(
-                (group_index, canonical_state(assignment))
-                for (group_index, _machine), assignment in per_machine.items()
+        # Busy cores of hetero machines each multiply the candidate by
+        # their P-state count; homogeneous placements take the single
+        # empty combination and skip the machinery entirely.
+        hetero_cores: List[Tuple[Tuple[int, int], int]] = []
+        for machine_key in sorted(per_machine):
+            counts = ctx.pstate_counts[machine_key[0]]
+            if counts is None:
+                continue
+            for core in sorted(per_machine[machine_key]):
+                hetero_cores.append((machine_key, core))
+        if hetero_cores:
+            choice_iter = itertools.product(
+                *(
+                    range(ctx.pstate_counts[machine_key[0]][core])
+                    for machine_key, core in hetero_cores
+                )
             )
-        )
-        if states in seen:
-            continue
-        seen.add(states)
-        score, _watts, _ips = _score_states(ctx, states)
-        index = scored
-        scored += 1
-        if math.isinf(score):
-            continue
-        if best is None or (score, index) < (best[0], best[1]):
-            best = (score, index, placement)
-            improvements.append((index, score))
+        else:
+            choice_iter = iter(((),))
+        for choices in choice_iter:
+            pstate_of: PStateMap = {}
+            for (machine_key, core), pstate_index in zip(hetero_cores, choices):
+                pstate_of.setdefault(machine_key, {})[core] = pstate_index
+            states = tuple(
+                sorted(
+                    (
+                        machine_key[0],
+                        _machine_state(
+                            ctx,
+                            machine_key[0],
+                            assignment,
+                            pstate_of.get(machine_key, {}),
+                        ),
+                    )
+                    for machine_key, assignment in per_machine.items()
+                )
+            )
+            if states in seen:
+                continue
+            seen.add(states)
+            score, _watts, _ips = _score_states(ctx, states)
+            index = scored
+            scored += 1
+            if math.isinf(score):
+                continue
+            if best is None or (score, index) < (best[0], best[1]):
+                best = (score, index, placement, pstate_of)
+                improvements.append((index, score))
     if best is None:
         raise ConfigurationError(
             "no feasible fleet assignment under the given power caps / "
             "budget / max_per_core constraints"
         )
-    return [slots[i] for i in best[2]], scored, improvements
+    return [slots[i] for i in best[2]], best[3], scored, improvements
 
 
 # ----------------------------------------------------------------------
@@ -221,7 +326,7 @@ def _heap_representative(
     return None
 
 
-def _solve_greedy(ctx: _Context) -> List[Slot]:
+def _solve_greedy(ctx: _Context) -> Tuple[List[Slot], PStateMap]:
     """One-at-a-time packing over deduplicated candidate slots.
 
     Machines of a group in identical states are interchangeable, as
@@ -229,10 +334,19 @@ def _solve_greedy(ctx: _Context) -> List[Slot]:
     scores one representative per distinct (group, state, content),
     keeping the per-step candidate count small and independent of the
     fleet's machine count.
+
+    On hetero groups, placing onto an *idle* core also chooses its
+    P-state (every index is a candidate); placing onto a busy core
+    keeps the core's existing P-state.  Core-content deduplication
+    then keys on (core type, current P-state, names) so distinct
+    operating points are never conflated.
     """
     evaluator = ctx.evaluator
     fleet = ctx.fleet
     machines: List[List[Dict[int, List[str]]]] = [
+        [{} for _ in range(group.count)] for group in fleet.groups
+    ]
+    pstates_of: List[List[Dict[int, int]]] = [
         [{} for _ in range(group.count)] for group in fleet.groups
     ]
     metrics: List[List[Tuple[float, float]]] = [
@@ -250,12 +364,14 @@ def _solve_greedy(ctx: _Context) -> List[Slot]:
     total_ips = 0.0
     placements: List[Slot] = []
     for name in ctx.processes:
-        best: Optional[Tuple[Tuple[float, int], int, int, int, float, float,
-                             float, float]] = None
+        best: Optional[Tuple[Tuple[float, int], int, int, int, Optional[int],
+                             float, float, float, float]] = None
         candidate_index = 0
         for group_index, group in enumerate(fleet.groups):
             config = evaluator.group_configs[group_index]
             cap = ctx.caps[group_index]
+            hetero = ctx.hetero[group_index]
+            counts = ctx.pstate_counts[group_index]
             for state in sorted(heaps[group_index]):
                 rep = _heap_representative(
                     heaps[group_index], state, states_of[group_index]
@@ -263,52 +379,96 @@ def _solve_greedy(ctx: _Context) -> List[Slot]:
                 if rep is None:
                     continue
                 assignment = machines[group_index][rep]
+                rep_pstates = pstates_of[group_index][rep]
                 seen_contents = set()
                 for core in range(config.num_cores):
-                    content = tuple(sorted(assignment.get(core, ())))
+                    names = tuple(sorted(assignment.get(core, ())))
+                    if hetero is None:
+                        content = names
+                        pstate_options: Tuple[Optional[int], ...] = (None,)
+                    else:
+                        current = rep_pstates.get(core, 0) if names else None
+                        content = (hetero.core_type_of[core], current, names)
+                        if names:
+                            pstate_options = (current,)
+                        else:
+                            pstate_options = tuple(range(counts[core]))
                     if content in seen_contents:
                         continue
                     seen_contents.add(content)
-                    index = candidate_index
-                    candidate_index += 1
-                    if (
-                        ctx.max_per_core is not None
-                        and len(content) >= ctx.max_per_core
-                    ):
-                        continue
-                    trial = {c: list(v) for c, v in assignment.items()}
-                    trial.setdefault(core, []).append(name)
-                    trial_state = canonical_state(trial)
-                    watts, ips = evaluator.state_metrics(config, trial_state)
-                    if cap is not None and watts > cap:
-                        continue
-                    old_watts, old_ips = metrics[group_index][rep]
-                    new_total_watts = total_watts - old_watts + watts
-                    new_total_ips = total_ips - old_ips + ips
-                    score = fleet_score(
-                        ctx.objective, new_total_watts, new_total_ips, ctx.budget
-                    )
-                    if math.isinf(score):
-                        continue
-                    key = (score, index)
-                    if best is None or key < best[0]:
-                        best = (
-                            key, group_index, rep, core,
-                            watts, ips, new_total_watts, new_total_ips,
+                    for pstate_option in pstate_options:
+                        index = candidate_index
+                        candidate_index += 1
+                        if (
+                            ctx.max_per_core is not None
+                            and len(names) >= ctx.max_per_core
+                        ):
+                            continue
+                        trial = {c: list(v) for c, v in assignment.items()}
+                        trial.setdefault(core, []).append(name)
+                        if hetero is None:
+                            trial_state = canonical_state(trial)
+                        else:
+                            trial_pstates = dict(rep_pstates)
+                            if pstate_option is not None:
+                                trial_pstates[core] = pstate_option
+                            trial_state = _machine_state(
+                                ctx, group_index, trial, trial_pstates
+                            )
+                        watts, ips = evaluator.state_metrics(config, trial_state)
+                        if cap is not None and watts > cap:
+                            continue
+                        old_watts, old_ips = metrics[group_index][rep]
+                        new_total_watts = total_watts - old_watts + watts
+                        new_total_ips = total_ips - old_ips + ips
+                        score = fleet_score(
+                            ctx.objective, new_total_watts, new_total_ips,
+                            ctx.budget,
                         )
+                        if math.isinf(score):
+                            continue
+                        key = (score, index)
+                        if best is None or key < best[0]:
+                            best = (
+                                key, group_index, rep, core, pstate_option,
+                                watts, ips, new_total_watts, new_total_ips,
+                            )
         if best is None:
             raise ConfigurationError(
                 f"greedy packing found no feasible slot for {name!r} under "
                 "the given power caps / budget / max_per_core constraints"
             )
-        _key, group_index, rep, core, watts, ips, total_watts, total_ips = best
+        (_key, group_index, rep, core, pstate_option,
+         watts, ips, total_watts, total_ips) = best
         machines[group_index][rep].setdefault(core, []).append(name)
-        new_state = canonical_state(machines[group_index][rep])
+        if ctx.hetero[group_index] is not None:
+            if pstate_option is not None:
+                pstates_of[group_index][rep][core] = pstate_option
+            new_state = _machine_state(
+                ctx,
+                group_index,
+                machines[group_index][rep],
+                pstates_of[group_index][rep],
+            )
+        else:
+            new_state = canonical_state(machines[group_index][rep])
         states_of[group_index][rep] = new_state
         metrics[group_index][rep] = (watts, ips)
         heapq.heappush(heaps[group_index].setdefault(new_state, []), rep)
         placements.append((group_index, rep, core))
-    return placements
+    pstate_map: PStateMap = {}
+    for group_index, group in enumerate(fleet.groups):
+        if ctx.hetero[group_index] is None:
+            continue
+        for machine_index in range(group.count):
+            busy = machines[group_index][machine_index]
+            if not busy:
+                continue
+            chosen = pstates_of[group_index][machine_index]
+            pstate_map[(group_index, machine_index)] = {
+                core: chosen.get(core, 0) for core in busy
+            }
+    return placements, pstate_map
 
 
 # ----------------------------------------------------------------------
@@ -316,44 +476,56 @@ def _solve_greedy(ctx: _Context) -> List[Slot]:
 # ----------------------------------------------------------------------
 def _solve_anneal(
     ctx: _Context,
-) -> Tuple[List[Slot], str, int, List[Tuple[int, float]]]:
+) -> Tuple[List[Slot], PStateMap, str, int, List[Tuple[int, float]]]:
     """Greedy construction plus refinement.
 
-    Returns ``(placements, refinement, iterations, improvements)``.
-    Small instances (raw enumeration within ``sweep_limit``) take the
+    Returns ``(placements, pstates, refinement, iterations,
+    improvements)``.  Small instances (raw enumeration — including the
+    per-core P-state combinations — within ``sweep_limit``) take the
     deterministic exhaustive sweep — the heuristic then *is* the
     oracle.  Larger ones run seeded simulated annealing from the
     greedy incumbent; the incumbent only ever improves, so the result
     is never worse than greedy.
     """
-    greedy = _solve_greedy(ctx)
+    greedy, greedy_pstates = _solve_greedy(ctx)
     if ctx.bound <= ctx.sweep_limit:
-        placements, scored, improvements = _solve_exhaustive(
+        placements, pstates, scored, improvements = _solve_exhaustive(
             ctx, max_candidates=ctx.sweep_limit
         )
-        return placements, "sweep", scored, improvements
-    return _anneal_from(ctx, greedy)
+        return placements, pstates, "sweep", scored, improvements
+    return _anneal_from(ctx, greedy, greedy_pstates)
 
 
 def _states_of_placements(
-    ctx: _Context, placements: Sequence[Slot]
+    ctx: _Context,
+    placements: Sequence[Slot],
+    pstates: Optional[PStateMap] = None,
 ) -> Tuple[Tuple[int, MachineState], ...]:
     per_machine: Dict[Tuple[int, int], Dict[int, List[str]]] = {}
     for name, (group_index, machine_index, core) in zip(ctx.processes, placements):
         per_machine.setdefault((group_index, machine_index), {}).setdefault(
             core, []
         ).append(name)
+    pstates = pstates or {}
     return tuple(
         sorted(
-            (group_index, canonical_state(assignment))
-            for (group_index, _machine), assignment in per_machine.items()
+            (
+                machine_key[0],
+                _machine_state(
+                    ctx,
+                    machine_key[0],
+                    assignment,
+                    pstates.get(machine_key, {}),
+                ),
+            )
+            for machine_key, assignment in per_machine.items()
         )
     )
 
 
 def _anneal_from(
-    ctx: _Context, start: List[Slot]
-) -> Tuple[List[Slot], str, int, List[Tuple[int, float]]]:
+    ctx: _Context, start: List[Slot], start_pstates: PStateMap
+) -> Tuple[List[Slot], PStateMap, str, int, List[Tuple[int, float]]]:
     evaluator = ctx.evaluator
     processes = ctx.processes
     slots = ctx.slots
@@ -364,20 +536,32 @@ def _anneal_from(
     ]
     for name, (group_index, machine_index, core) in zip(processes, start):
         machines[group_index][machine_index].setdefault(core, []).append(name)
+    pstates: PStateMap = {
+        machine_key: dict(chosen) for machine_key, chosen in start_pstates.items()
+    }
     metrics: Dict[Tuple[int, int], Tuple[float, float]] = {}
     for group_index, group in enumerate(ctx.fleet.groups):
         config = evaluator.group_configs[group_index]
         for machine_index in range(group.count):
-            state = canonical_state(machines[group_index][machine_index])
+            state = _machine_state(
+                ctx,
+                group_index,
+                machines[group_index][machine_index],
+                pstates.get((group_index, machine_index), {}),
+            )
             metrics[(group_index, machine_index)] = evaluator.state_metrics(
                 config, state
             )
-    start_states = _states_of_placements(ctx, start)
+    start_states = _states_of_placements(ctx, start, pstates)
     current_score, total_watts, total_ips = _score_states(ctx, start_states)
     placement = list(start)
     best_placement = list(start)
+    best_pstates: PStateMap = {
+        machine_key: dict(chosen) for machine_key, chosen in pstates.items()
+    }
     best_score = current_score
     improvements: List[Tuple[int, float]] = [(0, current_score)]
+    has_pstate_choice = ctx.has_pstate_choice
 
     iterations = (
         DEFAULT_ANNEAL_ITERATIONS
@@ -400,13 +584,39 @@ def _anneal_from(
         temperature = t_start * (t_end / t_start) ** (
             (iteration - 1) / max(1, iterations - 1)
         )
-        swap = k >= 2 and rng.random() < 0.5
-        if swap:
+        # Move selection.  Without P-state choice anywhere, the draw
+        # sequence below is exactly the pre-hetero one — homogeneous
+        # requests stay bit-identical seed for seed.  With P-states, a
+        # third move kind flips one busy hetero core's P-state.
+        flip: Optional[Tuple[Tuple[int, int], int, int]] = None
+        if has_pstate_choice:
+            roll = rng.random()
+            if k >= 2 and roll < 1.0 / 3.0:
+                kind = "swap"
+            elif roll < 2.0 / 3.0:
+                kind = "flip"
+            else:
+                kind = "move"
+        else:
+            kind = "swap" if (k >= 2 and rng.random() < 0.5) else "move"
+        if kind == "swap":
             p = int(rng.integers(k))
             q = int(rng.integers(k))
             if p == q or processes[p] == processes[q] or placement[p] == placement[q]:
                 continue
             moves = [(p, placement[q]), (q, placement[p])]
+        elif kind == "flip":
+            p = int(rng.integers(k))
+            group_index, machine_index, core = placement[p]
+            counts = ctx.pstate_counts[group_index]
+            if counts is None or counts[core] <= 1:
+                continue
+            new_pstate = int(rng.integers(counts[core]))
+            machine_key = (group_index, machine_index)
+            if new_pstate == pstates.get(machine_key, {}).get(core, 0):
+                continue
+            flip = (machine_key, core, new_pstate)
+            moves = []
         else:
             p = int(rng.integers(k))
             target = slots[int(rng.integers(len(slots)))]
@@ -415,6 +625,7 @@ def _anneal_from(
             moves = [(p, target)]
         # Trial states of the (at most four) touched machines.
         touched: Dict[Tuple[int, int], Dict[int, List[str]]] = {}
+        trial_pstates: Dict[Tuple[int, int], Dict[int, int]] = {}
 
         def trial_machine(machine_key: Tuple[int, int]) -> Dict[int, List[str]]:
             if machine_key not in touched:
@@ -423,9 +634,17 @@ def _anneal_from(
                     c: list(v)
                     for c, v in machines[group_index][machine_index].items()
                 }
+                if ctx.hetero[group_index] is not None:
+                    trial_pstates[machine_key] = dict(
+                        pstates.get(machine_key, {})
+                    )
             return touched[machine_key]
 
         feasible = True
+        if flip is not None:
+            machine_key, core, new_pstate = flip
+            trial_machine(machine_key)
+            trial_pstates[machine_key][core] = new_pstate
         for proc, _target in moves:
             group_index, machine_index, core = placement[proc]
             trial_machine((group_index, machine_index))[core].remove(
@@ -447,7 +666,12 @@ def _anneal_from(
         for machine_key in sorted(touched):
             group_index = machine_key[0]
             config = evaluator.group_configs[group_index]
-            state = canonical_state(touched[machine_key])
+            state = _machine_state(
+                ctx,
+                group_index,
+                touched[machine_key],
+                trial_pstates.get(machine_key, {}),
+            )
             watts, ips = evaluator.state_metrics(config, state)
             cap = ctx.caps[group_index]
             if cap is not None and watts > cap:
@@ -473,6 +697,14 @@ def _anneal_from(
             machines[group_index][machine_index] = {
                 c: v for c, v in assignment.items() if v
             }
+            if ctx.hetero[group_index] is not None:
+                live = machines[group_index][machine_index]
+                chosen = trial_pstates.get(machine_key, {})
+                pruned = {c: chosen.get(c, 0) for c in live}
+                if pruned:
+                    pstates[machine_key] = pruned
+                else:
+                    pstates.pop(machine_key, None)
         metrics.update(new_metrics)
         for proc, target in moves:
             placement[proc] = target
@@ -481,18 +713,26 @@ def _anneal_from(
         if current_score < best_score:
             best_score = current_score
             best_placement = list(placement)
+            best_pstates = {
+                machine_key: dict(chosen)
+                for machine_key, chosen in pstates.items()
+            }
             improvements.append((iteration, current_score))
     # Guard against pathological float drift between the incremental
     # search arithmetic and the canonical report: never return a
     # configuration whose canonical score is worse than the start's.
     final_score, _w, _i = _score_states(
-        ctx, _states_of_placements(ctx, best_placement)
+        ctx, _states_of_placements(ctx, best_placement, best_pstates)
     )
     start_score, _w, _i = _score_states(ctx, start_states)
     if final_score > start_score:
         best_placement = list(start)
+        best_pstates = {
+            machine_key: dict(chosen)
+            for machine_key, chosen in start_pstates.items()
+        }
         improvements = [(0, start_score)]
-    return best_placement, "anneal", executed, improvements
+    return best_placement, best_pstates, "anneal", executed, improvements
 
 
 # ----------------------------------------------------------------------
@@ -501,23 +741,34 @@ def _anneal_from(
 def _materialize(
     ctx: _Context,
     placements: Sequence[Slot],
+    pstates: Optional[PStateMap],
     solver_name: str,
     refinement: str,
     iterations: int,
     improvements: Optional[Sequence[Tuple[int, float]]],
 ) -> FleetAssignment:
     evaluator = ctx.evaluator
+    pstates = pstates or {}
     machines_acc: List[List[Dict[int, List[str]]]] = [
         [{} for _ in range(group.count)] for group in ctx.fleet.groups
     ]
     for name, (group_index, machine_index, core) in zip(ctx.processes, placements):
         machines_acc[group_index][machine_index].setdefault(core, []).append(name)
+
+    def state_of(group_index: int, machine_index: int):
+        return _machine_state(
+            ctx,
+            group_index,
+            machines_acc[group_index][machine_index],
+            pstates.get((group_index, machine_index), {}),
+        )
+
     states = tuple(
         sorted(
-            (group_index, canonical_state(machines_acc[group_index][machine_index]))
+            (group_index, state_of(group_index, machine_index))
             for group_index, group in enumerate(ctx.fleet.groups)
             for machine_index in range(group.count)
-            if canonical_state(machines_acc[group_index][machine_index])
+            if state_of(group_index, machine_index)
         )
     )
     score, watts, ips = _score_states(ctx, states)
@@ -525,16 +776,23 @@ def _materialize(
     for group_index, group in enumerate(ctx.fleet.groups):
         config = evaluator.group_configs[group_index]
         for machine_index in range(group.count):
-            state = canonical_state(machines_acc[group_index][machine_index])
+            state = state_of(group_index, machine_index)
             machine_watts, machine_ips = evaluator.state_metrics(config, state)
+            if ctx.hetero[group_index] is None:
+                assignment = {core: names for core, names in state}
+                machine_pstates = None
+            else:
+                assignment = {core: names for core, names, _p in state}
+                machine_pstates = {core: p for core, _names, p in state}
             machine_assignments.append(
                 MachineAssignment(
                     machine=group.machine,
                     group=group_index,
                     index=machine_index,
-                    assignment={core: names for core, names in state},
+                    assignment=assignment,
                     predicted_watts=machine_watts,
                     predicted_ips=machine_ips,
+                    pstates=machine_pstates,
                 )
             )
     if improvements is None:
@@ -603,6 +861,11 @@ def solve(
             for core in range(evaluator.group_configs[group_index].num_cores)
         ],
         sweep_limit=DEFAULT_SWEEP_LIMIT if sweep_limit is None else int(sweep_limit),
+        hetero=tuple(group.hetero for group in fleet.groups),
+        pstate_counts=tuple(
+            group.hetero.pstate_counts if group.hetero is not None else None
+            for group in fleet.groups
+        ),
     )
     if ctx.max_per_core is not None and len(ctx.processes) > len(ctx.slots) * ctx.max_per_core:
         raise ConfigurationError(
@@ -640,16 +903,18 @@ def _solve_impl(
 ) -> FleetAssignment:
     ctx.evaluator.prime(ctx.processes)
     if solver_name == "exhaustive":
-        placements, scored, improvements = _solve_exhaustive(ctx, max_candidates)
+        placements, pstates, scored, improvements = _solve_exhaustive(
+            ctx, max_candidates
+        )
         return _materialize(
-            ctx, placements, "exhaustive", "none", scored, improvements
+            ctx, placements, pstates, "exhaustive", "none", scored, improvements
         )
     if solver_name == "greedy":
-        placements = _solve_greedy(ctx)
+        placements, pstates = _solve_greedy(ctx)
         return _materialize(
-            ctx, placements, "greedy", "none", len(ctx.processes), None
+            ctx, placements, pstates, "greedy", "none", len(ctx.processes), None
         )
-    placements, refinement, iterations, improvements = _solve_anneal(ctx)
+    placements, pstates, refinement, iterations, improvements = _solve_anneal(ctx)
     return _materialize(
-        ctx, placements, "anneal", refinement, iterations, improvements
+        ctx, placements, pstates, "anneal", refinement, iterations, improvements
     )

@@ -19,6 +19,7 @@ from dataclasses import dataclass, field
 from typing import Optional, Tuple
 
 from repro.errors import ConfigurationError
+from repro.hetero.types import HeteroMachineSpec
 from repro.machine.topology import MachineTopology, STANDARD_MACHINES
 
 __all__ = ["MachineGroup", "FleetSpec"]
@@ -35,12 +36,16 @@ class MachineGroup:
         power_cap_watts: Optional per-machine power cap; candidate
             placements predicted to exceed it on any machine of this
             group are infeasible.
+        hetero: Optional heterogeneous core-type / P-state spec shared
+            by every machine of the group; the solver then also picks
+            a P-state per busy core.
     """
 
     machine: str
     count: int = 1
     sets: int = 128
     power_cap_watts: Optional[float] = None
+    hetero: Optional[HeteroMachineSpec] = None
 
     def __post_init__(self) -> None:
         if self.machine not in STANDARD_MACHINES:
@@ -54,6 +59,17 @@ class MachineGroup:
             raise ConfigurationError("sets must be >= 1")
         if self.power_cap_watts is not None and not self.power_cap_watts > 0:
             raise ConfigurationError("power_cap_watts must be positive")
+        if self.hetero is not None:
+            if not isinstance(self.hetero, HeteroMachineSpec):
+                raise ConfigurationError(
+                    "hetero must be a HeteroMachineSpec, got "
+                    f"{type(self.hetero).__name__}"
+                )
+            if self.hetero.machine != self.machine:
+                raise ConfigurationError(
+                    f"hetero spec is for machine {self.hetero.machine!r} "
+                    f"but the group uses {self.machine!r}"
+                )
 
     def topology(self) -> MachineTopology:
         """Build the group's machine topology."""

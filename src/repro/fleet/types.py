@@ -135,7 +135,10 @@ class MachineAssignment:
     ``group``/``index`` locate the machine in the fleet spec;
     ``assignment`` maps core id to the (sorted) names time-sharing it,
     idle cores omitted.  Idle machines appear with an empty assignment
-    and their predicted idle power.
+    and their predicted idle power.  For machines of a hetero group,
+    ``pstates`` maps each busy core to its chosen P-state index (idle
+    cores park at their core type's deepest P-state and carry no
+    entry); it is ``None`` for homogeneous machines.
     """
 
     machine: str
@@ -144,6 +147,7 @@ class MachineAssignment:
     assignment: Dict[int, Tuple[str, ...]]
     predicted_watts: float
     predicted_ips: float
+    pstates: Optional[Dict[int, int]] = None
 
 
 @dataclass(frozen=True)

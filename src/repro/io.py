@@ -493,6 +493,109 @@ def _optional(data: Dict, key: str, caster, path: str) -> Any:
     return _cast(value, caster, f"{path}.{key}")
 
 
+def hetero_spec_to_dict(spec) -> Dict:
+    return {
+        "kind": "hetero_machine_spec",
+        "version": FORMAT_VERSION,
+        "machine": spec.machine,
+        "core_types": [
+            {
+                "name": core_type.name,
+                "perf_scale": core_type.perf_scale,
+                "dynamic_scale": core_type.dynamic_scale,
+                "static_scale": core_type.static_scale,
+                "pstates": [
+                    {
+                        "name": pstate.name,
+                        "frequency_ratio": pstate.frequency_ratio,
+                        "voltage_ratio": pstate.voltage_ratio,
+                    }
+                    for pstate in core_type.pstates
+                ],
+            }
+            for core_type in spec.core_types
+        ],
+        "core_type_of": list(spec.core_type_of),
+    }
+
+
+def hetero_spec_from_dict(data: Dict, path: str = "hetero_machine_spec"):
+    from repro.hetero.types import CoreType, HeteroMachineSpec, PState
+
+    _check_header(data, "hetero_machine_spec")
+    core_types_doc = _field(data, "core_types", path)
+    if not isinstance(core_types_doc, list):
+        raise ConfigurationError(f"{path}.core_types must be a list")
+    core_types = []
+    for index, type_doc in enumerate(core_types_doc):
+        type_path = f"{path}.core_types[{index}]"
+        if not isinstance(type_doc, dict):
+            raise ConfigurationError(f"{type_path} must be a JSON object")
+        pstates_doc = type_doc.get("pstates", [{"name": "nominal"}])
+        if not isinstance(pstates_doc, list):
+            raise ConfigurationError(f"{type_path}.pstates must be a list")
+        pstates = []
+        for pstate_index, pstate_doc in enumerate(pstates_doc):
+            pstate_path = f"{type_path}.pstates[{pstate_index}]"
+            if not isinstance(pstate_doc, dict):
+                raise ConfigurationError(f"{pstate_path} must be a JSON object")
+            pstates.append(
+                PState(
+                    name=_cast(
+                        _field(pstate_doc, "name", pstate_path),
+                        str,
+                        f"{pstate_path}.name",
+                    ),
+                    frequency_ratio=_cast(
+                        pstate_doc.get("frequency_ratio", 1.0),
+                        float,
+                        f"{pstate_path}.frequency_ratio",
+                    ),
+                    voltage_ratio=_cast(
+                        pstate_doc.get("voltage_ratio", 1.0),
+                        float,
+                        f"{pstate_path}.voltage_ratio",
+                    ),
+                )
+            )
+        core_types.append(
+            CoreType(
+                name=_cast(
+                    _field(type_doc, "name", type_path),
+                    str,
+                    f"{type_path}.name",
+                ),
+                perf_scale=_cast(
+                    type_doc.get("perf_scale", 1.0),
+                    float,
+                    f"{type_path}.perf_scale",
+                ),
+                dynamic_scale=_cast(
+                    type_doc.get("dynamic_scale", 1.0),
+                    float,
+                    f"{type_path}.dynamic_scale",
+                ),
+                static_scale=_cast(
+                    type_doc.get("static_scale", 1.0),
+                    float,
+                    f"{type_path}.static_scale",
+                ),
+                pstates=tuple(pstates),
+            )
+        )
+    core_type_of_doc = _field(data, "core_type_of", path)
+    if not isinstance(core_type_of_doc, list):
+        raise ConfigurationError(f"{path}.core_type_of must be a list")
+    return HeteroMachineSpec(
+        machine=_cast(_field(data, "machine", path), str, f"{path}.machine"),
+        core_types=tuple(core_types),
+        core_type_of=tuple(
+            _cast(value, int, f"{path}.core_type_of[{index}]")
+            for index, value in enumerate(core_type_of_doc)
+        ),
+    )
+
+
 def fleet_spec_to_dict(spec) -> Dict:
     return {
         "kind": "fleet_spec",
@@ -503,6 +606,11 @@ def fleet_spec_to_dict(spec) -> Dict:
                 "count": group.count,
                 "sets": group.sets,
                 "power_cap_watts": group.power_cap_watts,
+                "hetero": (
+                    hetero_spec_to_dict(group.hetero)
+                    if group.hetero is not None
+                    else None
+                ),
             }
             for group in spec.groups
         ],
@@ -521,6 +629,12 @@ def fleet_spec_from_dict(data: Dict, path: str = "fleet"):
         group_path = f"{path}.groups[{index}]"
         if not isinstance(group_doc, dict):
             raise ConfigurationError(f"{group_path} must be a JSON object")
+        hetero_doc = group_doc.get("hetero")
+        hetero = (
+            hetero_spec_from_dict(hetero_doc, path=f"{group_path}.hetero")
+            if hetero_doc is not None
+            else None
+        )
         groups.append(
             MachineGroup(
                 machine=_cast(
@@ -535,6 +649,7 @@ def fleet_spec_from_dict(data: Dict, path: str = "fleet"):
                 power_cap_watts=_optional(
                     group_doc, "power_cap_watts", float, group_path
                 ),
+                hetero=hetero,
             )
         )
     return FleetSpec(groups=tuple(groups))
@@ -614,6 +729,11 @@ def machine_assignment_to_dict(machine) -> Dict:
         },
         "predicted_watts": machine.predicted_watts,
         "predicted_ips": machine.predicted_ips,
+        "pstates": (
+            {str(core): pstate for core, pstate in machine.pstates.items()}
+            if machine.pstates is not None
+            else None
+        ),
     }
 
 
@@ -624,6 +744,19 @@ def machine_assignment_from_dict(data: Dict, path: str = "machine_assignment"):
     assignment_doc = _field(data, "assignment", path)
     if not isinstance(assignment_doc, dict):
         raise ConfigurationError(f"{path}.assignment must be a JSON object")
+    pstates_doc = data.get("pstates")
+    if pstates_doc is not None and not isinstance(pstates_doc, dict):
+        raise ConfigurationError(f"{path}.pstates must be a JSON object")
+    pstates = (
+        {
+            _cast(core, int, f"{path}.pstates[{core!r}]"): _cast(
+                pstate, int, f"{path}.pstates[{core!r}]"
+            )
+            for core, pstate in pstates_doc.items()
+        }
+        if pstates_doc is not None
+        else None
+    )
     return MachineAssignment(
         machine=_cast(_field(data, "machine", path), str, f"{path}.machine"),
         group=_cast(_field(data, "group", path), int, f"{path}.group"),
@@ -640,6 +773,7 @@ def machine_assignment_from_dict(data: Dict, path: str = "machine_assignment"):
         predicted_ips=_cast(
             _field(data, "predicted_ips", path), float, f"{path}.predicted_ips"
         ),
+        pstates=pstates,
     )
 
 

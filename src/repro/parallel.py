@@ -125,6 +125,38 @@ def _chunked(items: Sequence, workers: int, chunk_size: Optional[int]) -> List[L
     return [list(items[i : i + chunk_size]) for i in range(0, len(items), chunk_size)]
 
 
+def _normalize_mix_ratios(
+    mixes: Sequence[Tuple[str, ...]],
+    frequency_ratios: Optional[Sequence[Optional[Sequence[float]]]],
+) -> List[Optional[Tuple[float, ...]]]:
+    """Validate and freeze per-mix frequency ratios.
+
+    ``None`` (no ratios anywhere) and per-mix ``None`` entries both
+    mean the homogeneous default; non-``None`` entries must match
+    their mix's length.
+    """
+    if frequency_ratios is None:
+        return [None] * len(mixes)
+    if len(frequency_ratios) != len(mixes):
+        raise ConfigurationError(
+            f"frequency_ratios must have one entry per mix: got "
+            f"{len(frequency_ratios)} for {len(mixes)} mixes"
+        )
+    normalized: List[Optional[Tuple[float, ...]]] = []
+    for index, (mix, mix_ratios) in enumerate(zip(mixes, frequency_ratios)):
+        if mix_ratios is None:
+            normalized.append(None)
+            continue
+        ratios = tuple(float(r) for r in mix_ratios)
+        if len(ratios) != len(mix):
+            raise ConfigurationError(
+                f"frequency_ratios[{index}] has {len(ratios)} entries for a "
+                f"{len(mix)}-process mix"
+            )
+        normalized.append(ratios)
+    return normalized
+
+
 #: Per-worker-process state installed by the pool initializers.
 _WORKER: Dict[str, Any] = {}
 
@@ -146,7 +178,8 @@ def _init_predict_worker(
 
 
 def _predict_chunk(
-    chunk: Sequence[Tuple[int, Tuple[str, ...]]], observe: bool
+    chunk: Sequence[Tuple[int, Tuple[str, ...], Optional[Tuple[float, ...]]]],
+    observe: bool,
 ) -> Tuple[
     List[Tuple[int, CoRunPrediction]],
     List[Tuple[Any, Any]],
@@ -154,12 +187,14 @@ def _predict_chunk(
     Optional[Dict],
     Optional[Dict],
 ]:
-    """Predict one chunk of ``(index, names)`` tasks in a worker.
+    """Predict one chunk of ``(index, names, ratios)`` tasks in a worker.
 
-    Returns the indexed predictions plus everything the parent merges
-    back: cache entries this worker has not shipped before, the cache
-    counter increments of this chunk, and (when observing) the
-    worker-local trace/metrics documents.
+    ``ratios`` is the mix's per-process frequency-ratio tuple or
+    ``None`` for the homogeneous default.  Returns the indexed
+    predictions plus everything the parent merges back: cache entries
+    this worker has not shipped before, the cache counter increments
+    of this chunk, and (when observing) the worker-local trace/metrics
+    documents.
     """
     model: PerformanceModel = _WORKER["model"]
     shipped: Set[Any] = _WORKER["shipped"]
@@ -168,11 +203,31 @@ def _predict_chunk(
     results: List[Tuple[int, CoRunPrediction]] = []
     if observer is not None:
         with use_observer(observer):
-            for index, names in chunk:
-                results.append((index, model.predict(list(names))))
+            for index, names, ratios in chunk:
+                results.append(
+                    (
+                        index,
+                        model.predict(
+                            list(names),
+                            frequency_ratios=(
+                                list(ratios) if ratios is not None else None
+                            ),
+                        ),
+                    )
+                )
     else:
-        for index, names in chunk:
-            results.append((index, model.predict(list(names))))
+        for index, names, ratios in chunk:
+            results.append(
+                (
+                    index,
+                    model.predict(
+                        list(names),
+                        frequency_ratios=(
+                            list(ratios) if ratios is not None else None
+                        ),
+                    ),
+                )
+            )
     entries = [
         (key, value)
         for key, value in model.cache.export_entries()
@@ -345,19 +400,35 @@ class ParallelPredictor:
         return self.cache.stats
 
     def predict_mixes(
-        self, mixes: Sequence[Sequence[str]]
+        self,
+        mixes: Sequence[Sequence[str]],
+        frequency_ratios: Optional[
+            Sequence[Optional[Sequence[float]]]
+        ] = None,
     ) -> Tuple[CoRunPrediction, ...]:
-        """Predict every mix; order and bits match serial execution."""
+        """Predict every mix; order and bits match serial execution.
+
+        Args:
+            mixes: One name sequence per mix.
+            frequency_ratios: Optional per-mix core-clock ratios: one
+                entry per mix, each either ``None`` (homogeneous) or a
+                per-process ratio sequence.  Every engine — serial,
+                vectorized, pool — routes them to the same scalar
+                model semantics, so results stay bit-identical across
+                engines at any ratio.
+        """
         self._check_open()
         normalized = [tuple(mix) for mix in mixes]
+        ratios = _normalize_mix_ratios(normalized, frequency_ratios)
         observer = get_observer()
         if not observer.enabled:
-            return self._predict_mixes_impl(normalized, observe=False)
+            return self._predict_mixes_impl(normalized, ratios, observe=False)
         with observer.span(
             "parallel.predict_mixes", mixes=len(normalized), workers=self.workers
         ) as span:
             results = self._predict_mixes_impl(
                 normalized,
+                ratios,
                 observe=True,
                 observer=observer,
                 parent_span_id=span.span_id,
@@ -385,6 +456,7 @@ class ParallelPredictor:
     def _predict_mixes_impl(
         self,
         mixes: List[Tuple[str, ...]],
+        ratios: List[Optional[Tuple[float, ...]]],
         observe: bool,
         observer: Optional[Observer] = None,
         parent_span_id: Optional[int] = None,
@@ -394,12 +466,32 @@ class ParallelPredictor:
         engine = self._select_engine(len(mixes))
         if engine == "serial":
             model = self._serial()
-            return tuple(model.predict(list(names)) for names in mixes)
+            return tuple(
+                model.predict(
+                    list(names),
+                    frequency_ratios=(
+                        list(mix_ratios) if mix_ratios is not None else None
+                    ),
+                )
+                for names, mix_ratios in zip(mixes, ratios)
+            )
         if engine == "vectorized":
-            return self._serial().predict_batch([list(n) for n in mixes])
+            return self._serial().predict_batch(
+                [list(n) for n in mixes],
+                frequency_ratios=[
+                    list(r) if r is not None else None for r in ratios
+                ],
+            )
         self._batch_seq += 1
         batch_seq = self._batch_seq
-        chunks = _chunked(list(enumerate(mixes)), self.workers, self.chunk_size)
+        chunks = _chunked(
+            [
+                (index, names, mix_ratios)
+                for index, (names, mix_ratios) in enumerate(zip(mixes, ratios))
+            ],
+            self.workers,
+            self.chunk_size,
+        )
         executor = self._ensure_executor()
         futures = [
             executor.submit(_predict_chunk, chunk, observe) for chunk in chunks
@@ -429,6 +521,7 @@ def predict_mixes(
     chunk_size: Optional[int] = None,
     cache: Optional[EquilibriumCache] = None,
     engine: str = "auto",
+    frequency_ratios: Optional[Sequence[Optional[Sequence[float]]]] = None,
 ) -> Tuple[CoRunPrediction, ...]:
     """One-shot batched prediction (see :class:`ParallelPredictor`)."""
     with ParallelPredictor(
@@ -440,7 +533,7 @@ def predict_mixes(
         cache=cache,
         engine=engine,
     ) as predictor:
-        return predictor.predict_mixes(mixes)
+        return predictor.predict_mixes(mixes, frequency_ratios=frequency_ratios)
 
 
 # ----------------------------------------------------------------------

@@ -42,6 +42,7 @@ Admission control keeps the queue honest:
 from __future__ import annotations
 
 import asyncio
+import functools
 from collections import deque
 from concurrent.futures import ThreadPoolExecutor
 from dataclasses import dataclass
@@ -171,6 +172,7 @@ class _PendingRequest:
     future: "asyncio.Future"
     enqueued_at: float
     deadline: Optional[float]  # loop-clock absolute time, None = no deadline
+    frequency_ratios: Optional[Tuple[float, ...]] = None
 
 
 class MicroBatcher:
@@ -297,8 +299,18 @@ class MicroBatcher:
     # ------------------------------------------------------------------
     # Submission
     # ------------------------------------------------------------------
-    async def submit(self, names: Sequence[str], *, timeout_s: Optional[float] = None):
+    async def submit(
+        self,
+        names: Sequence[str],
+        *,
+        frequency_ratios: Optional[Sequence[float]] = None,
+        timeout_s: Optional[float] = None,
+    ):
         """Queue one mix for prediction; awaits its result.
+
+        ``frequency_ratios`` optionally gives one DVFS frequency ratio
+        per process (see :mod:`repro.hetero`); the batch forwards them
+        positionally to the engine's ``predict_mixes``.
 
         Raises:
             QueueFullError: The pending queue is at ``max_queue``.
@@ -333,6 +345,11 @@ class MicroBatcher:
             future=self._loop.create_future(),
             enqueued_at=now,
             deadline=now + timeout_s if timeout_s is not None else None,
+            frequency_ratios=(
+                tuple(float(ratio) for ratio in frequency_ratios)
+                if frequency_ratios is not None
+                else None
+            ),
         )
         self._pending.append(request)
         self.metrics.counter("serve.predict.requests").inc()
@@ -417,10 +434,17 @@ class MicroBatcher:
                 start - request.enqueued_at
             )
         mixes = [request.names for request in batch]
-        try:
-            results = await self._loop.run_in_executor(
-                self._dispatch_pool, self.engine.predict_mixes, mixes
+        if any(request.frequency_ratios is not None for request in batch):
+            # Only the ratio-carrying path passes the keyword so plain
+            # stub engines (tests) keep their two-positional signature.
+            ratios = [request.frequency_ratios for request in batch]
+            call = functools.partial(
+                self.engine.predict_mixes, mixes, frequency_ratios=ratios
             )
+        else:
+            call = functools.partial(self.engine.predict_mixes, mixes)
+        try:
+            results = await self._loop.run_in_executor(self._dispatch_pool, call)
         except Exception as error:  # noqa: BLE001 - forwarded to callers
             for request in batch:
                 if not request.future.done():

@@ -10,7 +10,13 @@ which makes invalidation free: publishing new content under a name
 produces a new digest (see :mod:`repro.serve.registry`), so every
 request resolving the new version misses and re-solves, while pinned
 ``name@old`` requests keep hitting their old entries until LRU
-pressure evicts them.
+pressure evicts them.  Requests carrying per-process DVFS frequency
+ratios (see :mod:`repro.hetero`) key on the sorted ``(name, ratio)``
+multiset instead: the same mix at two different ratios solves to two
+different equilibria and must never share an entry.  All-unit ratios
+normalize to the plain name key, exactly as the model normalizes
+``frequency_ratios=None`` — a unit-ratio request is a hit for a
+ratio-free entry and vice versa, and both are bit-identical solves.
 
 **Canonical order and bit-identity.**  The equilibrium solver is
 order-independent by construction —
@@ -45,25 +51,49 @@ def canonical_mix(names: Sequence[str]) -> Tuple[str, ...]:
     return tuple(sorted(names))
 
 
-def _slots(names: Sequence[str]) -> List[int]:
+def _normalized_ratios(
+    names: Sequence[str], frequency_ratios: Optional[Sequence[float]]
+) -> Tuple[float, ...]:
+    """Per-process ratios with ``None`` meaning all-unit (model's rule)."""
+    if frequency_ratios is None:
+        return (1.0,) * len(names)
+    ratios = tuple(float(ratio) for ratio in frequency_ratios)
+    if len(ratios) != len(names):
+        raise ConfigurationError(
+            f"frequency_ratios has {len(ratios)} entries for a "
+            f"{len(names)}-process mix"
+        )
+    return ratios
+
+
+def _slots(
+    names: Sequence[str],
+    frequency_ratios: Optional[Sequence[float]] = None,
+) -> List[int]:
     """``slot[i]`` = canonical position of original index ``i``.
 
-    Identical to the model's ``_canonical_plan`` permutation for the
-    homogeneous-frequency serve path: a stable sort by name, so
-    duplicate names map to canonical rows in first-seen order.
+    Identical to the model's ``_canonical_plan`` permutation: a stable
+    sort by ``(name, ratio)``, so duplicate entries map to canonical
+    rows in first-seen order.  With unit ratios this degenerates to the
+    plain stable sort by name.
     """
-    order = sorted(range(len(names)), key=lambda i: names[i])
+    ratios = _normalized_ratios(names, frequency_ratios)
+    order = sorted(range(len(names)), key=lambda i: (names[i], ratios[i]))
     slots = [0] * len(order)
     for position, index in enumerate(order):
         slots[index] = position
     return slots
 
 
-def restore_order(entry: "CacheEntry", names: Sequence[str]):
+def restore_order(
+    entry: "CacheEntry",
+    names: Sequence[str],
+    frequency_ratios: Optional[Sequence[float]] = None,
+):
     """Rebuild a ``CoRunPrediction`` for ``names``'s own order."""
     from repro.core.performance_model import CoRunPrediction
 
-    slots = _slots(names)
+    slots = _slots(names, frequency_ratios)
     return CoRunPrediction(
         processes=tuple(entry.processes[slots[i]] for i in range(len(names))),
         solver=entry.solver,
@@ -82,9 +112,14 @@ class CacheEntry:
         self.contended = contended
 
     @classmethod
-    def from_prediction(cls, names: Sequence[str], prediction) -> "CacheEntry":
+    def from_prediction(
+        cls,
+        names: Sequence[str],
+        prediction,
+        frequency_ratios: Optional[Sequence[float]] = None,
+    ) -> "CacheEntry":
         """Permute a request-order prediction into canonical order."""
-        slots = _slots(names)
+        slots = _slots(names, frequency_ratios)
         canonical: List = [None] * len(names)
         for index, process in enumerate(prediction.processes):
             canonical[slots[index]] = process
@@ -120,12 +155,29 @@ class PredictionResultCache:
             return len(self._entries)
 
     @staticmethod
-    def key(digest: str, ways: int, names: Sequence[str]) -> Tuple:
-        return (digest, ways, canonical_mix(names))
+    def key(
+        digest: str,
+        ways: int,
+        names: Sequence[str],
+        frequency_ratios: Optional[Sequence[float]] = None,
+    ) -> Tuple:
+        ratios = _normalized_ratios(names, frequency_ratios)
+        if all(ratio == 1.0 for ratio in ratios):
+            # Unit ratios are the model's ``None`` normalization: same
+            # solve, same key — never fork the entry.
+            return (digest, ways, canonical_mix(names))
+        order = sorted(range(len(names)), key=lambda i: (names[i], ratios[i]))
+        return (digest, ways, tuple((names[i], ratios[i]) for i in order))
 
-    def get(self, digest: str, ways: int, names: Sequence[str]):
+    def get(
+        self,
+        digest: str,
+        ways: int,
+        names: Sequence[str],
+        frequency_ratios: Optional[Sequence[float]] = None,
+    ):
         """The cached ``CoRunPrediction`` in ``names``'s order, or None."""
-        key = self.key(digest, ways, names)
+        key = self.key(digest, ways, names, frequency_ratios)
         with self._lock:
             entry = self._entries.get(key)
             if entry is None:
@@ -133,12 +185,19 @@ class PredictionResultCache:
                 return None
             self._entries.move_to_end(key)
             self.metrics.counter("serve.cache.hits").inc()
-        return restore_order(entry, names)
+        return restore_order(entry, names, frequency_ratios)
 
-    def put(self, digest: str, ways: int, names: Sequence[str], prediction) -> None:
+    def put(
+        self,
+        digest: str,
+        ways: int,
+        names: Sequence[str],
+        prediction,
+        frequency_ratios: Optional[Sequence[float]] = None,
+    ) -> None:
         """Store a request-order prediction under its canonical key."""
-        key = self.key(digest, ways, names)
-        entry = CacheEntry.from_prediction(names, prediction)
+        key = self.key(digest, ways, names, frequency_ratios)
+        entry = CacheEntry.from_prediction(names, prediction, frequency_ratios)
         with self._lock:
             self._entries[key] = entry
             self._entries.move_to_end(key)

@@ -165,6 +165,7 @@ class ServeClient:
         *,
         ways: int,
         model: str = "default",
+        frequency_ratios: Optional[Sequence[float]] = None,
         timeout_ms: Optional[float] = None,
     ) -> Dict:
         payload: Dict[str, Any] = {
@@ -172,6 +173,8 @@ class ServeClient:
             "names": list(names),
             "ways": ways,
         }
+        if frequency_ratios is not None:
+            payload["frequency_ratios"] = [float(r) for r in frequency_ratios]
         if timeout_ms is not None:
             payload["timeout_ms"] = timeout_ms
         return self._call("POST", "/v1/predict", payload)

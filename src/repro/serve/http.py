@@ -21,7 +21,11 @@ are coalesced by a per-``(model version, ways)``
 :class:`~repro.serve.batcher.MicroBatcher` into batches solved by a
 persistent :class:`~repro.parallel.ParallelPredictor`, so the returned
 ``prediction`` document is bit-identical to what
-:func:`repro.api.predict_mix` computes for the same suite and mix.
+:func:`repro.api.predict_mix` computes for the same suite and mix.  An
+optional ``"frequency_ratios": [...]`` field (one positive number per
+name) prices the mix at per-process DVFS clock ratios (see
+:mod:`repro.hetero`); it flows through the result cache key and the
+batch dispatch positionally.
 
 ``/v2/assign`` requests carry a full
 :class:`~repro.api.AssignmentRequest` document —
@@ -230,6 +234,7 @@ class PredictionService:
         names,
         *,
         ways: int,
+        frequency_ratios=None,
         timeout_s: Optional[float] = None,
     ) -> Dict:
         """Resolve, batch, solve; returns the response document."""
@@ -237,6 +242,24 @@ class PredictionService:
             raise ServiceClosedError("service is stopped")
         if not isinstance(ways, int) or ways < 1:
             raise _BadRequest(f"'ways' must be a positive integer, got {ways!r}")
+        if frequency_ratios is not None:
+            if not isinstance(frequency_ratios, (list, tuple)) or not all(
+                isinstance(ratio, (int, float)) and not isinstance(ratio, bool)
+                for ratio in frequency_ratios
+            ):
+                raise _BadRequest(
+                    "field 'frequency_ratios' must be a list of numbers"
+                )
+            if len(frequency_ratios) != len(names):
+                raise _BadRequest(
+                    f"field 'frequency_ratios' has {len(frequency_ratios)} "
+                    f"entries for {len(names)} names"
+                )
+            if not all(ratio > 0 for ratio in frequency_ratios):
+                raise _BadRequest(
+                    "field 'frequency_ratios' entries must be positive"
+                )
+            frequency_ratios = tuple(float(r) for r in frequency_ratios)
         artifact = self.registry.get(model_ref)
         if artifact.kind != "profile_suite":
             raise ConfigurationError(
@@ -248,14 +271,19 @@ class PredictionService:
         if self.result_cache is not None:
             # Probed before the batcher: a hot repeated mix skips the
             # queue and the solver entirely.  The key carries the
-            # artifact digest, so a hot swap misses by construction.
-            prediction = self.result_cache.get(artifact.digest, ways, names)
+            # artifact digest (hot swaps miss by construction) and the
+            # DVFS frequency ratios (two ratios never share an entry).
+            prediction = self.result_cache.get(
+                artifact.digest, ways, names, frequency_ratios
+            )
         if prediction is None:
             prediction = await self._batcher_for(artifact, ways).submit(
-                names, timeout_s=timeout_s
+                names, frequency_ratios=frequency_ratios, timeout_s=timeout_s
             )
             if self.result_cache is not None:
-                self.result_cache.put(artifact.digest, ways, names, prediction)
+                self.result_cache.put(
+                    artifact.digest, ways, names, prediction, frequency_ratios
+                )
         from repro.api import MixPrediction
 
         mix = MixPrediction(ways=ways, names=tuple(names), prediction=prediction)
@@ -684,6 +712,7 @@ class PredictionServer:
                 _field(payload, "model", str, default="default"),
                 _names_field(payload),
                 ways=_field(payload, "ways", int, required=True),
+                frequency_ratios=payload.get("frequency_ratios"),
                 timeout_s=timeout_ms / 1000.0 if timeout_ms is not None else None,
             )
             return 200, document

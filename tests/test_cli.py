@@ -8,6 +8,7 @@ import pytest
 from repro.cli import _parse_assignment, build_parser, main
 from repro.core.power_model import CorePowerModel, PowerTrainingSet
 from repro.events import Event, RATE_EVENTS
+from repro.fleet import FleetSpec, MachineGroup
 from repro.io import save_power_model
 
 
@@ -49,6 +50,27 @@ class TestListingCommands:
         assert all(
             {"cores", "ways", "sets"} == set(d) for d in workstation["domains"]
         )
+
+    def test_machines_json_schema_has_heterogeneity_fields(self, capsys):
+        # Schema pin: every machine document carries the same key set,
+        # including the per-core clock scales and the hetero flag.
+        assert main(["machines", "--json"]) == 0
+        data = json.loads(capsys.readouterr().out)
+        expected = {
+            "cores",
+            "frequency_hz",
+            "core_frequency_scales",
+            "heterogeneous",
+            "domains",
+        }
+        for name, machine in data["machines"].items():
+            assert set(machine) == expected, name
+        homogeneous = data["machines"]["4-core-server"]
+        assert homogeneous["heterogeneous"] is False
+        assert homogeneous["core_frequency_scales"] == []
+        hetero = data["machines"]["hetero-server"]
+        assert hetero["heterogeneous"] is True
+        assert hetero["core_frequency_scales"] == [1.0, 0.5, 1.0, 0.5]
 
     def test_benchmarks(self, capsys):
         assert main(["benchmarks"]) == 0
@@ -243,6 +265,46 @@ class TestAssignFlow:
         )
         assert code == 2
         assert "--solver greedy" in capsys.readouterr().err
+
+    def test_assign_fleet_file_with_hetero_spec(
+        self, tmp_path, capsys, synthetic_power_model
+    ):
+        from repro.hetero import big_little_spec
+        from repro.io import fleet_spec_to_dict
+
+        suite = tmp_path / "suite.json"
+        model = tmp_path / "power.json"
+        fleet_file = tmp_path / "fleet.json"
+        save_power_model(synthetic_power_model, model)
+        assert main(
+            ["--sets", "32", "--quick", "profile",
+             "--machine", "2-core-workstation", "--out", str(suite),
+             "mcf", "gzip"]
+        ) == 0
+        fleet = FleetSpec(
+            groups=(
+                MachineGroup(
+                    machine="2-core-workstation",
+                    sets=32,
+                    hetero=big_little_spec("2-core-workstation"),
+                ),
+            )
+        )
+        fleet_file.write_text(json.dumps(fleet_spec_to_dict(fleet)))
+        capsys.readouterr()
+        code = main(
+            ["assign", "--machine", "2-core-workstation",
+             "--suite", str(suite), "--power-model", str(model),
+             "--fleet", str(fleet_file), "--solver", "exhaustive",
+             "--objective", "throughput-under-watts-budget",
+             "--power-budget", "500", "mcf", "gzip"]
+        )
+        assert code == 0
+        data = json.loads(capsys.readouterr().out)
+        assert data["kind"] == "fleet_assignment"
+        assert data["fleet"]["groups"][0]["hetero"]["core_type_of"] == [0, 1]
+        busy = [m for m in data["machines"] if m["assignment"]]
+        assert busy and all(m["pstates"] is not None for m in busy)
 
 
 class TestObservabilityFlags:

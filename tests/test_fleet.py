@@ -131,6 +131,43 @@ class TestAssignmentRequest:
         for name in CANONICAL_OBJECTIVES:
             assert canonical_objective(name) == name
 
+    def test_request_accepts_legacy_aliases(self):
+        # A request built with a legacy name validates and preserves
+        # the caller's spelling; canonicalisation happens at solve.
+        for legacy in ("power", "throughput", "energy_per_instruction"):
+            request = AssignmentRequest(processes=("mcf",), objective=legacy)
+            assert request.objective == legacy
+            assert canonical_objective(request.objective) in CANONICAL_OBJECTIVES
+        # Aliases survive the JSON round-trip unrewritten.
+        request = AssignmentRequest(processes=("mcf",), objective="power")
+        assert assignment_request_from_dict(
+            assignment_request_to_dict(request)
+        ) == request
+
+    def test_hetero_field_path_in_errors(self):
+        # The hetero subdocument reports the same dotted field paths
+        # the rest of the fleet schema does.
+        with pytest.raises(
+            ConfigurationError,
+            match=r"fleet\.groups\[0\]\.hetero\.core_types is missing",
+        ):
+            fleet_spec_from_dict(
+                {
+                    "kind": "fleet_spec",
+                    "version": 1,
+                    "groups": [
+                        {
+                            "machine": "4-core-server",
+                            "hetero": {
+                                "kind": "hetero_machine_spec",
+                                "version": 1,
+                                "machine": "4-core-server",
+                            },
+                        }
+                    ],
+                }
+            )
+
     def test_round_trip_is_bit_exact(self):
         request = AssignmentRequest(
             processes=("mcf", "gzip", "mcf"),

@@ -458,3 +458,57 @@ class TestEngineSelection:
         stats = cache.stats
         assert stats.entries == 4  # one per distinct canonical mix
         assert stats.hits + stats.misses == len(MIXES)
+
+
+class TestFrequencyRatios:
+    """Per-mix DVFS frequency ratios thread through every engine."""
+
+    RATIOS = [
+        [0.8, 1.0],
+        None,  # per-mix optional: None means all-unit
+        [1.0, 0.6, 0.9],
+        [0.7, 0.7],
+        [0.8, 1.0],
+    ]
+
+    def test_all_engines_bit_identical_with_ratios(self, features):
+        serial = batch_predict(
+            features, MIXES, ways=8, engine="serial",
+            frequency_ratios=self.RATIOS,
+        )
+        vectorized = batch_predict(
+            features, MIXES, ways=8, engine="vectorized",
+            frequency_ratios=self.RATIOS,
+        )
+        pool = batch_predict(
+            features, MIXES, ways=8, workers=2, engine="pool",
+            frequency_ratios=self.RATIOS,
+        )
+        assert serial == vectorized == pool
+
+    def test_matches_independent_scalar_predictions(self, features):
+        """Each ratio-carrying entry equals a cold standalone predict."""
+        batch = batch_predict(
+            features, MIXES, ways=8, frequency_ratios=self.RATIOS
+        )
+        for mix, ratios, got in zip(MIXES, self.RATIOS, batch):
+            model = PerformanceModel(ways=8)
+            model.register_all(features)
+            assert model.predict(mix, frequency_ratios=ratios) == got
+
+    def test_none_equals_all_unit(self, features):
+        unit = [[1.0] * len(mix) for mix in MIXES]
+        assert batch_predict(
+            features, MIXES, ways=8, frequency_ratios=unit
+        ) == batch_predict(features, MIXES, ways=8)
+
+    def test_rejects_wrong_outer_length(self, features):
+        with pytest.raises(ConfigurationError, match="one entry per mix"):
+            batch_predict(
+                features, MIXES, ways=8, frequency_ratios=[[1.0, 1.0]]
+            )
+
+    def test_rejects_wrong_inner_length(self, features):
+        ratios = [[1.0], None, None, None, None]  # mix 0 has two processes
+        with pytest.raises(ConfigurationError, match=r"frequency_ratios\[0\]"):
+            batch_predict(features, MIXES, ways=8, frequency_ratios=ratios)

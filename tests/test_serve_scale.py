@@ -177,6 +177,60 @@ class TestPredictionResultCache:
         assert cache.get("d", WAYS, ["mcf"]) is not None
         assert cache.stats()["evictions"] == 1
 
+    def test_frequency_ratios_never_collide(self, suite):
+        # The same mix at two DVFS ratios solves to two different
+        # equilibria; the cache must keep them as distinct entries.
+        cache = PredictionResultCache(8)
+        mix = ["mcf", "gzip"]
+        slow = predict_mix(
+            mix, suite, ways=WAYS, frequency_ratios=[0.6, 1.0]
+        ).prediction
+        fast = predict_mix(
+            mix, suite, ways=WAYS, frequency_ratios=[1.0, 0.8]
+        ).prediction
+        assert PredictionResultCache.key(
+            "d", WAYS, mix, [0.6, 1.0]
+        ) != PredictionResultCache.key("d", WAYS, mix, [1.0, 0.8])
+        cache.put("d", WAYS, mix, slow, [0.6, 1.0])
+        assert cache.get("d", WAYS, mix) is None
+        assert cache.get("d", WAYS, mix, [1.0, 0.8]) is None
+        cache.put("d", WAYS, mix, fast, [1.0, 0.8])
+        assert len(cache) == 2
+        assert cache.get(
+            "d", WAYS, mix, [0.6, 1.0]
+        ).to_dict() == slow.to_dict()
+        assert cache.get(
+            "d", WAYS, mix, [1.0, 0.8]
+        ).to_dict() == fast.to_dict()
+
+    def test_unit_ratios_share_the_plain_entry(self, suite):
+        # All-unit ratios are the model's None normalization: one key.
+        mix = ["mcf", "gzip"]
+        assert PredictionResultCache.key(
+            "d", WAYS, mix, [1.0, 1.0]
+        ) == PredictionResultCache.key("d", WAYS, mix)
+        cache = PredictionResultCache(8)
+        prediction = predict_mix(mix, suite, ways=WAYS).prediction
+        cache.put("d", WAYS, mix, prediction)
+        hit = cache.get("d", WAYS, mix, [1.0, 1.0])
+        assert hit is not None and hit.to_dict() == prediction.to_dict()
+
+    def test_ratio_hit_restores_duplicate_name_order(self, suite):
+        # The nasty permutation: one name at two ratios.  The restore
+        # permutation must track (name, ratio) pairs, not names alone.
+        cache = PredictionResultCache(8)
+        mix = ["mcf", "mcf"]
+        ratios = [1.0, 0.7]
+        solved = predict_mix(
+            mix, suite, ways=WAYS, frequency_ratios=ratios
+        ).prediction
+        cache.put("d", WAYS, mix, solved, ratios)
+        hit = cache.get("d", WAYS, mix, [0.7, 1.0])  # swapped order
+        cold = predict_mix(
+            mix, suite, ways=WAYS, frequency_ratios=[0.7, 1.0]
+        ).prediction
+        assert hit.to_dict() == cold.to_dict()
+
 
 # ----------------------------------------------------------------------
 # Result cache (served end-to-end)
@@ -206,6 +260,51 @@ class TestServedResultCache:
                 assert hot["prediction"] == predict_mix(
                     permuted, suite, ways=WAYS
                 ).to_dict()
+
+    def test_served_frequency_ratios_never_collide(self, suite):
+        # Two DVFS ratios of the same mix must serve two different
+        # predictions — the second request may not hit the first's
+        # cache entry — and each must equal the local solve.
+        with start_server({"default": suite}) as handle:
+            with ServeClient(handle.host, handle.port) as client:
+                mix = ["mcf", "gzip"]
+                slow = client.predict(
+                    mix, ways=WAYS, frequency_ratios=[0.6, 1.0]
+                )
+                hits_before = _counter(client, "serve.cache.hits")
+                fast = client.predict(
+                    mix, ways=WAYS, frequency_ratios=[1.0, 0.8]
+                )
+                assert _counter(client, "serve.cache.hits") == hits_before
+                assert slow["prediction"] != fast["prediction"]
+                assert slow["prediction"] == predict_mix(
+                    mix, suite, ways=WAYS, frequency_ratios=[0.6, 1.0]
+                ).to_dict()
+                assert fast["prediction"] == predict_mix(
+                    mix, suite, ways=WAYS, frequency_ratios=[1.0, 0.8]
+                ).to_dict()
+                # Repeats of either ratio hit their own entries.
+                again = client.predict(
+                    mix, ways=WAYS, frequency_ratios=[0.6, 1.0]
+                )
+                assert _counter(client, "serve.cache.hits") == hits_before + 1
+                assert again == slow
+
+    def test_served_frequency_ratio_validation(self, suite):
+        with start_server({"default": suite}) as handle:
+            with ServeClient(handle.host, handle.port) as client:
+                from repro.serve.client import ServeClientError
+
+                with pytest.raises(ServeClientError, match="frequency_ratios"):
+                    client.predict(
+                        ["mcf", "gzip"], ways=WAYS, frequency_ratios=[0.5]
+                    )
+                with pytest.raises(ServeClientError, match="positive"):
+                    client.predict(
+                        ["mcf", "gzip"],
+                        ways=WAYS,
+                        frequency_ratios=[-1.0, 1.0],
+                    )
 
     def test_disabled_cache_never_hits(self, suite):
         with start_server({"default": suite}, result_cache_size=0) as handle:
